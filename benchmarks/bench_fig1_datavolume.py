@@ -1,0 +1,29 @@
+"""Fig. 1 — cumulative data volume of the workload over the observation window.
+
+The paper's Fig. 1 shows the ATLAS experiment's stored data volume growing
+towards the exabyte scale.  The reproduction reports the cumulative input
+volume consumed by the generated job stream: the benchmark times the series
+computation and asserts the defining property of the figure — a monotone,
+steadily growing curve whose final value matches the sum of all job inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig1_data_volume
+
+
+def test_fig1_cumulative_data_volume(benchmark, bench_config, bench_dataset):
+    series = benchmark(fig1_data_volume, bench_config, dataset=bench_dataset, n_bins=30)
+
+    cumulative = series["cumulative_bytes"]
+    assert np.all(np.diff(cumulative) >= 0), "data volume must grow monotonically"
+    total = float(np.asarray(bench_dataset.table["inputfilebytes"]).sum())
+    assert cumulative[-1] == pytest.approx(total, rel=1e-9)
+    # The growth should be spread across the window, not a single burst:
+    # at mid-window at least 20% (and at most 80%) of the data has arrived.
+    mid = cumulative[len(cumulative) // 2]
+    assert 0.2 * total < mid < 0.8 * total
+
+    benchmark.extra_info["total_petabytes"] = round(float(series["total_petabytes"][0]), 4)
+    benchmark.extra_info["n_jobs"] = len(bench_dataset.table)

@@ -1,0 +1,55 @@
+"""Fig. 3 — dataset profile (3a) and filtering funnel (3b).
+
+The paper's Fig. 3(a) lists the nine selected features with their types and
+unique-entry counts; Fig. 3(b) shows how ~9.6 M gross PanDA records reduce to
+the ~1.65 M used for training/testing.  The benchmark times the full raw
+generation + filtering pipeline and asserts the structural properties: the
+exact feature schema of 3(a), a strictly shrinking funnel, and a final
+retention fraction in the plausible range implied by the paper (the funnel
+removes a substantial share of gross records but keeps the majority of
+user-analysis DAOD jobs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator
+from repro.panda.pipeline import FilteringPipeline
+from repro.panda.records import CATEGORICAL_FEATURES, JOB_STATUSES, NUMERICAL_FEATURES
+
+
+def test_fig3_profile_and_funnel(benchmark, bench_config):
+    def run():
+        generator = PandaWorkloadGenerator(
+            GeneratorConfig(n_jobs=bench_config.n_raw_jobs, n_days=bench_config.n_days,
+                            seed=bench_config.seed)
+        )
+        raw = generator.generate_raw()
+        pipeline = FilteringPipeline(generator.sites)
+        table, report = pipeline.run(raw)
+        return table, report
+
+    table, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Fig. 3(a): feature kinds match the paper's nine-column schema.
+    profile = {row["name"]: row for row in table.profile()}
+    for name in NUMERICAL_FEATURES:
+        assert profile[name]["kind"] == "numerical"
+    for name in CATEGORICAL_FEATURES:
+        assert profile[name]["kind"] == "categorical"
+    assert profile["jobstatus"]["n_unique"] <= len(JOB_STATUSES)
+    assert profile["computingsite"]["n_unique"] >= 10
+
+    # Fig. 3(b): strictly shrinking funnel with a plausible retention fraction.
+    rows = [r["rows"] for r in report.as_rows()]
+    assert all(a >= b for a, b in zip(rows, rows[1:]))
+    retention = report.final_records / report.gross_records
+    assert 0.3 < retention < 0.8
+
+    benchmark.extra_info["gross_records"] = report.gross_records
+    benchmark.extra_info["final_records"] = report.final_records
+    benchmark.extra_info["retention"] = round(retention, 3)
+    benchmark.extra_info["funnel"] = {r["stage"]: r["rows"] for r in report.as_rows()}
+    benchmark.extra_info["unique_counts"] = {
+        name: profile[name]["n_unique"] for name in profile
+    }

@@ -1,0 +1,48 @@
+"""Training and sampling cost of each surrogate model.
+
+Not a paper table by itself, but the practical companion to Table I: how long
+does each surrogate take to fit on the benchmark trace, and how fast can it
+emit synthetic records?  TabDDPM's sampling cost scales with the number of
+diffusion timesteps, SMOTE's with the k-NN query — both are visible here.
+"""
+
+import pytest
+
+from repro.experiments.table1 import build_model
+from repro.utils.rng import derive_seed
+
+MODELS = ("TVAE", "CTABGAN+", "SMOTE", "TabDDPM")
+_NAME_TO_KEY = {"TVAE": "tvae", "CTABGAN+": "ctabgan+", "SMOTE": "smote", "TabDDPM": "tabddpm"}
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_model_fit_cost(benchmark, model_name, bench_config, bench_dataset):
+    """Time one full fit() on the benchmark training split."""
+
+    def fit():
+        model = build_model(_NAME_TO_KEY[model_name], bench_config)
+        model.fit(bench_dataset.train)
+        return model
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    benchmark.extra_info["n_train_rows"] = bench_dataset.n_train
+    if hasattr(model, "loss_history_") and model.loss_history_:
+        last = model.loss_history_[-1]
+        benchmark.extra_info["final_loss"] = (
+            round(float(last), 4) if not isinstance(last, dict) else {k: round(float(v), 4) for k, v in last.items()}
+        )
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_model_sampling_throughput(benchmark, model_name, fitted_models):
+    """Time sampling 1000 synthetic records from an already-fitted model."""
+    model = fitted_models[model_name]
+    counter = {"i": 0}
+
+    def sample():
+        counter["i"] += 1
+        return model.sample(1000, seed=derive_seed(123, "throughput", model_name, counter["i"]))
+
+    table = benchmark.pedantic(sample, rounds=3, iterations=1)
+    assert len(table) == 1000
+    benchmark.extra_info["rows_per_call"] = 1000

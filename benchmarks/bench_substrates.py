@@ -1,0 +1,99 @@
+"""Throughput benchmarks of the substrates the reproduction is built on.
+
+Not paper artefacts — these track the cost of the building blocks so
+regressions in the numpy NN framework, the boosting stack, the metric kernels
+or the workload generator are visible independently of the end-to-end
+experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boosting.gbdt import GradientBoostingRegressor
+from repro.metrics.correlation import association_matrix
+from repro.metrics.distribution import wasserstein_1d
+from repro.metrics.privacy import nearest_record_distances
+from repro.mixture.gmm import GaussianMixture
+from repro.nn import MLP, Adam, Tensor, mse_loss
+from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator
+from repro.tabular.mixed import MixedEncoder
+
+
+class TestNeuralSubstrate:
+    def test_mlp_forward_backward_step(self, benchmark):
+        """One Adam step of a 256x256 MLP on a 256-row batch (the TabDDPM inner loop)."""
+        rng = np.random.default_rng(0)
+        model = MLP(32, [256, 256], 32, activation="relu", seed=0)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        x = rng.normal(size=(256, 32))
+        y = rng.normal(size=(256, 32))
+
+        def step():
+            optimizer.zero_grad()
+            loss = mse_loss(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+            return loss.item()
+
+        value = benchmark(step)
+        assert np.isfinite(value)
+
+    def test_mlp_inference_throughput(self, benchmark):
+        model = MLP(32, [256, 256], 32, seed=0)
+        x = Tensor(np.random.default_rng(1).normal(size=(2048, 32)))
+        out = benchmark(lambda: model(x).numpy())
+        assert out.shape == (2048, 32)
+
+
+class TestTabularSubstrate:
+    def test_mixed_encoder_transform(self, benchmark, bench_dataset):
+        encoder = MixedEncoder().fit(bench_dataset.train)
+        matrix = benchmark(lambda: encoder.transform(bench_dataset.train))
+        assert matrix.n_rows == bench_dataset.n_train
+
+    def test_workload_generation_throughput(self, benchmark):
+        generator = PandaWorkloadGenerator(GeneratorConfig(n_jobs=5000, seed=1))
+        table = benchmark(lambda: generator.generate_raw(5000, seed=2))
+        assert len(table) == 5000
+
+
+class TestModelSubstrates:
+    def test_gmm_fit(self, benchmark, bench_dataset):
+        values = np.asarray(bench_dataset.train["workload"])
+        gmm = benchmark(lambda: GaussianMixture(n_components=8, seed=0).fit(values))
+        assert gmm.n_active_components >= 1
+
+    def test_gbdt_fit(self, benchmark, bench_dataset):
+        X = bench_dataset.train.numerical_matrix()
+        y = np.log(np.asarray(bench_dataset.train["workload"]))
+
+        def fit():
+            return GradientBoostingRegressor(
+                n_estimators=30, learning_rate=0.3, max_depth=6, seed=0
+            ).fit(X, y)
+
+        model = benchmark.pedantic(fit, rounds=2, iterations=1)
+        assert model.score_mse(X, y) < np.var(y)
+
+
+class TestMetricKernels:
+    def test_wasserstein_kernel(self, benchmark, bench_dataset):
+        a = np.asarray(bench_dataset.train["workload"])
+        b = np.asarray(bench_dataset.test["workload"])
+        value = benchmark(lambda: wasserstein_1d(a, b))
+        assert value >= 0.0
+
+    def test_association_matrix_kernel(self, benchmark, bench_dataset):
+        matrix, _ = benchmark.pedantic(
+            lambda: association_matrix(bench_dataset.train), rounds=2, iterations=1
+        )
+        assert matrix.shape[0] == len(bench_dataset.train.columns)
+
+    def test_dcr_kernel(self, benchmark, bench_dataset):
+        synthetic = bench_dataset.test
+        distances = benchmark.pedantic(
+            lambda: nearest_record_distances(bench_dataset.train, synthetic),
+            rounds=2,
+            iterations=1,
+        )
+        assert distances.shape == (len(synthetic),)

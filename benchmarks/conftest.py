@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark works off one shared CI-sized experiment: a synthetic PanDA
+trace (the stand-in for the paper's 150-day collection) and the four
+surrogate models trained on its training split.  Model training happens once
+per benchmark session — individual benchmarks then time the piece of the
+pipeline they are about (training, sampling, evaluation, simulation) and
+record the paper-relevant numbers in ``benchmark.extra_info``.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import DatasetBundle, build_dataset
+from repro.experiments.table1 import _DISPLAY_NAMES, build_model
+from repro.tabular.table import Table
+from repro.utils.rng import derive_seed
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-raw-jobs",
+        action="store",
+        type=int,
+        default=6000,
+        help="number of raw PanDA records generated for the benchmark dataset",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config(request) -> ExperimentConfig:
+    raw_jobs = request.config.getoption("--bench-raw-jobs")
+    return dataclasses.replace(ExperimentConfig.ci(), n_raw_jobs=int(raw_jobs))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_config) -> DatasetBundle:
+    return build_dataset(bench_config)
+
+
+@pytest.fixture(scope="session")
+def fitted_models(bench_config, bench_dataset) -> Dict[str, object]:
+    """All four paper models fitted once on the shared training split."""
+    models = {}
+    for name in bench_config.models:
+        display = _DISPLAY_NAMES[name.lower()]
+        model = build_model(name, bench_config)
+        model.fit(bench_dataset.train)
+        models[display] = model
+    return models
+
+
+@pytest.fixture(scope="session")
+def synthetic_tables(bench_config, bench_dataset, fitted_models) -> Dict[str, Table]:
+    """One synthetic table per fitted model, sized like the training split."""
+    n = bench_config.n_synthetic or bench_dataset.n_train
+    return {
+        display: model.sample(n, seed=derive_seed(bench_config.seed, "bench-sample", display))
+        for display, model in fitted_models.items()
+    }

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Privacy audit of surrogate models: DCR distributions and near-duplicates.
+
+The paper's headline reason to prefer TabDDPM over SMOTE is privacy: SMOTE's
+interpolated records sit almost on top of real training records (tiny
+Distance-to-Closest-Record), which would leak user activity if the synthetic
+trace were shared.  This example digs one level deeper than Table I's single
+DCR number:
+
+* the full DCR distribution (mean, median, 5th percentile) per model,
+* the fraction of synthetic rows whose nearest real record is closer than a
+  tight threshold ("near-duplicates"),
+* the fraction of exact duplicates.
+
+Run with:  python examples/privacy_audit.py
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, build_dataset
+from repro.experiments.table1 import build_model, _DISPLAY_NAMES
+from repro.metrics.privacy import duplicate_fraction, nearest_record_distances
+from repro.utils.rng import derive_seed
+
+
+def main() -> None:
+    config = ExperimentConfig.ci()
+    data = build_dataset(config)
+    n_synthetic = min(data.n_train, 2000)
+    print(f"auditing on {data.n_train} training rows, {n_synthetic} synthetic rows per model")
+    print()
+
+    header = f"{'model':<14} {'DCR mean':>10} {'DCR median':>11} {'DCR p05':>9} {'near-dup %':>11} {'exact-dup %':>12}"
+    print(header)
+    print("-" * len(header))
+
+    for name in ("smote", "tvae", "ctabgan+", "tabddpm"):
+        display = _DISPLAY_NAMES[name]
+        model = build_model(name, config)
+        model.fit(data.train)
+        synthetic = model.sample(n_synthetic, seed=derive_seed(config.seed, "privacy", name))
+
+        distances = nearest_record_distances(data.train, synthetic)
+        scale = np.sqrt(len(data.train.columns))
+        distances = distances / scale
+        near_dup = float(np.mean(distances < 0.01)) * 100.0
+        exact_dup = duplicate_fraction(data.train, synthetic) * 100.0
+        print(
+            f"{display:<14} {distances.mean():>10.4f} {np.median(distances):>11.4f} "
+            f"{np.percentile(distances, 5):>9.4f} {near_dup:>10.1f}% {exact_dup:>11.2f}%"
+        )
+
+    print()
+    print("Reading: SMOTE shows the smallest distances and the largest near-duplicate")
+    print("fraction — high fidelity, poor privacy.  TabDDPM keeps a healthy distance")
+    print("from the training data while (see Table I) matching its distribution.")
+
+
+if __name__ == "__main__":
+    main()

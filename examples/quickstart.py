@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: generate a synthetic PanDA trace, train a surrogate, evaluate it.
+
+This is the 2-minute tour of the library:
+
+1. generate a small synthetic ATLAS/PanDA job stream (the stand-in for the
+   paper's real 150-day trace) and run the Fig.-3(b) filtering pipeline,
+2. split it 80/20,
+3. fit the TabDDPM surrogate (the paper's recommended model) with a small
+   training budget,
+4. sample a synthetic table and print the five Table-I metrics.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import GeneratorConfig, PandaWorkloadGenerator, create_surrogate
+from repro.metrics import evaluate_surrogate_data, format_table
+from repro.models.tabddpm import TabDDPMConfig, TabDDPMSurrogate
+from repro.tabular import train_test_split
+
+
+def main() -> None:
+    # 1. Synthetic PanDA trace (raw records -> filter funnel -> 9-column table).
+    generator = PandaWorkloadGenerator(GeneratorConfig(n_jobs=8000, seed=11))
+    table = generator.generate_training_table()
+    print(f"filtered job table: {table.n_rows} rows x {table.n_columns} columns")
+    for row in table.profile():
+        print(f"  {row['name']:<18} {row['kind']:<12} unique={row['n_unique']}")
+
+    # 2. 80/20 split, as in the paper.
+    train, test = train_test_split(table, test_fraction=0.2, seed=11)
+    print(f"train={len(train)}  test={len(test)}")
+
+    # 3. Fit TabDDPM with a laptop-scale budget.
+    model = TabDDPMSurrogate(
+        TabDDPMConfig(n_timesteps=50, hidden_dims=(128,), epochs=15, batch_size=256),
+        seed=0,
+    )
+    model.fit(train)
+    print(f"trained {model.name}: {model._denoiser.n_parameters()} parameters")
+
+    # 4. Sample and evaluate.
+    synthetic = model.sample(len(train), seed=1)
+    score = evaluate_surrogate_data("TabDDPM", train, test, synthetic)
+    print()
+    print(format_table([score]))
+
+    # Baseline for comparison: SMOTE, the non-learning interpolator.
+    smote = create_surrogate("smote")
+    smote.fit(train)
+    smote_score = evaluate_surrogate_data("SMOTE", train, test, smote.sample(len(train), seed=2))
+    print()
+    print(format_table([score, smote_score]))
+    print()
+    print("Note how SMOTE's DCR (higher is better for privacy) is far lower: its")
+    print("samples interpolate directly between real records.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` keeps working on environments whose setuptools
+predates full PEP 660 editable-install support (and without the ``wheel``
+package available offline), via the legacy ``--no-use-pep517`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "AI Surrogate Model for Distributed Computing Workloads" (SC 2024).
+
+The package provides, end to end:
+
+* a synthetic PanDA/ATLAS workload substrate (:mod:`repro.panda`),
+* a mixed-type tabular data layer (:mod:`repro.tabular`),
+* a numpy neural-network framework (:mod:`repro.nn`),
+* the four generative surrogates of the paper plus extra baselines
+  (:mod:`repro.models`),
+* the five evaluation metric families of Table I (:mod:`repro.metrics`),
+* a gradient-boosting regressor used by the efficacy metric
+  (:mod:`repro.boosting`),
+* a discrete-event grid simulator demonstrating the downstream use of
+  synthetic workloads (:mod:`repro.scheduler`), and
+* the experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import PandaWorkloadGenerator, GeneratorConfig, create_surrogate
+>>> from repro.tabular import train_test_split
+>>> gen = PandaWorkloadGenerator(GeneratorConfig(n_jobs=5000, seed=1))
+>>> table = gen.generate_training_table()
+>>> train, test = train_test_split(table, 0.2, seed=1)
+>>> model = create_surrogate("smote")
+>>> synthetic = model.fit(train).sample(len(train), seed=2)
+"""
+
+from repro.panda import GeneratorConfig, PandaWorkloadGenerator, FilteringPipeline, PANDA_SCHEMA
+from repro.tabular import Table, TableSchema, train_test_split
+from repro.models import (
+    CTABGANPlusSurrogate,
+    GaussianCopulaSurrogate,
+    SMOTESurrogate,
+    Surrogate,
+    TVAESurrogate,
+    TabDDPMSurrogate,
+    available_surrogates,
+    create_surrogate,
+)
+from repro.metrics import SurrogateScore, evaluate_surrogate_data, format_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "PandaWorkloadGenerator",
+    "GeneratorConfig",
+    "FilteringPipeline",
+    "PANDA_SCHEMA",
+    "Table",
+    "TableSchema",
+    "train_test_split",
+    "Surrogate",
+    "SMOTESurrogate",
+    "GaussianCopulaSurrogate",
+    "TVAESurrogate",
+    "CTABGANPlusSurrogate",
+    "TabDDPMSurrogate",
+    "available_surrogates",
+    "create_surrogate",
+    "SurrogateScore",
+    "evaluate_surrogate_data",
+    "format_table",
+]

@@ -1,0 +1,41 @@
+"""Workload analysis extensions.
+
+The paper's conclusion lists follow-up directions that go beyond the four
+surrogate models; this sub-package implements the ones that can be built on
+the same substrate:
+
+* :mod:`~repro.analysis.temporal` — spectral analysis of the job-submission
+  time series (limitation 1: "whether or not there are periodic ups and downs
+  due to weekends has not been investigated"), with helpers to compare
+  real-vs-synthetic periodicity.
+* :mod:`~repro.analysis.anomaly` — diffusion-based anomaly scoring of job
+  records (limitation 2: diffusion models' higher error in data-scarce
+  regions "makes it a competent detector for anomalies").
+* :mod:`~repro.analysis.popularity` — dataset-popularity / reuse-factor
+  estimation from job streams (limitation 3: "predict dataset reuse factors
+  or identify popular datasets").
+"""
+
+from repro.analysis.temporal import (
+    TemporalProfile,
+    arrival_counts,
+    compare_temporal_profiles,
+    dominant_periods,
+    periodogram,
+    weekly_profile,
+)
+from repro.analysis.anomaly import DiffusionAnomalyDetector
+from repro.analysis.popularity import DatasetPopularity, dataset_popularity, reuse_factor_table
+
+__all__ = [
+    "TemporalProfile",
+    "arrival_counts",
+    "periodogram",
+    "dominant_periods",
+    "weekly_profile",
+    "compare_temporal_profiles",
+    "DiffusionAnomalyDetector",
+    "DatasetPopularity",
+    "dataset_popularity",
+    "reuse_factor_table",
+]

@@ -1,0 +1,29 @@
+"""Gradient-boosted decision trees (CatBoost substitute).
+
+The paper's machine-learning-efficacy metric (MLEF) trains a CatBoost
+regressor on real/synthetic data and evaluates it on held-out real data.
+CatBoost is not available offline, so this sub-package implements the pieces
+needed to play the same role:
+
+* :class:`~repro.boosting.target_encoding.OrderedTargetEncoder` — CatBoost's
+  ordered target statistics for categorical features (leakage-resistant
+  encoding on the training pass, full-statistics encoding at inference).
+* :class:`~repro.boosting.tree.RegressionTree` — histogram-based regression
+  tree on pre-binned features.
+* :class:`~repro.boosting.gbdt.GradientBoostingRegressor` — squared-error
+  gradient boosting over those trees, with shrinkage and row subsampling.
+* :class:`~repro.boosting.gbdt.TabularBoostingRegressor` — convenience
+  wrapper that consumes a mixed-type :class:`~repro.tabular.table.Table`
+  directly (numeric passthrough + target-encoded categoricals).
+"""
+
+from repro.boosting.target_encoding import OrderedTargetEncoder
+from repro.boosting.tree import RegressionTree
+from repro.boosting.gbdt import GradientBoostingRegressor, TabularBoostingRegressor
+
+__all__ = [
+    "OrderedTargetEncoder",
+    "RegressionTree",
+    "GradientBoostingRegressor",
+    "TabularBoostingRegressor",
+]

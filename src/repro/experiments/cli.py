@@ -1,0 +1,187 @@
+"""Command-line entry point: ``repro-experiments <experiment> [options]``.
+
+Regenerates any paper artefact from the terminal, e.g.::
+
+    repro-experiments table1 --preset ci
+    repro-experiments fig3 --raw-jobs 20000
+    repro-experiments fig2 --models tabddpm
+    repro-experiments ablations --which smote_k
+
+(Equivalently: ``python -m repro.experiments.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import build_dataset
+from repro.experiments.figures import (
+    fig1_data_volume,
+    fig2_scheduler_comparison,
+    fig3_dataset_profile,
+    fig4_distributions,
+    fig5_correlations,
+)
+from repro.experiments.table1 import run_table1
+from repro.utils.logging import set_verbosity
+
+EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "ablations")
+
+
+def _make_config(args: argparse.Namespace) -> ExperimentConfig:
+    presets = {
+        "ci": ExperimentConfig.ci,
+        "default": ExperimentConfig.default,
+        "paper": ExperimentConfig.paper_scale,
+    }
+    config = presets[args.preset]()
+    if args.raw_jobs is not None:
+        config = replace(config, n_raw_jobs=args.raw_jobs)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    if args.models:
+        config = config.with_models(args.models)
+    return config
+
+
+def _print_matrix(matrix: np.ndarray, labels: Sequence[str]) -> None:
+    width = max(len(str(l)) for l in labels) + 1
+    header = " " * width + " ".join(f"{l[:7]:>8}" for l in labels)
+    print(header)
+    for label, row in zip(labels, matrix):
+        cells = " ".join(f"{v:>8.3f}" for v in row)
+        print(f"{label:<{width}}{cells}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("experiment", choices=EXPERIMENTS, help="which paper artefact to regenerate")
+    parser.add_argument("--preset", choices=("ci", "default", "paper"), default="ci")
+    parser.add_argument("--raw-jobs", type=int, default=None, help="override the number of raw records")
+    parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
+    parser.add_argument("--models", nargs="+", default=None, help="subset of models to run")
+    parser.add_argument("--no-mlef", action="store_true", help="skip the costly efficacy metric")
+    parser.add_argument("--which", nargs="+", default=None, help="ablation sweeps to run")
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    set_verbosity(args.verbose)
+    config = _make_config(args)
+
+    if args.experiment == "table1":
+        result = run_table1(config, compute_mlef=not args.no_mlef, verbose=args.verbose)
+        if args.json:
+            payload = {
+                "scores": [s.as_dict() for s in result["scores"]],
+                "ranks": result["ranks"],
+                "timings": result["timings"],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(result["formatted"])
+            print()
+            for metric, order in result["ranks"].items():
+                print(f"{metric:>10}: {' > '.join(order)}")
+        return 0
+
+    if args.experiment == "fig1":
+        series = fig1_data_volume(config)
+        if args.json:
+            print(json.dumps({k: v.tolist() for k, v in series.items()}, indent=2))
+        else:
+            print("day    cumulative input volume (PB)")
+            for day, total in zip(series["day"], series["cumulative_bytes"] / 1e15):
+                print(f"{day:6.1f} {total:10.3f}")
+        return 0
+
+    if args.experiment == "fig2":
+        data = build_dataset(config)
+        result = fig2_scheduler_comparison(config, dataset=data)
+        rows = result["rows"]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            keys = list(rows[0].keys())
+            print(" ".join(f"{k:>16}" for k in keys))
+            for row in rows:
+                print(" ".join(f"{str(row[k]):>16}" for k in keys))
+        return 0
+
+    if args.experiment == "fig3":
+        result = fig3_dataset_profile(config)
+        if args.json:
+            print(json.dumps(result, indent=2, default=str))
+        else:
+            print("Fig. 3(a) feature profile")
+            for row in result["profile"]:
+                print(f"  {row['name']:<18} {row['kind']:<12} unique={row['n_unique']}")
+            print()
+            print("Fig. 3(b) filtering funnel")
+            for row in result["funnel"]:
+                print(f"  {row['stage']:<34} {row['rows']:>10,d}")
+            print(f"  train/test split: {result['train_rows']:,d} / {result['test_rows']:,d}")
+        return 0
+
+    if args.experiment == "fig4":
+        result = fig4_distributions(config)
+        if args.json:
+            print(json.dumps(result, indent=2, default=lambda o: o.tolist() if isinstance(o, np.ndarray) else str(o)))
+        else:
+            for column, per_model in result["categorical"].items():
+                print(f"Fig. 4(b) {column}: top categories (real vs synthetic frequency)")
+                for model, rows in per_model.items():
+                    cells = ", ".join(f"{r['category']}={r['real']:.2f}/{r['synthetic']:.2f}" for r in rows)
+                    print(f"  {model:<14} {cells}")
+            print("(numerical histogram series available via --json)")
+        return 0
+
+    if args.experiment == "fig5":
+        result = fig5_correlations(config)
+        if args.json:
+            payload = {
+                "columns": list(result["columns"]),
+                "ground_truth": result["ground_truth"].tolist(),
+                "models": {
+                    name: {
+                        "diff_corr": info["diff_corr"],
+                        "difference": info["difference"].tolist(),
+                    }
+                    for name, info in result["models"].items()
+                },
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print("Fig. 5(a) ground-truth association matrix")
+            _print_matrix(result["ground_truth"], list(result["columns"]))
+            print()
+            for name, info in result["models"].items():
+                print(f"Fig. 5(b) {name}: diff-CORR = {info['diff_corr']:.3f}")
+        return 0
+
+    if args.experiment == "ablations":
+        which = tuple(args.which) if args.which else ("diffusion_steps", "smote_k", "numerical_transform")
+        result = run_ablations(config, which=which)
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            for sweep, rows in result.items():
+                print(f"Ablation: {sweep}")
+                for row in rows:
+                    print("  " + ", ".join(f"{k}={v if isinstance(v, str) else round(float(v), 3)}" for k, v in row.items()))
+        return 0
+
+    parser.error(f"unhandled experiment {args.experiment!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Shared dataset construction for all experiments.
+
+Builds the synthetic PanDA trace once (raw records → Fig. 3(b) funnel →
+nine-column table → 80/20 split) and hands the pieces to every experiment so
+Table I, Fig. 3, Fig. 4 and Fig. 5 all describe the same data, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator
+from repro.panda.pipeline import FilteringPipeline, FilterReport
+from repro.tabular.splits import train_test_split
+from repro.tabular.table import Table
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class DatasetBundle:
+    """Everything downstream experiments need about the dataset."""
+
+    generator: PandaWorkloadGenerator
+    raw: Table
+    table: Table
+    train: Table
+    test: Table
+    filter_report: FilterReport
+
+    @property
+    def n_train(self) -> int:
+        return len(self.train)
+
+    @property
+    def n_test(self) -> int:
+        return len(self.test)
+
+
+def build_dataset(config: Optional[ExperimentConfig] = None) -> DatasetBundle:
+    """Generate, filter and split the synthetic PanDA trace."""
+    config = config or ExperimentConfig.ci()
+    generator = PandaWorkloadGenerator(
+        GeneratorConfig(n_jobs=config.n_raw_jobs, n_days=config.n_days, seed=config.seed)
+    )
+    raw = generator.generate_raw()
+    pipeline = FilteringPipeline(generator.sites)
+    table, report = pipeline.run(raw)
+    train, test = train_test_split(
+        table, config.test_fraction, seed=derive_seed(config.seed, "split")
+    )
+    return DatasetBundle(
+        generator=generator,
+        raw=raw,
+        table=table,
+        train=train,
+        test=test,
+        filter_report=report,
+    )

@@ -1,0 +1,150 @@
+"""Pairwise association metrics and the diff-CORR score (paper Fig. 5, Table I).
+
+Three association measures are combined into one square matrix over all
+columns, exactly as the paper describes:
+
+* numerical–numerical: absolute Pearson correlation,
+* categorical–numerical: correlation ratio (eta),
+* categorical–categorical: Theil's U (an asymmetric, entropy-based measure).
+
+The diff-CORR score is the mean element-wise L2 distance between the real and
+synthetic association matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tabular.schema import ColumnKind
+from repro.tabular.table import Table
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient (0.0 when either side is constant)."""
+    a = np.asarray(x, dtype=np.float64)
+    b = np.asarray(y, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("inputs must have the same shape")
+    if a.size < 2:
+        return 0.0
+    a_std = a.std()
+    b_std = b.std()
+    if a_std == 0 or b_std == 0:
+        return 0.0
+    return float(np.mean((a - a.mean()) * (b - b.mean())) / (a_std * b_std))
+
+
+def correlation_ratio(categories: np.ndarray, values: np.ndarray) -> float:
+    """Correlation ratio (eta) between a categorical and a numerical variable.
+
+    ``eta^2`` is the fraction of the numerical variance explained by the
+    category means; ``eta`` lies in [0, 1].
+    """
+    cats = np.asarray(categories).astype(str)
+    y = np.asarray(values, dtype=np.float64)
+    if cats.shape[0] != y.shape[0]:
+        raise ValueError("inputs must have the same length")
+    if y.size == 0:
+        return 0.0
+    total_var = y.var()
+    if total_var == 0:
+        return 0.0
+    uniques, inverse = np.unique(cats, return_inverse=True)
+    counts = np.bincount(inverse).astype(np.float64)
+    means = np.bincount(inverse, weights=y) / counts
+    between = np.sum(counts * (means - y.mean()) ** 2) / y.size
+    eta_sq = between / total_var
+    return float(np.sqrt(np.clip(eta_sq, 0.0, 1.0)))
+
+
+def _entropy(probabilities: np.ndarray) -> float:
+    p = probabilities[probabilities > 0]
+    return float(-(p * np.log(p)).sum())
+
+
+def theils_u(x: np.ndarray, y: np.ndarray) -> float:
+    """Theil's uncertainty coefficient U(x|y): how much knowing ``y`` tells about ``x``.
+
+    Asymmetric, in [0, 1]; 0 means independence, 1 means ``y`` fully determines ``x``.
+    """
+    a = np.asarray(x).astype(str)
+    b = np.asarray(y).astype(str)
+    if a.shape != b.shape:
+        raise ValueError("inputs must have the same shape")
+    if a.size == 0:
+        return 0.0
+    x_cats, x_codes = np.unique(a, return_inverse=True)
+    y_cats, y_codes = np.unique(b, return_inverse=True)
+    n = a.size
+    px = np.bincount(x_codes).astype(np.float64) / n
+    h_x = _entropy(px)
+    if h_x == 0:
+        return 1.0
+    # Joint distribution via a 2-D contingency table.
+    joint = np.zeros((x_cats.size, y_cats.size), dtype=np.float64)
+    np.add.at(joint, (x_codes, y_codes), 1.0)
+    joint /= n
+    py = joint.sum(axis=0)
+    # Conditional entropy H(X|Y) = -sum_xy p(x,y) log(p(x,y)/p(y)).
+    mask = joint > 0
+    cond = joint[mask] * np.log(joint[mask] / np.broadcast_to(py, joint.shape)[mask])
+    h_x_given_y = float(-cond.sum())
+    return float(np.clip((h_x - h_x_given_y) / h_x, 0.0, 1.0))
+
+
+def association_matrix(
+    table: Table, columns: Optional[Sequence[str]] = None
+) -> Tuple[np.ndarray, Sequence[str]]:
+    """Square association matrix over ``columns`` (defaults to all).
+
+    Entry ``(i, j)`` measures how much column ``j`` explains column ``i``:
+    absolute Pearson for numerical pairs, correlation ratio for mixed pairs
+    and Theil's U (rows conditioned on columns) for categorical pairs.  The
+    diagonal is 1.
+    """
+    cols = list(columns) if columns is not None else table.columns
+    k = len(cols)
+    matrix = np.eye(k)
+    kinds = {c: table.schema.kind_of(c) for c in cols}
+    for i, ci in enumerate(cols):
+        for j, cj in enumerate(cols):
+            if i == j:
+                continue
+            ki, kj = kinds[ci], kinds[cj]
+            if ki is ColumnKind.NUMERICAL and kj is ColumnKind.NUMERICAL:
+                value = abs(pearson_correlation(table[ci], table[cj]))
+            elif ki is ColumnKind.CATEGORICAL and kj is ColumnKind.CATEGORICAL:
+                value = theils_u(table[ci], table[cj])
+            elif ki is ColumnKind.CATEGORICAL:
+                value = correlation_ratio(table[ci], table[cj])
+            else:
+                value = correlation_ratio(table[cj], table[ci])
+            matrix[i, j] = value
+    return matrix, cols
+
+
+def diff_corr(real: Table, synthetic: Table, columns: Optional[Sequence[str]] = None) -> float:
+    """Mean element-wise L2 distance between real and synthetic association matrices."""
+    cols = list(columns) if columns is not None else real.columns
+    real_matrix, _ = association_matrix(real, cols)
+    synth_matrix, _ = association_matrix(synthetic, cols)
+    diff = real_matrix - synth_matrix
+    return float(np.sqrt(np.mean(diff ** 2)))
+
+
+def association_difference(
+    real: Table, synthetic: Table, columns: Optional[Sequence[str]] = None
+) -> Dict[str, object]:
+    """Full Fig.-5 payload: both matrices, their difference, and the score."""
+    cols = list(columns) if columns is not None else real.columns
+    real_matrix, _ = association_matrix(real, cols)
+    synth_matrix, _ = association_matrix(synthetic, cols)
+    return {
+        "columns": cols,
+        "real": real_matrix,
+        "synthetic": synth_matrix,
+        "difference": synth_matrix - real_matrix,
+        "diff_corr": float(np.sqrt(np.mean((real_matrix - synth_matrix) ** 2))),
+    }

@@ -1,0 +1,13 @@
+"""Gaussian mixture modelling.
+
+CTGAN-family models (including CTABGAN+) encode each numerical column with
+*mode-specific normalisation*: a Gaussian mixture is fitted per column, each
+value is assigned to a mixture component, and the value is expressed as a
+(component id, normalised offset within the component) pair.  This sub-package
+provides the EM Gaussian mixture used for that encoding, together with a
+k-means initialiser.
+"""
+
+from repro.mixture.gmm import GaussianMixture, kmeans_1d
+
+__all__ = ["GaussianMixture", "kmeans_1d"]

@@ -1,0 +1,58 @@
+"""Generative surrogate models for tabular job records.
+
+The paper compares four surrogates — TVAE, CTABGAN+, SMOTE and TabDDPM — on
+PanDA job records.  All of them (plus a Gaussian-copula extra baseline) are
+implemented here behind a single :class:`~repro.models.base.Surrogate`
+interface: ``fit(table)`` then ``sample(n)`` returns a new
+:class:`~repro.tabular.table.Table` with the original schema.
+
+Use :func:`create_surrogate` to instantiate a model by its paper name.
+"""
+
+from typing import Dict, List, Optional, Type
+
+from repro.models.base import Surrogate
+from repro.models.smote import SMOTESurrogate
+from repro.models.gaussian_copula import GaussianCopulaSurrogate
+from repro.models.tvae import TVAESurrogate
+from repro.models.ctabgan import CTABGANPlusSurrogate
+from repro.models.tabddpm import TabDDPMSurrogate
+
+#: Registry mapping canonical names (as used in the paper's Table I) to classes.
+SURROGATE_REGISTRY: Dict[str, Type[Surrogate]] = {
+    "tvae": TVAESurrogate,
+    "ctabgan+": CTABGANPlusSurrogate,
+    "ctabganplus": CTABGANPlusSurrogate,
+    "smote": SMOTESurrogate,
+    "tabddpm": TabDDPMSurrogate,
+    "copula": GaussianCopulaSurrogate,
+    "gaussian_copula": GaussianCopulaSurrogate,
+}
+
+
+def available_surrogates() -> List[str]:
+    """Canonical model names accepted by :func:`create_surrogate`."""
+    return ["tvae", "ctabgan+", "smote", "tabddpm", "copula"]
+
+
+def create_surrogate(name: str, **kwargs) -> Surrogate:
+    """Instantiate a surrogate model by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in SURROGATE_REGISTRY:
+        raise ValueError(
+            f"unknown surrogate {name!r}; available: {available_surrogates()}"
+        )
+    return SURROGATE_REGISTRY[key](**kwargs)
+
+
+__all__ = [
+    "Surrogate",
+    "SMOTESurrogate",
+    "GaussianCopulaSurrogate",
+    "TVAESurrogate",
+    "CTABGANPlusSurrogate",
+    "TabDDPMSurrogate",
+    "SURROGATE_REGISTRY",
+    "available_surrogates",
+    "create_surrogate",
+]

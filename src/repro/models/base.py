@@ -1,0 +1,80 @@
+"""The common surrogate-model interface.
+
+Every generative model in :mod:`repro.models` derives from
+:class:`Surrogate`: ``fit`` consumes a mixed-type
+:class:`~repro.tabular.table.Table`, ``sample`` returns a synthetic table with
+the same schema.  Persistence goes through :meth:`save`/:meth:`load` (pickle
+of the fitted object), which is sufficient for experiment pipelines that
+retrain from a seed anyway.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Optional, Type, TypeVar, Union
+
+from repro.tabular.schema import TableSchema
+from repro.tabular.table import Table
+from repro.utils.rng import SeedLike
+
+PathLike = Union[str, Path]
+S = TypeVar("S", bound="Surrogate")
+
+
+class Surrogate:
+    """Abstract base class of all tabular generative surrogates."""
+
+    #: Human-readable model name (matches the paper's Table I labels).
+    name: str = "surrogate"
+
+    def __init__(self) -> None:
+        self.schema_: Optional[TableSchema] = None
+        self.n_training_rows_: Optional[int] = None
+
+    # -- API -------------------------------------------------------------------
+    def fit(self, table: Table) -> "Surrogate":
+        """Fit the surrogate on a training table."""
+        raise NotImplementedError
+
+    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+        """Draw ``n`` synthetic records with the training schema."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------
+    def _mark_fitted(self, table: Table) -> None:
+        if len(table) == 0:
+            raise ValueError(f"{type(self).__name__} cannot be fitted on an empty table")
+        self.schema_ = table.schema
+        self.n_training_rows_ = len(table)
+
+    def _require_fitted(self) -> None:
+        if self.schema_ is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit() before sample()"
+            )
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.schema_ is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}({state})"
+
+    # -- persistence --------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Serialise the fitted surrogate to ``path`` (pickle)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as fh:
+            pickle.dump(self, fh)
+
+    @classmethod
+    def load(cls: Type[S], path: PathLike) -> S:
+        """Load a surrogate saved with :meth:`save`."""
+        with Path(path).open("rb") as fh:
+            obj = pickle.load(fh)
+        if not isinstance(obj, cls):
+            raise TypeError(f"{path} does not contain a {cls.__name__}")
+        return obj

@@ -1,0 +1,108 @@
+"""Gaussian copula surrogate (additional statistical baseline).
+
+Not one of the paper's four models, but a standard reference point in the
+tabular-synthesis literature (and the default model of the SDV library):
+marginals are mapped to standard normals (numerical columns through the
+Gaussian quantile transform, categorical columns through frequency-interval
+latents), a global correlation matrix is estimated in the latent space, and
+sampling draws from the fitted multivariate normal before inverting the
+marginal maps.
+
+It captures linear latent correlations but not multi-modal joint structure,
+so it typically lands between the GAN/VAE models and SMOTE/TabDDPM — a useful
+sanity check for the evaluation pipeline and an ablation point for the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy import special
+
+from repro.models.base import Surrogate
+from repro.tabular.encoding import LabelEncoder
+from repro.tabular.table import Table
+from repro.tabular.transforms import GaussianQuantileTransform
+from repro.utils.rng import SeedLike, as_rng
+
+
+class GaussianCopulaSurrogate(Surrogate):
+    """Multivariate-normal copula over per-column latent variables."""
+
+    name = "GaussianCopula"
+
+    def __init__(self, jitter: float = 1e-6) -> None:
+        super().__init__()
+        self.jitter = float(jitter)
+        self._numerical_transforms: Dict[str, GaussianQuantileTransform] = {}
+        self._label_encoders: Dict[str, LabelEncoder] = {}
+        self._category_cdfs: Dict[str, np.ndarray] = {}
+        self._correlation_: Optional[np.ndarray] = None
+        self._columns_: Optional[List[str]] = None
+
+    # -- latent maps ---------------------------------------------------------------
+    def _categorical_to_latent(
+        self, codes: np.ndarray, cdf: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Map category codes to normal latents via their frequency intervals.
+
+        Each category occupies an interval of the unit cube proportional to its
+        frequency; a uniform draw inside the interval followed by the probit
+        gives a continuous latent that round-trips back to the same category.
+        """
+        lows = np.concatenate([[0.0], cdf[:-1]])[codes]
+        highs = cdf[codes]
+        u = lows + rng.random(codes.shape[0]) * (highs - lows)
+        u = np.clip(u, 1e-9, 1.0 - 1e-9)
+        return special.ndtri(u)
+
+    def _latent_to_categorical(self, latent: np.ndarray, cdf: np.ndarray) -> np.ndarray:
+        u = special.ndtr(latent)
+        return np.searchsorted(cdf, u, side="left").clip(0, cdf.size - 1)
+
+    # -- fitting ---------------------------------------------------------------------
+    def fit(self, table: Table, *, seed: SeedLike = 0) -> "GaussianCopulaSurrogate":
+        self._mark_fitted(table)
+        rng = as_rng(seed)
+        latents: List[np.ndarray] = []
+        self._columns_ = table.columns
+        for col in table.schema:
+            if col.is_numerical:
+                tf = GaussianQuantileTransform(n_quantiles=1000)
+                latent = tf.fit_transform(table[col.name])
+                self._numerical_transforms[col.name] = tf
+            else:
+                enc = LabelEncoder()
+                codes = enc.fit_transform(table[col.name])
+                freqs = enc.counts_ / enc.counts_.sum()
+                cdf = np.cumsum(freqs)
+                self._label_encoders[col.name] = enc
+                self._category_cdfs[col.name] = cdf
+                latent = self._categorical_to_latent(codes, cdf, rng)
+            latents.append(latent)
+        matrix = np.column_stack(latents)
+        corr = np.corrcoef(matrix, rowvar=False)
+        corr = np.atleast_2d(corr)
+        # Regularise to keep the covariance positive definite.
+        corr = corr + self.jitter * np.eye(corr.shape[0])
+        self._correlation_ = corr
+        return self
+
+    # -- sampling --------------------------------------------------------------------
+    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+        self._require_fitted()
+        rng = as_rng(seed)
+        dim = len(self._columns_)
+        latent = rng.multivariate_normal(np.zeros(dim), self._correlation_, size=n, method="cholesky")
+        data: Dict[str, np.ndarray] = {}
+        for j, name in enumerate(self._columns_):
+            col_latent = latent[:, j]
+            if name in self._numerical_transforms:
+                data[name] = self._numerical_transforms[name].inverse_transform(col_latent)
+            else:
+                cdf = self._category_cdfs[name]
+                codes = self._latent_to_categorical(col_latent, cdf)
+                data[name] = self._label_encoders[name].inverse_transform(codes)
+        return Table(data, self.schema_)

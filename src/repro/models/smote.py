@@ -1,0 +1,104 @@
+"""SMOTE-style interpolation surrogate.
+
+SMOTE (Chawla et al., 2002) was designed for minority-class oversampling; the
+paper uses it as a strong non-learning baseline for full-table synthesis:
+a synthetic record is created by picking a random training record, finding
+its ``k`` nearest neighbours in a mixed-type metric space, choosing one of
+them and interpolating numerical features at a random fraction of the way
+between the two records.  Categorical features are copied from one of the two
+endpoints at random (weighted by the interpolation fraction), which preserves
+realistic category combinations.
+
+Because every synthetic record lies on a segment between two real records,
+SMOTE attains excellent per-feature and correlation fidelity but the worst
+privacy (lowest DCR) — exactly the trade-off the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.models.base import Surrogate
+from repro.tabular.mixed import MixedEncoder
+from repro.tabular.table import Table
+from repro.utils.rng import SeedLike, as_rng
+
+
+class SMOTESurrogate(Surrogate):
+    """Nearest-neighbour interpolation sampler over the full table.
+
+    Parameters
+    ----------
+    k_neighbors:
+        Number of nearest neighbours considered per seed record (the original
+        SMOTE uses 5).
+    categorical_weight:
+        Relative weight of a categorical mismatch in the neighbour metric;
+        1.0 makes one category flip comparable to a full-range numerical move.
+    """
+
+    name = "SMOTE"
+
+    def __init__(self, k_neighbors: int = 5, categorical_weight: float = 1.0) -> None:
+        super().__init__()
+        if k_neighbors < 1:
+            raise ValueError("k_neighbors must be at least 1")
+        self.k_neighbors = int(k_neighbors)
+        self.categorical_weight = float(categorical_weight)
+        self._encoder: Optional[MixedEncoder] = None
+        self._numerical: Optional[np.ndarray] = None
+        self._categorical_codes: Optional[np.ndarray] = None
+        self._neighbors: Optional[np.ndarray] = None
+
+    # -- fitting ------------------------------------------------------------------
+    def fit(self, table: Table) -> "SMOTESurrogate":
+        self._mark_fitted(table)
+        self._encoder = MixedEncoder()
+        self._encoder.fit(table)
+        num, cat = self._encoder.transform_codes(table)
+        self._numerical = num
+        self._categorical_codes = cat
+
+        # Nearest-neighbour search space: transformed numericals plus scaled
+        # one-hot categoricals (so mixed-type distances are balanced).
+        onehot = self._encoder.transform(table).values
+        cat_cols = self._encoder.blocks_ if self._encoder.blocks_ else []
+        search = [num]
+        for block in cat_cols:
+            if block.kind.value == "categorical":
+                search.append(onehot[:, block.slice] * self.categorical_weight / np.sqrt(2.0))
+        search_matrix = np.concatenate(search, axis=1)
+
+        k = min(self.k_neighbors + 1, len(table))
+        tree = cKDTree(search_matrix)
+        _, neighbor_idx = tree.query(search_matrix, k=k)
+        if neighbor_idx.ndim == 1:
+            neighbor_idx = neighbor_idx[:, None]
+        # Drop the self-match in the first column when present.
+        self._neighbors = neighbor_idx[:, 1:] if neighbor_idx.shape[1] > 1 else neighbor_idx
+        return self
+
+    # -- sampling -----------------------------------------------------------------
+    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+        self._require_fitted()
+        rng = as_rng(seed)
+        n_train = self._numerical.shape[0]
+
+        seeds = rng.integers(0, n_train, size=n)
+        neighbor_choice = rng.integers(0, self._neighbors.shape[1], size=n)
+        partners = self._neighbors[seeds, neighbor_choice]
+        gaps = rng.random((n, 1))
+
+        base_num = self._numerical[seeds]
+        partner_num = self._numerical[partners]
+        synthetic_num = base_num + gaps * (partner_num - base_num)
+
+        base_cat = self._categorical_codes[seeds]
+        partner_cat = self._categorical_codes[partners]
+        take_partner = rng.random(base_cat.shape) < gaps
+        synthetic_cat = np.where(take_partner, partner_cat, base_cat)
+
+        return self._encoder.inverse_transform_codes(synthetic_num, synthetic_cat)

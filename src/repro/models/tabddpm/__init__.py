@@ -1,0 +1,35 @@
+"""TabDDPM: denoising diffusion probabilistic model for tabular data.
+
+Kotelnikov et al. (2023) combine two diffusion processes — Gaussian diffusion
+for (quantile-transformed) numerical features and multinomial diffusion for
+one-hot categorical features — driven by a single MLP denoiser conditioned on
+the timestep.  The sub-modules map one-to-one onto those pieces:
+
+* :mod:`~repro.models.tabddpm.schedule` — beta schedules and derived
+  quantities shared by both processes,
+* :mod:`~repro.models.tabddpm.gaussian` — the continuous (epsilon-prediction)
+  diffusion,
+* :mod:`~repro.models.tabddpm.multinomial` — the categorical diffusion with
+  uniform transition kernels and its posterior,
+* :mod:`~repro.models.tabddpm.denoiser` — the timestep-conditioned MLP,
+* :mod:`~repro.models.tabddpm.model` — the :class:`TabDDPMSurrogate` facade
+  implementing the common :class:`~repro.models.base.Surrogate` API.
+"""
+
+from repro.models.tabddpm.schedule import DiffusionSchedule, cosine_beta_schedule, linear_beta_schedule
+from repro.models.tabddpm.gaussian import GaussianDiffusion
+from repro.models.tabddpm.multinomial import MultinomialDiffusion
+from repro.models.tabddpm.denoiser import MLPDenoiser, timestep_embedding
+from repro.models.tabddpm.model import TabDDPMConfig, TabDDPMSurrogate
+
+__all__ = [
+    "DiffusionSchedule",
+    "cosine_beta_schedule",
+    "linear_beta_schedule",
+    "GaussianDiffusion",
+    "MultinomialDiffusion",
+    "MLPDenoiser",
+    "timestep_embedding",
+    "TabDDPMConfig",
+    "TabDDPMSurrogate",
+]

@@ -1,0 +1,66 @@
+"""Timestep-conditioned MLP denoiser.
+
+TabDDPM uses a plain MLP whose input is the concatenation of the noisy
+feature vector and a sinusoidal embedding of the diffusion timestep.  The
+output is split by the caller into the epsilon prediction for the numerical
+block and the per-column x0 logits for the categorical blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import MLP, Module, Tensor
+from repro.utils.rng import SeedLike
+
+
+def timestep_embedding(t: np.ndarray, dim: int, max_period: float = 10_000.0) -> np.ndarray:
+    """Sinusoidal embedding of integer timesteps, shape ``(len(t), dim)``.
+
+    The same construction as transformer positional encodings; gives the MLP
+    a smooth, high-resolution representation of where it is along the chain.
+    """
+    if dim < 2:
+        raise ValueError("embedding dimension must be at least 2")
+    t = np.asarray(t, dtype=np.float64)
+    half = dim // 2
+    freqs = np.exp(-np.log(max_period) * np.arange(half) / max(half - 1, 1))
+    args = t[:, None] * freqs[None, :]
+    embedding = np.concatenate([np.sin(args), np.cos(args)], axis=1)
+    if embedding.shape[1] < dim:
+        embedding = np.concatenate([embedding, np.zeros((t.shape[0], dim - embedding.shape[1]))], axis=1)
+    return embedding
+
+
+class MLPDenoiser(Module):
+    """MLP denoiser taking ``[x_t, timestep_embedding]`` and emitting one output
+    value per encoded feature (epsilon for numerical dims, logits for one-hot
+    categorical dims)."""
+
+    def __init__(
+        self,
+        n_features: int,
+        hidden_dims: Sequence[int] = (256, 256),
+        time_embedding_dim: int = 64,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if n_features < 1:
+            raise ValueError("n_features must be at least 1")
+        self.n_features = int(n_features)
+        self.time_embedding_dim = int(time_embedding_dim)
+        self.net = MLP(
+            n_features + time_embedding_dim,
+            list(hidden_dims),
+            n_features,
+            activation="relu",
+            seed=seed,
+        )
+
+    def forward(self, x_t: Tensor, t: np.ndarray) -> Tensor:
+        emb = timestep_embedding(t, self.time_embedding_dim)
+        inputs = Tensor.concat([x_t, Tensor(emb)], axis=1)
+        return self.net(inputs)

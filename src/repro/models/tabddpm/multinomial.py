@@ -1,0 +1,116 @@
+"""Multinomial diffusion for one-hot categorical features.
+
+Hoogeboom et al. (2021) define a categorical forward process with uniform
+transition kernels: at step ``t`` a category keeps its value with probability
+``1 - beta_t`` and is resampled uniformly otherwise.  The closed-form
+marginal and posterior are both simple mixtures of the one-hot vector and the
+uniform distribution, which keeps every operation a dense numpy expression.
+
+TabDDPM trains the denoiser to predict the distribution of ``x_0`` from
+``x_t`` (via a cross-entropy loss, handled by the caller) and samples the
+reverse chain through the posterior evaluated at the predicted ``x_0``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.models.tabddpm.schedule import DiffusionSchedule
+
+
+class MultinomialDiffusion:
+    """Uniform-kernel categorical diffusion over ``n_categories`` classes."""
+
+    def __init__(self, n_categories: int, schedule: DiffusionSchedule):
+        if n_categories < 2:
+            raise ValueError("n_categories must be at least 2")
+        self.n_categories = int(n_categories)
+        self.schedule = schedule
+
+    @property
+    def n_steps(self) -> int:
+        return self.schedule.n_steps
+
+    # -- forward process -------------------------------------------------------------
+    def q_probs(self, x0_onehot: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Marginal ``q(x_t | x_0)`` as a probability matrix, shape ``(n, K)``."""
+        x0 = np.asarray(x0_onehot, dtype=np.float64)
+        t = np.asarray(t, dtype=np.int64)
+        keep = self.schedule.alphas_bar[t][:, None]
+        return keep * x0 + (1.0 - keep) / self.n_categories
+
+    def q_sample(self, x0_onehot: np.ndarray, t: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw one-hot ``x_t`` from the forward marginal."""
+        probs = self.q_probs(x0_onehot, t)
+        return self._sample_onehot(probs, rng)
+
+    # -- reverse process --------------------------------------------------------------
+    def posterior_probs(
+        self, x_t_onehot: np.ndarray, x0_probs: np.ndarray, t: np.ndarray
+    ) -> np.ndarray:
+        """``q(x_{t-1} | x_t, x_0)`` with ``x_0`` given as a probability vector.
+
+        Both factors of the (unnormalised) posterior are mixtures of a one-hot
+        vector and the uniform distribution:
+        ``q(x_{t-1}|x_t) ∝ alpha_t x_t + (1-alpha_t)/K`` and
+        ``q(x_{t-1}|x_0) ∝ alpha_bar_{t-1} x_0 + (1-alpha_bar_{t-1})/K``.
+        """
+        x_t = np.asarray(x_t_onehot, dtype=np.float64)
+        x0 = np.asarray(x0_probs, dtype=np.float64)
+        t = np.asarray(t, dtype=np.int64)
+        sched = self.schedule
+        alpha_t = sched.alphas[t][:, None]
+        alpha_bar_prev = sched.alphas_bar_prev[t][:, None]
+        factor_xt = alpha_t * x_t + (1.0 - alpha_t) / self.n_categories
+        factor_x0 = alpha_bar_prev * x0 + (1.0 - alpha_bar_prev) / self.n_categories
+        unnormalised = factor_xt * factor_x0
+        return unnormalised / np.maximum(unnormalised.sum(axis=1, keepdims=True), 1e-12)
+
+    def p_sample_step(
+        self,
+        x_t_onehot: np.ndarray,
+        t: int,
+        x0_probs: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One reverse step: sample ``x_{t-1}`` from the posterior at predicted x0."""
+        n = x_t_onehot.shape[0]
+        t_vector = np.full(n, t, dtype=np.int64)
+        if t == 0:
+            probs = np.asarray(x0_probs, dtype=np.float64)
+            probs = probs / np.maximum(probs.sum(axis=1, keepdims=True), 1e-12)
+        else:
+            probs = self.posterior_probs(x_t_onehot, x0_probs, t_vector)
+        return self._sample_onehot(probs, rng)
+
+    def sample(
+        self,
+        n: int,
+        x0_model: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Full reverse chain from the uniform distribution.
+
+        ``x0_model(x_t_onehot, t_vector)`` must return x0 probability vectors.
+        """
+        uniform = np.full((n, self.n_categories), 1.0 / self.n_categories)
+        x = self._sample_onehot(uniform, rng)
+        for t in reversed(range(self.n_steps)):
+            t_vector = np.full(n, t, dtype=np.int64)
+            x0_probs = x0_model(x, t_vector)
+            x = self.p_sample_step(x, t, x0_probs, rng)
+        return x
+
+    # -- helpers -------------------------------------------------------------------------
+    @staticmethod
+    def _sample_onehot(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorised categorical sampling returning one-hot rows."""
+        cumulative = np.cumsum(probs, axis=1)
+        cumulative /= np.maximum(cumulative[:, -1:], 1e-12)
+        draws = rng.random((probs.shape[0], 1))
+        chosen = (draws < cumulative).argmax(axis=1)
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(probs.shape[0]), chosen] = 1.0
+        return onehot

@@ -1,0 +1,62 @@
+"""Noise schedules shared by the Gaussian and multinomial diffusion processes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def linear_beta_schedule(n_steps: int, beta_start: float = 1e-4, beta_end: float = 0.02) -> np.ndarray:
+    """Linearly increasing betas (Ho et al., 2020)."""
+    if n_steps < 1:
+        raise ValueError("n_steps must be at least 1")
+    return np.linspace(beta_start, beta_end, n_steps)
+
+
+def cosine_beta_schedule(n_steps: int, s: float = 0.008, max_beta: float = 0.999) -> np.ndarray:
+    """Cosine schedule (Nichol & Dhariwal, 2021) — the TabDDPM default."""
+    if n_steps < 1:
+        raise ValueError("n_steps must be at least 1")
+    steps = np.arange(n_steps + 1, dtype=np.float64)
+    alphas_bar = np.cos(((steps / n_steps) + s) / (1.0 + s) * np.pi / 2.0) ** 2
+    alphas_bar /= alphas_bar[0]
+    betas = 1.0 - alphas_bar[1:] / alphas_bar[:-1]
+    return np.clip(betas, 0.0, max_beta)
+
+
+@dataclass
+class DiffusionSchedule:
+    """Pre-computed per-timestep quantities used by both diffusion processes."""
+
+    betas: np.ndarray
+
+    def __post_init__(self) -> None:
+        betas = np.asarray(self.betas, dtype=np.float64)
+        if betas.ndim != 1 or betas.size < 1:
+            raise ValueError("betas must be a non-empty 1-D array")
+        if (betas <= 0).any() or (betas >= 1).any():
+            raise ValueError("betas must lie strictly inside (0, 1)")
+        self.betas = betas
+        self.alphas = 1.0 - betas
+        self.alphas_bar = np.cumprod(self.alphas)
+        self.alphas_bar_prev = np.concatenate([[1.0], self.alphas_bar[:-1]])
+        self.sqrt_alphas_bar = np.sqrt(self.alphas_bar)
+        self.sqrt_one_minus_alphas_bar = np.sqrt(1.0 - self.alphas_bar)
+        # Posterior q(x_{t-1} | x_t, x_0) variance for the Gaussian process.
+        self.posterior_variance = (
+            betas * (1.0 - self.alphas_bar_prev) / (1.0 - self.alphas_bar)
+        )
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.betas.size)
+
+    @classmethod
+    def cosine(cls, n_steps: int) -> "DiffusionSchedule":
+        return cls(cosine_beta_schedule(n_steps))
+
+    @classmethod
+    def linear(cls, n_steps: int) -> "DiffusionSchedule":
+        return cls(linear_beta_schedule(n_steps))

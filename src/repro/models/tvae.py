@@ -1,0 +1,191 @@
+"""TVAE: variational autoencoder for mixed-type tabular data.
+
+Follows Xu et al. (2019): rows are encoded with the Gaussian quantile
+transform (numerical columns) plus one-hot blocks (categorical columns), an
+MLP encoder produces the posterior mean/log-variance of a Gaussian latent,
+and an MLP decoder reconstructs the row.  The loss is the evidence lower
+bound: a Gaussian reconstruction term for numerical features, a categorical
+cross-entropy per one-hot block, and the KL divergence between the posterior
+and the standard-normal prior.
+
+Sampling draws latents from the prior and decodes; categorical blocks are
+sampled from the decoder's softmax so the synthetic data keeps category
+diversity instead of collapsing to the arg-max category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.models.base import Surrogate
+from repro.nn import (
+    Adam,
+    CosineSchedule,
+    MLP,
+    Tensor,
+    clip_grad_norm,
+    cross_entropy_logits,
+    gaussian_kl,
+    mse_loss,
+    no_grad,
+)
+from repro.tabular.mixed import MixedEncoder
+from repro.tabular.table import Table
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, as_rng, derive_seed
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class TVAEConfig:
+    """Hyper-parameters of the TVAE surrogate.
+
+    ``epochs`` counts passes over the training set; the paper trains for
+    30 000 steps at lr 2e-4 with cosine decay — the same optimiser setup is
+    used here with a CPU-sized default epoch count.
+    """
+
+    latent_dim: int = 32
+    hidden_dims: tuple = (128, 128)
+    epochs: int = 30
+    batch_size: int = 256
+    learning_rate: float = 2e-4
+    kl_weight: float = 1.0
+    grad_clip: float = 5.0
+
+    @classmethod
+    def fast(cls) -> "TVAEConfig":
+        """A configuration small enough for unit tests."""
+        return cls(latent_dim=8, hidden_dims=(32,), epochs=3, batch_size=128)
+
+
+class TVAESurrogate(Surrogate):
+    """Tabular variational autoencoder."""
+
+    name = "TVAE"
+
+    def __init__(
+        self,
+        config: Optional[TVAEConfig] = None,
+        *,
+        seed: SeedLike = 0,
+        numerical_transform_factory=None,
+    ) -> None:
+        super().__init__()
+        self.config = config or TVAEConfig()
+        self._seed = seed
+        self._numerical_transform_factory = numerical_transform_factory
+        self._encoder_data: Optional[MixedEncoder] = None
+        self._encoder_net: Optional[MLP] = None
+        self._decoder_net: Optional[MLP] = None
+        self.loss_history_: Optional[List[float]] = None
+
+    # -- model pieces -------------------------------------------------------------
+    def _build(self, n_features: int) -> None:
+        cfg = self.config
+        net_seed = derive_seed(self._seed if isinstance(self._seed, int) else None, "tvae")
+        self._encoder_net = MLP(
+            n_features, list(cfg.hidden_dims), 2 * cfg.latent_dim, activation="relu", seed=net_seed
+        )
+        self._decoder_net = MLP(
+            cfg.latent_dim, list(cfg.hidden_dims), n_features, activation="relu", seed=net_seed + 1
+        )
+
+    def _reconstruction_loss(self, decoded: Tensor, batch: np.ndarray) -> Tensor:
+        """Mixed reconstruction loss: MSE on numerical dims, CE per categorical block."""
+        encoded = self._encoder_data
+        num_idx = self._numerical_indices
+        loss = Tensor(0.0)
+        if num_idx.size:
+            loss = loss + mse_loss(decoded[:, num_idx], batch[:, num_idx]) * float(num_idx.size)
+        for block in encoded.blocks_:
+            if block.kind.value != "categorical":
+                continue
+            logits = decoded[:, block.start : block.stop]
+            target = batch[:, block.start : block.stop]
+            loss = loss + cross_entropy_logits(logits, target)
+        return loss
+
+    # -- fitting -------------------------------------------------------------------
+    def fit(self, table: Table) -> "TVAESurrogate":
+        self._mark_fitted(table)
+        cfg = self.config
+        rng = as_rng(derive_seed(self._seed if isinstance(self._seed, int) else None, "fit"))
+
+        self._encoder_data = MixedEncoder(
+            numerical_transform_factory=self._numerical_transform_factory
+        )
+        encoded = self._encoder_data.fit_transform(table)
+        X = encoded.values
+        self._numerical_indices = encoded.numerical_indices
+        self._build(X.shape[1])
+
+        params = self._encoder_net.parameters() + self._decoder_net.parameters()
+        optimizer = Adam(params, lr=cfg.learning_rate)
+        n_batches_per_epoch = max(1, X.shape[0] // cfg.batch_size)
+        schedule = CosineSchedule(optimizer, total_steps=cfg.epochs * n_batches_per_epoch)
+
+        losses: List[float] = []
+        for epoch in range(cfg.epochs):
+            permutation = rng.permutation(X.shape[0])
+            epoch_loss = 0.0
+            for b in range(n_batches_per_epoch):
+                idx = permutation[b * cfg.batch_size : (b + 1) * cfg.batch_size]
+                if idx.size < 2:
+                    continue
+                batch = X[idx]
+                batch_t = Tensor(batch)
+
+                stats = self._encoder_net(batch_t)
+                mu = stats[:, : cfg.latent_dim]
+                logvar = stats[:, cfg.latent_dim :].clip(-8.0, 8.0)
+                noise = Tensor(rng.standard_normal((idx.size, cfg.latent_dim)))
+                z = mu + (logvar * 0.5).exp() * noise
+                decoded = self._decoder_net(z)
+
+                recon = self._reconstruction_loss(decoded, batch)
+                kl = gaussian_kl(mu, logvar)
+                loss = recon + cfg.kl_weight * kl
+
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(params, cfg.grad_clip)
+                optimizer.step()
+                schedule.step()
+                epoch_loss += loss.item()
+            losses.append(epoch_loss / n_batches_per_epoch)
+            logger.info("TVAE epoch %d/%d loss=%.4f", epoch + 1, cfg.epochs, losses[-1])
+        self.loss_history_ = losses
+        return self
+
+    # -- sampling --------------------------------------------------------------------
+    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+        self._require_fitted()
+        cfg = self.config
+        rng = as_rng(seed)
+        self._decoder_net.eval()
+        with no_grad():
+            z = Tensor(rng.standard_normal((n, cfg.latent_dim)))
+            decoded = self._decoder_net(z).numpy()
+        self._decoder_net.train()
+
+        output = decoded.copy()
+        for block in self._encoder_data.blocks_:
+            if block.kind.value != "categorical":
+                continue
+            logits = decoded[:, block.start : block.stop]
+            logits = logits - logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            # Sample a category per row from the decoder distribution.
+            cumulative = np.cumsum(probs, axis=1)
+            draws = rng.random((n, 1))
+            chosen = (draws < cumulative).argmax(axis=1)
+            onehot = np.zeros_like(probs)
+            onehot[np.arange(n), chosen] = 1.0
+            output[:, block.start : block.stop] = onehot
+        return self._encoder_data.inverse_transform(output)

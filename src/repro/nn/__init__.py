@@ -1,0 +1,66 @@
+"""Minimal neural-network framework on numpy.
+
+The paper's neural surrogates (TVAE, CTABGAN+, TabDDPM) are implemented in
+PyTorch by the authors.  This sub-package provides the pieces those models
+actually need — a reverse-mode autodiff :class:`~repro.nn.tensor.Tensor`,
+dense layers, the usual activations, dropout and layer normalisation, mixed
+reconstruction losses, and Adam/SGD with a cosine learning-rate schedule — as
+a self-contained, CPU-only, vectorised numpy implementation.
+
+It is deliberately small: only the operations required by the surrogate
+models are implemented, each with an analytically derived backward pass that
+is validated against finite differences in the test suite.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MLP,
+    ReLU,
+    Residual,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import (
+    bce_with_logits,
+    cross_entropy_logits,
+    gaussian_kl,
+    gaussian_nll,
+    mse_loss,
+)
+from repro.nn.optim import SGD, Adam, CosineSchedule, clip_grad_norm
+from repro.nn import init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Sequential",
+    "MLP",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "LayerNorm",
+    "Embedding",
+    "Residual",
+    "mse_loss",
+    "bce_with_logits",
+    "cross_entropy_logits",
+    "gaussian_kl",
+    "gaussian_nll",
+    "SGD",
+    "Adam",
+    "CosineSchedule",
+    "clip_grad_norm",
+    "init",
+]

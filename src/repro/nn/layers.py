@@ -1,0 +1,192 @@
+"""Neural layers: Linear, activations, Dropout, LayerNorm, Embedding, MLP.
+
+Only the layers the tabular surrogates use are provided.  Every layer stores
+its parameters as :class:`~repro.nn.module.Parameter` tensors and composes
+through :class:`Sequential`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, *, bias: bool = True, seed: SeedLike = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = as_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform(in_features, out_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.2):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, *, seed: SeedLike = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = as_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_shape))
+        self.beta = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = ((x - mu) ** 2).mean(axis=-1, keepdims=True)
+        normed = (x - mu) / ((var + self.eps) ** 0.5)
+        return normed * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, *, seed: SeedLike = None):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("num_embeddings and embedding_dim must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=0.05, rng=seed))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise ValueError("embedding indices out of range")
+        return self.weight[idx]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.layers[i]
+
+
+class Residual(Module):
+    """Residual wrapper ``y = x + f(x)`` (dimensions must match)."""
+
+    def __init__(self, inner: Module):
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x + self.inner(x)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation and dropout.
+
+    This is the backbone used by TVAE's encoder/decoder, the CTABGAN+
+    generator/discriminator, and TabDDPM's denoiser.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        *,
+        activation: str = "relu",
+        dropout: float = 0.0,
+        layer_norm: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = as_rng(seed)
+        acts = {
+            "relu": ReLU,
+            "leaky_relu": LeakyReLU,
+            "tanh": Tanh,
+            "sigmoid": Sigmoid,
+        }
+        if activation not in acts:
+            raise ValueError(f"unknown activation {activation!r}; options: {sorted(acts)}")
+        layers: List[Module] = []
+        prev = in_features
+        for width in hidden:
+            layers.append(Linear(prev, width, seed=rng))
+            if layer_norm:
+                layers.append(LayerNorm(width))
+            layers.append(acts[activation]())
+            if dropout > 0:
+                layers.append(Dropout(dropout, seed=rng))
+            prev = width
+        layers.append(Linear(prev, out_features, seed=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,143 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains every neural surrogate with a learning rate of 2e-4 decayed
+by a cosine schedule; :class:`Adam` + :class:`CosineSchedule` reproduce that
+setup.  A plain :class:`SGD` (with optional momentum) is included for tests
+and ablations, along with global-norm gradient clipping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                self._velocity[i] = self.momentum * self._velocity[i] + p.grad
+                update = self._velocity[i]
+            else:
+                update = p.grad
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015) with optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 2e-4,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self._m[i] is None:
+                self._m[i] = np.zeros_like(p.data)
+                self._v[i] = np.zeros_like(p.data)
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            if self.weight_decay > 0:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class CosineSchedule:
+    """Cosine learning-rate decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.min_lr = float(min_lr)
+        self.total_steps = int(total_steps)
+        self.current_step = 0
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate at a given step (clamped to the schedule length)."""
+        step = min(max(step, 0), self.total_steps)
+        cos = 0.5 * (1.0 + math.cos(math.pi * step / self.total_steps))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate; returns it."""
+        self.current_step += 1
+        lr = self.lr_at(self.current_step)
+        self.optimizer.lr = lr
+        return lr
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging training stability).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = math.sqrt(sum(float(np.sum(p.grad ** 2)) for p in params))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,126 @@
+"""Filtering and feature-derivation pipeline (paper Fig. 3b).
+
+The raw PanDA stream is reduced to the nine-column training table in four
+stages, each reported in a :class:`FilterReport` so the Fig. 3(b) funnel can
+be regenerated:
+
+1. keep only user-analysis jobs,
+2. keep only jobs whose input dataset is a DAOD flavour,
+3. keep only jobs in a final status (finished / failed / cancelled / closed),
+4. parse the dataset name into project / prodstep / datatype and derive the
+   HS23-weighted ``workload`` feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.panda.daod import is_daod, parse_dataset_name
+from repro.panda.records import JOB_STATUSES, PANDA_SCHEMA
+from repro.panda.sites import SiteCatalog
+from repro.panda.workload import hs23_workload
+from repro.tabular.table import Table
+
+
+@dataclass
+class FilterStage:
+    """One stage of the funnel: its name and the row count after it ran."""
+
+    name: str
+    rows_after: int
+    rows_removed: int
+
+
+@dataclass
+class FilterReport:
+    """Row counts through the funnel, mirroring the paper's Fig. 3(b)."""
+
+    gross_records: int
+    stages: List[FilterStage] = field(default_factory=list)
+
+    def add(self, name: str, rows_before: int, rows_after: int) -> None:
+        self.stages.append(FilterStage(name, rows_after, rows_before - rows_after))
+
+    @property
+    def final_records(self) -> int:
+        return self.stages[-1].rows_after if self.stages else self.gross_records
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Funnel as a list of dicts (for printing/benchmarks)."""
+        rows: List[Dict[str, object]] = [
+            {"stage": "gross PanDA records", "rows": self.gross_records, "removed": 0}
+        ]
+        for stage in self.stages:
+            rows.append({"stage": stage.name, "rows": stage.rows_after, "removed": stage.rows_removed})
+        return rows
+
+    def format(self) -> str:
+        lines = ["Filtering funnel (Fig. 3b)"]
+        for row in self.as_rows():
+            lines.append(f"  {row['stage']:<34} {row['rows']:>10,d}   (-{row['removed']:,d})")
+        return "\n".join(lines)
+
+
+class FilteringPipeline:
+    """Reduce raw records to the nine-feature training table."""
+
+    def __init__(self, sites: SiteCatalog):
+        self.sites = sites
+
+    def run(self, raw: Table) -> Tuple[Table, FilterReport]:
+        """Apply all stages; returns the final table and the funnel report."""
+        report = FilterReport(gross_records=len(raw))
+
+        # Stage 1: user-analysis jobs only.
+        analysis = raw.mask(np.asarray(raw["tasktype"]) == "analysis")
+        report.add("user analysis jobs", len(raw), len(analysis))
+
+        # Stage 2: DAOD input datasets only.
+        datatypes = np.array(
+            [parse_dataset_name(name)["datatype"] for name in analysis["inputdatasetname"]]
+        )
+        daod_mask = np.char.startswith(datatypes.astype(str), "DAOD")
+        daod = analysis.mask(daod_mask)
+        report.add("DAOD input datasets", len(analysis), len(daod))
+
+        # Stage 3: final job statuses only.
+        final_mask = np.isin(np.asarray(daod["jobstatus"]), np.asarray(JOB_STATUSES))
+        final = daod.mask(final_mask)
+        report.add("final job status", len(daod), len(final))
+
+        # Stage 4: parse nomenclature and derive workload.
+        table = self.derive_features(final)
+        report.add("feature derivation", len(final), len(table))
+        return table, report
+
+    def derive_features(self, records: Table) -> Table:
+        """Parse dataset names and compute the workload feature."""
+        names = records["inputdatasetname"]
+        parsed = [parse_dataset_name(name) for name in names]
+        project = np.array([p["project"] for p in parsed], dtype=object).astype(str)
+        prodstep = np.array([p["prodstep"] for p in parsed], dtype=object).astype(str)
+        datatype = np.array([p["datatype"] for p in parsed], dtype=object).astype(str)
+
+        hs23 = self.sites.hs23_of(records["computingsite"])
+        workload = hs23_workload(records["corecount"], records["cputime_hours"], hs23)
+
+        data = {
+            "workload": workload,
+            "creationtime": records["creationtime"],
+            "ninputdatafiles": records["ninputdatafiles"],
+            "inputfilebytes": records["inputfilebytes"],
+            "jobstatus": records["jobstatus"],
+            "computingsite": records["computingsite"],
+            "project": project,
+            "prodstep": prodstep,
+            "datatype": datatype,
+        }
+        return Table(data, PANDA_SCHEMA)
+
+
+def dataset_profile(table: Table) -> List[Dict[str, object]]:
+    """Feature profile of the filtered table — the paper's Fig. 3(a)."""
+    return table.profile()

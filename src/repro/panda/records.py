@@ -1,0 +1,66 @@
+"""Schemas of raw and filtered PanDA job records.
+
+The paper's final training table (Fig. 3a) has nine columns: four numerical
+(``creationtime`` in days since the start of the observation window,
+``ninputdatafiles``, ``inputfilebytes``, ``workload``) and five categorical
+(``jobstatus``, ``computingsite``, ``project``, ``prodstep``, ``datatype``).
+
+Raw PanDA records carry far more columns; the raw schema here keeps the
+subset needed to exercise the paper's filtering funnel (Fig. 3b): the task
+type (user analysis vs. centralised production), the full dataset name (from
+which project / prodstep / datatype are parsed), the per-job core count and
+CPU time (from which ``workload`` is derived) and the raw job status.
+"""
+
+from __future__ import annotations
+
+from repro.tabular.schema import TableSchema
+
+#: Final job statuses kept after filtering (paper: jobstatus has 4 unique values).
+JOB_STATUSES = ("finished", "failed", "cancelled", "closed")
+
+#: Transient statuses present in raw records but removed by the pipeline.
+TRANSIENT_STATUSES = ("running", "pending", "transferring")
+
+#: Numerical features of the training table, in schema order.
+NUMERICAL_FEATURES = (
+    "workload",
+    "creationtime",
+    "ninputdatafiles",
+    "inputfilebytes",
+)
+
+#: Categorical features of the training table, in schema order.
+CATEGORICAL_FEATURES = (
+    "jobstatus",
+    "computingsite",
+    "project",
+    "prodstep",
+    "datatype",
+)
+
+#: Schema of the filtered nine-column training table (paper Fig. 3a).
+PANDA_SCHEMA = TableSchema.from_columns(
+    numerical=list(NUMERICAL_FEATURES),
+    categorical=list(CATEGORICAL_FEATURES),
+)
+
+#: Schema of raw (pre-filtering) records produced by the generator.
+RAW_SCHEMA = TableSchema.from_columns(
+    numerical=[
+        "creationtime",
+        "ninputdatafiles",
+        "inputfilebytes",
+        "corecount",
+        "cputime_hours",
+    ],
+    categorical=[
+        "tasktype",
+        "jobstatus",
+        "computingsite",
+        "inputdatasetname",
+    ],
+)
+
+#: Task types present in raw records; only user analysis is kept.
+TASK_TYPES = ("analysis", "production")

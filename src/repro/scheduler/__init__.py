@@ -1,0 +1,43 @@
+"""Discrete-event distributed-computing simulator.
+
+The paper motivates synthetic workloads as inputs for optimising job
+allocation and data placement on the ATLAS grid ("provide more realistic
+workload inputs to calibrate large-scale event-based simulations").  This
+sub-package provides that downstream consumer: a discrete-event simulation of
+a multi-site grid in which jobs (real or surrogate-generated) are brokered to
+computing sites, queue for slots, execute for a duration derived from their
+workload and the site's HS23 power, and release their slots.
+
+The simulator lets the examples and benchmarks quantify surrogate fidelity at
+the *system* level — e.g. how close site utilisations and wait times are when
+the simulator is driven by TabDDPM samples instead of the held-out real
+trace (Fig. 2's setting).
+"""
+
+from repro.scheduler.events import Event, EventQueue
+from repro.scheduler.cluster import SiteState, GridCluster
+from repro.scheduler.jobs import SimulatedJob, jobs_from_table
+from repro.scheduler.broker import (
+    Broker,
+    DataLocalityBroker,
+    LeastLoadedBroker,
+    RandomBroker,
+    make_broker,
+)
+from repro.scheduler.simulator import GridSimulator, SimulationResult
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SiteState",
+    "GridCluster",
+    "SimulatedJob",
+    "jobs_from_table",
+    "Broker",
+    "RandomBroker",
+    "LeastLoadedBroker",
+    "DataLocalityBroker",
+    "make_broker",
+    "GridSimulator",
+    "SimulationResult",
+]

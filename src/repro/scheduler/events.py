@@ -1,0 +1,58 @@
+"""Event primitives for the discrete-event grid simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, List, Optional, Tuple
+
+
+class EventType(str, Enum):
+    """Kinds of events processed by the simulator."""
+
+    JOB_ARRIVAL = "job_arrival"
+    JOB_START = "job_start"
+    JOB_FINISH = "job_finish"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(order=False)
+class Event:
+    """A timestamped simulator event.
+
+    Ordering is by time, then by a monotonically increasing sequence number so
+    simultaneous events are processed in insertion order (deterministic runs).
+    """
+
+    time: float
+    kind: EventType
+    payload: Any = None
+
+
+class EventQueue:
+    """A stable priority queue of events keyed by time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,81 @@
+"""Job representation for the grid simulator and conversion from tables.
+
+A :class:`SimulatedJob` carries exactly the information the simulator needs:
+arrival time, requested cores, HS23-weighted workload (which, divided by the
+executing site's per-core HS23 score and the core count, gives the running
+time) and the data-placement hints (project / datatype) used by the
+data-locality broker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.tabular.table import Table
+
+
+@dataclass
+class SimulatedJob:
+    """One job to be scheduled by the grid simulator."""
+
+    job_id: int
+    arrival_time: float
+    cores: int
+    workload: float
+    project: str = ""
+    datatype: str = ""
+    input_bytes: float = 0.0
+
+    def runtime_at(self, hs23_per_core: float) -> float:
+        """Running time (hours) when executed at a site with the given HS23/core."""
+        if hs23_per_core <= 0:
+            raise ValueError("hs23_per_core must be positive")
+        effective = max(self.workload, 1e-9)
+        return effective / (self.cores * hs23_per_core)
+
+
+def jobs_from_table(
+    table: Table,
+    *,
+    time_column: str = "creationtime",
+    workload_column: str = "workload",
+    default_cores: int = 1,
+    cores: Optional[np.ndarray] = None,
+) -> List[SimulatedJob]:
+    """Convert a (real or synthetic) job table into simulator jobs.
+
+    The nine-column surrogate table does not carry the core count (it is folded
+    into the workload), so a constant ``default_cores`` (or an explicit
+    ``cores`` array) is used for the slot footprint.
+    """
+    times = np.asarray(table[time_column], dtype=np.float64)
+    workloads = np.asarray(table[workload_column], dtype=np.float64)
+    projects = table["project"] if "project" in table else np.full(len(table), "", dtype=object)
+    datatypes = table["datatype"] if "datatype" in table else np.full(len(table), "", dtype=object)
+    sizes = (
+        np.asarray(table["inputfilebytes"], dtype=np.float64)
+        if "inputfilebytes" in table
+        else np.zeros(len(table))
+    )
+    core_counts = (
+        np.asarray(cores, dtype=np.int64)
+        if cores is not None
+        else np.full(len(table), int(default_cores), dtype=np.int64)
+    )
+    order = np.argsort(times, kind="stable")
+    jobs = [
+        SimulatedJob(
+            job_id=int(i),
+            arrival_time=float(times[idx]),
+            cores=int(max(1, core_counts[idx])),
+            workload=float(max(workloads[idx], 0.0)),
+            project=str(projects[idx]),
+            datatype=str(datatypes[idx]),
+            input_bytes=float(sizes[idx]),
+        )
+        for i, idx in enumerate(order)
+    ]
+    return jobs

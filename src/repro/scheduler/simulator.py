@@ -1,0 +1,159 @@
+"""The discrete-event grid simulator.
+
+Jobs arrive at their creation time, are brokered to a site with free slots
+(or wait in a FIFO backlog), run for ``workload / (cores × HS23_per_core)``
+hours and release their slots.  The simulation is deterministic given the job
+list, the cluster and the broker, so real-vs-synthetic comparisons isolate
+the effect of the workload itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.scheduler.broker import Broker, LeastLoadedBroker
+from repro.scheduler.cluster import GridCluster
+from repro.scheduler.events import Event, EventQueue, EventType
+from repro.scheduler.jobs import SimulatedJob
+
+#: creationtime is measured in days while runtimes are hours.
+_HOURS_PER_DAY = 24.0
+
+
+@dataclass
+class SimulationResult:
+    """Summary statistics of one simulation run."""
+
+    broker: str
+    n_jobs: int
+    n_completed: int
+    makespan_days: float
+    mean_wait_hours: float
+    p95_wait_hours: float
+    mean_runtime_hours: float
+    utilization_by_site: Dict[str, float]
+    wait_times_hours: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+
+    @property
+    def mean_utilization(self) -> float:
+        values = list(self.utilization_by_site.values())
+        return float(np.mean(values)) if values else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "broker": self.broker,
+            "jobs": self.n_jobs,
+            "completed": self.n_completed,
+            "makespan_days": round(self.makespan_days, 3),
+            "mean_wait_h": round(self.mean_wait_hours, 3),
+            "p95_wait_h": round(self.p95_wait_hours, 3),
+            "mean_runtime_h": round(self.mean_runtime_hours, 3),
+            "mean_utilization": round(self.mean_utilization, 4),
+        }
+
+
+class GridSimulator:
+    """Event-driven simulation of job execution on a multi-site grid."""
+
+    def __init__(self, cluster: GridCluster, broker: Optional[Broker] = None) -> None:
+        self.cluster = cluster
+        self.broker = broker or LeastLoadedBroker()
+
+    def run(self, jobs: Sequence[SimulatedJob], *, max_backlog: Optional[int] = None) -> SimulationResult:
+        """Simulate the execution of ``jobs`` and return summary statistics."""
+        jobs = list(jobs)
+        queue = EventQueue()
+        for job in jobs:
+            queue.push(Event(job.arrival_time, EventType.JOB_ARRIVAL, job))
+
+        backlog: List[SimulatedJob] = []
+        start_times: Dict[int, float] = {}
+        finish_times: Dict[int, float] = {}
+        runtimes: Dict[int, float] = {}
+        site_of_job: Dict[int, str] = {}
+        now = 0.0
+
+        def try_dispatch(time: float) -> None:
+            """Greedily start queued jobs for which the broker finds a site."""
+            still_waiting: List[SimulatedJob] = []
+            for job in backlog:
+                site_name = self.broker.select_site(job, self.cluster)
+                if site_name is None:
+                    still_waiting.append(job)
+                    continue
+                state = self.cluster[site_name]
+                state.allocate(job.cores, time)
+                runtime_hours = job.runtime_at(state.site.hs23_per_core)
+                start_times[job.job_id] = time
+                runtimes[job.job_id] = runtime_hours
+                site_of_job[job.job_id] = site_name
+                queue.push(
+                    Event(time + runtime_hours / _HOURS_PER_DAY, EventType.JOB_FINISH, job)
+                )
+            backlog[:] = still_waiting
+
+        while queue:
+            event = queue.pop()
+            now = event.time
+            job: SimulatedJob = event.payload
+            if event.kind is EventType.JOB_ARRIVAL:
+                backlog.append(job)
+                if max_backlog is not None and len(backlog) > max_backlog:
+                    raise RuntimeError(
+                        f"backlog exceeded {max_backlog} jobs; the cluster is undersized"
+                    )
+                try_dispatch(now)
+            elif event.kind is EventType.JOB_FINISH:
+                site_name = site_of_job[job.job_id]
+                state = self.cluster[site_name]
+                state.release(job.cores, now)
+                state.completed_jobs += 1
+                finish_times[job.job_id] = now
+                try_dispatch(now)
+
+        horizon = max(now, 1e-9)
+        for state in self.cluster.sites.values():
+            state.advance_to(horizon)
+
+        completed = sorted(finish_times.keys())
+        jobs_by_id = {job.job_id: job for job in jobs}
+        wait_hours = np.array(
+            [(start_times[j] - jobs_by_id[j].arrival_time) * _HOURS_PER_DAY for j in completed]
+        )
+        runtime_hours = np.array([runtimes[j] for j in completed]) if completed else np.empty(0)
+
+        return SimulationResult(
+            broker=self.broker.name,
+            n_jobs=len(jobs),
+            n_completed=len(completed),
+            makespan_days=float(horizon - min((j.arrival_time for j in jobs), default=0.0)),
+            mean_wait_hours=float(wait_hours.mean()) if wait_hours.size else 0.0,
+            p95_wait_hours=float(np.percentile(wait_hours, 95)) if wait_hours.size else 0.0,
+            mean_runtime_hours=float(runtime_hours.mean()) if runtime_hours.size else 0.0,
+            utilization_by_site=self.cluster.utilization_by_site(horizon),
+            wait_times_hours=wait_hours,
+        )
+
+
+def compare_workloads(
+    cluster_factory,
+    broker_name: str,
+    workloads: Dict[str, Sequence[SimulatedJob]],
+) -> Dict[str, SimulationResult]:
+    """Run the same broker over several workloads on fresh clusters.
+
+    ``cluster_factory`` must return a *new* :class:`GridCluster` per call so
+    runs do not share utilisation state.
+    """
+    from repro.scheduler.broker import make_broker
+
+    results: Dict[str, SimulationResult] = {}
+    for label, jobs in workloads.items():
+        cluster = cluster_factory()
+        broker = make_broker(broker_name, cluster)
+        simulator = GridSimulator(cluster, broker)
+        results[label] = simulator.run(jobs)
+    return results

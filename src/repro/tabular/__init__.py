@@ -1,0 +1,60 @@
+"""Column-oriented tabular data substrate.
+
+The paper works on mixed-type tabular job records (categorical + numerical
+columns).  Rather than depending on pandas, the library ships a small,
+numpy-backed column store: :class:`~repro.tabular.table.Table` plus an explicit
+:class:`~repro.tabular.schema.TableSchema`, preprocessing transforms
+(Gaussian quantile transform, scalers, one-hot encoding) and split utilities.
+
+The design mirrors what the generative models need:
+
+* columns are homogeneous numpy arrays (``float64`` for numerical columns,
+  ``object``/string for categorical ones), so per-column vectorised operations
+  stay cheap;
+* the schema is carried alongside the data, so models and metrics never guess
+  column types;
+* every transform is invertible (``transform`` / ``inverse_transform``) so a
+  model trained in the encoded space can emit records in the original space.
+"""
+
+from repro.tabular.schema import ColumnKind, ColumnSchema, TableSchema
+from repro.tabular.table import Table
+from repro.tabular.encoding import LabelEncoder, OneHotEncoder, FrequencyTable
+from repro.tabular.transforms import (
+    ColumnTransform,
+    GaussianQuantileTransform,
+    IdentityTransform,
+    LogTransform,
+    MinMaxScaler,
+    StandardScaler,
+    TransformPipeline,
+)
+from repro.tabular.mixed import MixedEncoder, EncodedMatrix
+from repro.tabular.splits import train_test_split, temporal_split, kfold_indices
+from repro.tabular.io import read_csv, write_csv, read_npz, write_npz
+
+__all__ = [
+    "ColumnKind",
+    "ColumnSchema",
+    "TableSchema",
+    "Table",
+    "LabelEncoder",
+    "OneHotEncoder",
+    "FrequencyTable",
+    "ColumnTransform",
+    "GaussianQuantileTransform",
+    "IdentityTransform",
+    "LogTransform",
+    "MinMaxScaler",
+    "StandardScaler",
+    "TransformPipeline",
+    "MixedEncoder",
+    "EncodedMatrix",
+    "train_test_split",
+    "temporal_split",
+    "kfold_indices",
+    "read_csv",
+    "write_csv",
+    "read_npz",
+    "write_npz",
+]

@@ -1,0 +1,176 @@
+"""Categorical encoders: label encoding, one-hot encoding, frequency tables.
+
+Categorical PanDA columns (computing site, project, …) are heavily imbalanced,
+so every encoder keeps the category order sorted by descending training-set
+frequency.  That makes "top-k category" reports (paper Fig. 4b) and
+training-by-sampling in CTABGAN+ straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_fitted
+
+
+class LabelEncoder:
+    """Map string categories to contiguous integer codes.
+
+    Categories are ordered by descending frequency (ties broken
+    lexicographically) so code 0 is always the most common category.
+    Unknown categories at transform time map to the most frequent code by
+    default, or raise when ``handle_unknown="error"``.
+    """
+
+    def __init__(self, handle_unknown: str = "most_frequent"):
+        if handle_unknown not in ("most_frequent", "error"):
+            raise ValueError("handle_unknown must be 'most_frequent' or 'error'")
+        self.handle_unknown = handle_unknown
+        self.categories_: Optional[np.ndarray] = None
+        self.counts_: Optional[np.ndarray] = None
+        self._code_of: Optional[Dict[str, int]] = None
+
+    @property
+    def n_categories(self) -> int:
+        check_fitted(self, ["categories_"])
+        return int(self.categories_.size)
+
+    def fit(self, values: Sequence[str]) -> "LabelEncoder":
+        arr = np.asarray(values).astype(str)
+        if arr.size == 0:
+            raise ValueError("cannot fit LabelEncoder on an empty column")
+        cats, counts = np.unique(arr, return_counts=True)
+        order = np.lexsort((cats, -counts))
+        self.categories_ = cats[order]
+        self.counts_ = counts[order]
+        self._code_of = {c: i for i, c in enumerate(self.categories_)}
+        return self
+
+    def transform(self, values: Sequence[str]) -> np.ndarray:
+        check_fitted(self, ["categories_"])
+        arr = np.asarray(values).astype(str)
+        codes = np.empty(arr.shape[0], dtype=np.int64)
+        # Vectorised lookup via sorted search on the category table.
+        sorter = np.argsort(self.categories_)
+        pos = np.searchsorted(self.categories_, arr, sorter=sorter)
+        pos = np.clip(pos, 0, self.categories_.size - 1)
+        candidate = sorter[pos]
+        known = self.categories_[candidate] == arr
+        codes[known] = candidate[known]
+        if not known.all():
+            if self.handle_unknown == "error":
+                unknown = sorted(set(arr[~known]))
+                raise ValueError(f"unknown categories: {unknown[:5]}")
+            codes[~known] = 0
+        return codes
+
+    def fit_transform(self, values: Sequence[str]) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, codes: Sequence[int]) -> np.ndarray:
+        check_fitted(self, ["categories_"])
+        idx = np.asarray(codes, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.categories_.size):
+            raise ValueError("codes out of range for fitted categories")
+        return self.categories_[idx]
+
+
+class OneHotEncoder:
+    """One-hot encode a single categorical column.
+
+    Built on :class:`LabelEncoder`; produces a dense ``(n, n_categories)``
+    float matrix, with ``inverse_transform`` taking an argmax so it also
+    accepts soft probability vectors emitted by generative models.
+    """
+
+    def __init__(self, handle_unknown: str = "most_frequent"):
+        self.label_encoder = LabelEncoder(handle_unknown=handle_unknown)
+
+    @property
+    def categories_(self) -> Optional[np.ndarray]:
+        return self.label_encoder.categories_
+
+    @property
+    def n_categories(self) -> int:
+        return self.label_encoder.n_categories
+
+    def fit(self, values: Sequence[str]) -> "OneHotEncoder":
+        self.label_encoder.fit(values)
+        return self
+
+    def transform(self, values: Sequence[str]) -> np.ndarray:
+        codes = self.label_encoder.transform(values)
+        out = np.zeros((codes.shape[0], self.n_categories), dtype=np.float64)
+        out[np.arange(codes.shape[0]), codes] = 1.0
+        return out
+
+    def fit_transform(self, values: Sequence[str]) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def transform_codes(self, values: Sequence[str]) -> np.ndarray:
+        """Return integer codes (delegates to the underlying label encoder)."""
+        return self.label_encoder.transform(values)
+
+    def inverse_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Decode a one-hot (or probability) matrix back to category strings."""
+        check_fitted(self.label_encoder, ["categories_"])
+        mat = np.asarray(matrix, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[1] != self.n_categories:
+            raise ValueError(
+                f"expected matrix of shape (n, {self.n_categories}), got {mat.shape}"
+            )
+        codes = np.argmax(mat, axis=1)
+        return self.label_encoder.inverse_transform(codes)
+
+
+class FrequencyTable:
+    """Empirical categorical distribution with sampling support.
+
+    Used by the workload generator (to draw sites/projects with realistic
+    imbalance) and by metrics (to compare category frequencies).
+    """
+
+    def __init__(self, categories: Sequence[str], probabilities: Sequence[float]):
+        cats = np.asarray(categories).astype(str)
+        probs = np.asarray(probabilities, dtype=np.float64)
+        if cats.shape != probs.shape:
+            raise ValueError("categories and probabilities must have the same length")
+        if cats.size == 0:
+            raise ValueError("FrequencyTable requires at least one category")
+        if (probs < 0).any():
+            raise ValueError("probabilities must be non-negative")
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("probabilities must sum to a positive value")
+        order = np.argsort(-probs, kind="stable")
+        self.categories = cats[order]
+        self.probabilities = probs[order] / total
+
+    @classmethod
+    def from_values(cls, values: Sequence[str]) -> "FrequencyTable":
+        """Estimate the table from observed values."""
+        arr = np.asarray(values).astype(str)
+        cats, counts = np.unique(arr, return_counts=True)
+        return cls(cats, counts.astype(np.float64))
+
+    def probability_of(self, category: str) -> float:
+        """Return the probability of ``category`` (0.0 if unseen)."""
+        hit = np.nonzero(self.categories == str(category))[0]
+        return float(self.probabilities[hit[0]]) if hit.size else 0.0
+
+    def top_k(self, k: int) -> List[Tuple[str, float]]:
+        """Return the ``k`` most probable categories with their probabilities."""
+        k = min(k, self.categories.size)
+        return [(str(self.categories[i]), float(self.probabilities[i])) for i in range(k)]
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` categories i.i.d. from the table."""
+        idx = rng.choice(self.categories.size, size=n, p=self.probabilities)
+        return self.categories[idx]
+
+    def entropy(self) -> float:
+        """Shannon entropy (nats) of the distribution."""
+        p = self.probabilities[self.probabilities > 0]
+        return float(-(p * np.log(p)).sum())

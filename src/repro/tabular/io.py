@@ -1,0 +1,90 @@
+"""Table I/O: CSV (human-readable interchange) and NPZ (fast binary).
+
+Real PanDA exports arrive as CSV-ish dumps; synthetic traces produced by this
+library round-trip through either format with the schema embedded, so a
+saved table is self-describing.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.tabular.schema import ColumnKind, TableSchema
+from repro.tabular.table import Table
+
+PathLike = Union[str, Path]
+
+#: Key used to store the JSON-encoded schema inside NPZ archives / CSV headers.
+_SCHEMA_KEY = "__schema__"
+
+
+def write_csv(table: Table, path: PathLike) -> None:
+    """Write a table to CSV with a schema comment line.
+
+    The first line is ``# schema: {json}`` so :func:`read_csv` can restore
+    column kinds without guessing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        fh.write("# schema: " + json.dumps(table.schema.to_dict()) + "\n")
+        writer = csv.writer(fh)
+        writer.writerow(table.columns)
+        columns = [table[c] for c in table.columns]
+        for i in range(len(table)):
+            writer.writerow([col[i] for col in columns])
+
+
+def read_csv(path: PathLike, schema: Optional[TableSchema] = None) -> Table:
+    """Read a table from CSV.
+
+    If the file carries a ``# schema:`` comment (as written by
+    :func:`write_csv`) it is used; otherwise ``schema`` must be provided.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as fh:
+        first = fh.readline()
+        embedded_schema: Optional[TableSchema] = None
+        if first.startswith("# schema:"):
+            embedded_schema = TableSchema.from_dict(json.loads(first.split(":", 1)[1]))
+            header_line = fh.readline()
+        else:
+            header_line = first
+        header = next(csv.reader([header_line]))
+        rows = list(csv.reader(fh))
+    use_schema = schema or embedded_schema
+    if use_schema is None:
+        raise ValueError(
+            "no schema found in file and none provided; pass schema= explicitly"
+        )
+    data: Dict[str, List[str]] = {name: [] for name in header}
+    for row in rows:
+        if not row:
+            continue
+        for name, value in zip(header, row):
+            data[name].append(value)
+    return Table({name: data[name] for name in use_schema.names}, use_schema)
+
+
+def write_npz(table: Table, path: PathLike) -> None:
+    """Write a table to a compressed NPZ archive (schema embedded)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: table[name] for name in table.columns}
+    payload[_SCHEMA_KEY] = np.asarray(json.dumps(table.schema.to_dict()))
+    np.savez_compressed(path, **payload)
+
+
+def read_npz(path: PathLike) -> Table:
+    """Read a table previously written with :func:`write_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if _SCHEMA_KEY not in archive:
+            raise ValueError(f"{path} does not contain an embedded table schema")
+        schema = TableSchema.from_dict(json.loads(str(archive[_SCHEMA_KEY])))
+        data = {name: archive[name] for name in schema.names}
+    return Table(data, schema)

@@ -1,0 +1,163 @@
+"""Table schemas: explicit column typing for mixed tabular data.
+
+The PanDA job-record table (paper Fig. 3a) mixes categorical columns
+(``jobstatus``, ``computingsite``, ``project``, ``prodstep``, ``datatype``)
+with numerical ones (``workload``, ``creationtime``, ``ninputdatafiles``,
+``inputfilebytes``).  All downstream components — transforms, generative
+models, metrics — dispatch on column kind, so the schema is a first-class
+object rather than an implicit convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+class ColumnKind(str, Enum):
+    """Kind of a table column."""
+
+    NUMERICAL = "numerical"
+    CATEGORICAL = "categorical"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Schema of a single column.
+
+    Parameters
+    ----------
+    name:
+        Column name.
+    kind:
+        :class:`ColumnKind` of the column.
+    description:
+        Optional human-readable description (used by the Fig. 3a profile).
+    """
+
+    name: str
+    kind: ColumnKind
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be a non-empty string")
+        object.__setattr__(self, "kind", ColumnKind(self.kind))
+
+    @property
+    def is_numerical(self) -> bool:
+        return self.kind is ColumnKind.NUMERICAL
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is ColumnKind.CATEGORICAL
+
+
+@dataclass
+class TableSchema:
+    """Ordered collection of :class:`ColumnSchema` objects."""
+
+    columns: List[ColumnSchema] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate column names in schema: {dupes}")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_kinds(cls, kinds: Mapping[str, ColumnKind | str]) -> "TableSchema":
+        """Build a schema from a ``{name: kind}`` mapping (order preserving)."""
+        return cls([ColumnSchema(name, ColumnKind(kind)) for name, kind in kinds.items()])
+
+    @classmethod
+    def from_columns(
+        cls,
+        numerical: Sequence[str] = (),
+        categorical: Sequence[str] = (),
+    ) -> "TableSchema":
+        """Build a schema from two name lists; numerical columns come first."""
+        cols = [ColumnSchema(n, ColumnKind.NUMERICAL) for n in numerical]
+        cols += [ColumnSchema(n, ColumnKind.CATEGORICAL) for n in categorical]
+        return cls(cols)
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def numerical(self) -> List[str]:
+        return [c.name for c in self.columns if c.is_numerical]
+
+    @property
+    def categorical(self) -> List[str]:
+        return [c.name for c in self.columns if c.is_categorical]
+
+    def kind_of(self, name: str) -> ColumnKind:
+        return self[name].kind
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnSchema]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def __getitem__(self, name: str) -> ColumnSchema:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise KeyError(f"no column named {name!r} in schema")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return [(c.name, c.kind) for c in self.columns] == [
+            (c.name, c.kind) for c in other.columns
+        ]
+
+    # -- manipulation ------------------------------------------------------
+    def select(self, names: Iterable[str]) -> "TableSchema":
+        """Return a sub-schema containing ``names`` in the given order."""
+        return TableSchema([self[n] for n in names])
+
+    def drop(self, names: Iterable[str]) -> "TableSchema":
+        """Return a schema without the given columns."""
+        dropped = set(names)
+        missing = dropped - set(self.names)
+        if missing:
+            raise KeyError(f"cannot drop unknown columns: {sorted(missing)}")
+        return TableSchema([c for c in self.columns if c.name not in dropped])
+
+    def rename(self, mapping: Mapping[str, str]) -> "TableSchema":
+        """Return a schema with columns renamed according to ``mapping``."""
+        return TableSchema(
+            [
+                ColumnSchema(mapping.get(c.name, c.name), c.kind, c.description)
+                for c in self.columns
+            ]
+        )
+
+    def with_column(self, column: ColumnSchema) -> "TableSchema":
+        """Return a schema with ``column`` appended."""
+        return TableSchema(self.columns + [column])
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict[str, str]:
+        return {c.name: c.kind.value for c in self.columns}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "TableSchema":
+        return cls.from_kinds(data)
+
+    def describe(self) -> List[Tuple[str, str]]:
+        """Return ``(name, kind)`` pairs; handy for printing dataset profiles."""
+        return [(c.name, c.kind.value) for c in self.columns]

@@ -1,0 +1,279 @@
+"""A small column-oriented table.
+
+:class:`Table` stores each column as a numpy array — ``float64`` for numerical
+columns, unicode/object for categorical ones — alongside a
+:class:`~repro.tabular.schema.TableSchema`.  It supports the handful of
+operations the rest of the library needs (selection, masking, sampling,
+concatenation, per-column summaries) and nothing else; it is deliberately not
+a pandas replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tabular.schema import ColumnKind, ColumnSchema, TableSchema
+from repro.utils.rng import SeedLike, as_rng
+
+ArrayLike = Union[np.ndarray, Sequence]
+
+
+def _as_column(values: ArrayLike, kind: ColumnKind) -> np.ndarray:
+    """Coerce ``values`` into the canonical dtype for its column kind."""
+    if kind is ColumnKind.NUMERICAL:
+        arr = np.asarray(values, dtype=np.float64)
+    else:
+        arr = np.asarray(values)
+        if arr.dtype.kind not in ("U", "O", "S"):
+            # Categorical entries are stored as strings so that integer-coded
+            # and string-coded categories behave identically downstream.
+            arr = arr.astype(str)
+        else:
+            arr = arr.astype(str)
+    if arr.ndim != 1:
+        raise ValueError(f"columns must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+class Table:
+    """Immutable-ish column-oriented table with an explicit schema."""
+
+    def __init__(self, data: Mapping[str, ArrayLike], schema: TableSchema):
+        if set(data.keys()) != set(schema.names):
+            raise ValueError(
+                "data columns do not match schema: "
+                f"data={sorted(data.keys())}, schema={sorted(schema.names)}"
+            )
+        self.schema = schema
+        self._columns: Dict[str, np.ndarray] = {}
+        n_rows: Optional[int] = None
+        for col in schema:
+            arr = _as_column(data[col.name], col.kind)
+            if n_rows is None:
+                n_rows = arr.shape[0]
+            elif arr.shape[0] != n_rows:
+                raise ValueError(
+                    f"column {col.name!r} has {arr.shape[0]} rows, expected {n_rows}"
+                )
+            self._columns[col.name] = arr
+        self._n_rows = int(n_rows or 0)
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.schema)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._n_rows, self.n_columns)
+
+    @property
+    def columns(self) -> List[str]:
+        return self.schema.names
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return the column array (a view; treat it as read-only)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r}; available: {self.columns}") from None
+
+    def column(self, name: str) -> np.ndarray:
+        return self[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.schema != other.schema or len(self) != len(other):
+            return False
+        return all(np.array_equal(self[c], other[c]) for c in self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(f"{c.name}:{c.kind.value[0].upper()}" for c in self.schema)
+        return f"Table(rows={self._n_rows}, columns=[{kinds}])"
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, object]], schema: TableSchema
+    ) -> "Table":
+        """Build a table from a list of dict-like records."""
+        data = {name: [rec[name] for rec in records] for name in schema.names}
+        return cls(data, schema)
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "Table":
+        """Return a zero-row table with the given schema."""
+        return cls({name: [] for name in schema.names}, schema)
+
+    # -- row-wise access ---------------------------------------------------
+    def row(self, index: int) -> Dict[str, object]:
+        """Return a single row as a plain dict (slow; use for debugging/tests)."""
+        if not -self._n_rows <= index < self._n_rows:
+            raise IndexError(f"row index {index} out of range for {self._n_rows} rows")
+        return {name: self._columns[name][index] for name in self.columns}
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Materialise all rows as dicts (slow; intended for small tables)."""
+        return [self.row(i) for i in range(self._n_rows)]
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    # -- selection ---------------------------------------------------------
+    def select(self, names: Iterable[str]) -> "Table":
+        """Return a table restricted to ``names`` (order preserving)."""
+        names = list(names)
+        return Table({n: self._columns[n] for n in names}, self.schema.select(names))
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        """Return a table without the given columns."""
+        schema = self.schema.drop(names)
+        return Table({n: self._columns[n] for n in schema.names}, schema)
+
+    def with_column(
+        self, name: str, values: ArrayLike, kind: ColumnKind | str
+    ) -> "Table":
+        """Return a table with an extra (or replaced) column."""
+        kind = ColumnKind(kind)
+        if name in self.schema:
+            schema = TableSchema(
+                [
+                    ColumnSchema(name, kind) if c.name == name else c
+                    for c in self.schema.columns
+                ]
+            )
+        else:
+            schema = self.schema.with_column(ColumnSchema(name, kind))
+        data = dict(self._columns)
+        data[name] = values
+        return Table(data, schema)
+
+    def take(self, indices: ArrayLike) -> "Table":
+        """Return the rows at ``indices`` (fancy indexing, order preserving)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return Table({n: col[idx] for n, col in self._columns.items()}, self.schema)
+
+    def mask(self, mask: ArrayLike) -> "Table":
+        """Return the rows where ``mask`` is true."""
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != (self._n_rows,):
+            raise ValueError(f"mask shape {m.shape} does not match table length {self._n_rows}")
+        return Table({n: col[m] for n, col in self._columns.items()}, self.schema)
+
+    def head(self, n: int = 5) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def sample(
+        self, n: int, *, replace: bool = False, seed: SeedLike = None
+    ) -> "Table":
+        """Return a uniformly sampled subset of ``n`` rows."""
+        rng = as_rng(seed)
+        if not replace and n > self._n_rows:
+            raise ValueError(
+                f"cannot sample {n} rows without replacement from {self._n_rows}"
+            )
+        idx = rng.choice(self._n_rows, size=n, replace=replace)
+        return self.take(idx)
+
+    def shuffle(self, seed: SeedLike = None) -> "Table":
+        """Return a row-shuffled copy."""
+        rng = as_rng(seed)
+        return self.take(rng.permutation(self._n_rows))
+
+    # -- combination -------------------------------------------------------
+    @staticmethod
+    def concat(tables: Sequence["Table"]) -> "Table":
+        """Vertically concatenate tables sharing the same schema."""
+        if not tables:
+            raise ValueError("concat requires at least one table")
+        schema = tables[0].schema
+        for t in tables[1:]:
+            if t.schema != schema:
+                raise ValueError("all tables must share the same schema to concat")
+        data = {
+            name: np.concatenate([t[name] for t in tables]) for name in schema.names
+        }
+        return Table(data, schema)
+
+    # -- matrix views ------------------------------------------------------
+    def numerical_matrix(self, columns: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Stack numerical columns into an ``(n_rows, n_cols)`` float matrix."""
+        cols = list(columns) if columns is not None else self.schema.numerical
+        for c in cols:
+            if self.schema.kind_of(c) is not ColumnKind.NUMERICAL:
+                raise ValueError(f"column {c!r} is not numerical")
+        if not cols:
+            return np.empty((self._n_rows, 0), dtype=np.float64)
+        return np.column_stack([self._columns[c] for c in cols])
+
+    def categorical_matrix(self, columns: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Stack categorical columns into an ``(n_rows, n_cols)`` string matrix."""
+        cols = list(columns) if columns is not None else self.schema.categorical
+        for c in cols:
+            if self.schema.kind_of(c) is not ColumnKind.CATEGORICAL:
+                raise ValueError(f"column {c!r} is not categorical")
+        if not cols:
+            return np.empty((self._n_rows, 0), dtype="<U1")
+        return np.column_stack([self._columns[c] for c in cols])
+
+    # -- summaries ---------------------------------------------------------
+    def value_counts(self, name: str, *, normalize: bool = False) -> Dict[str, float]:
+        """Return ``{category: count}`` (or frequency) for a categorical column."""
+        if self.schema.kind_of(name) is not ColumnKind.CATEGORICAL:
+            raise ValueError(f"value_counts expects a categorical column, got {name!r}")
+        values, counts = np.unique(self._columns[name], return_counts=True)
+        order = np.argsort(-counts, kind="stable")
+        total = counts.sum() if normalize else 1
+        return {
+            str(values[i]): (counts[i] / total if normalize else int(counts[i]))
+            for i in order
+        }
+
+    def nunique(self, name: str) -> int:
+        """Number of distinct values in a column."""
+        return int(np.unique(self._columns[name]).size)
+
+    def describe_numeric(self, name: str) -> Dict[str, float]:
+        """Summary statistics for a numerical column."""
+        if self.schema.kind_of(name) is not ColumnKind.NUMERICAL:
+            raise ValueError(f"describe_numeric expects a numerical column, got {name!r}")
+        col = self._columns[name]
+        if col.size == 0:
+            return {k: float("nan") for k in ("mean", "std", "min", "p25", "median", "p75", "max")}
+        return {
+            "mean": float(np.mean(col)),
+            "std": float(np.std(col)),
+            "min": float(np.min(col)),
+            "p25": float(np.percentile(col, 25)),
+            "median": float(np.median(col)),
+            "p75": float(np.percentile(col, 75)),
+            "max": float(np.max(col)),
+        }
+
+    def profile(self) -> List[Dict[str, object]]:
+        """Per-column profile (name, kind, unique count) — paper Fig. 3(a)."""
+        rows = []
+        for col in self.schema:
+            rows.append(
+                {
+                    "name": col.name,
+                    "kind": col.kind.value,
+                    "n_unique": self.nunique(col.name),
+                }
+            )
+        return rows

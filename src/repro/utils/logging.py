@@ -1,0 +1,47 @@
+"""Logging helpers.
+
+A thin wrapper around :mod:`logging` that gives every module a namespaced
+logger under ``repro.*`` with a single, consistently formatted handler.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_configured = False
+
+
+def _configure_root(level: int) -> None:
+    global _configured
+    root = logging.getLogger("repro")
+    if not _configured:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(level)
+
+
+def get_logger(name: str, level: Optional[int] = None) -> logging.Logger:
+    """Return a logger in the ``repro`` hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Module name; usually ``__name__``.
+    level:
+        Optional level override for the whole ``repro`` hierarchy.
+    """
+    _configure_root(level if level is not None else logging.WARNING)
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def set_verbosity(verbose: bool) -> None:
+    """Switch the library between INFO (verbose) and WARNING logging."""
+    _configure_root(logging.INFO if verbose else logging.WARNING)

@@ -1,0 +1,56 @@
+"""Process-parallel map with a sequential fallback.
+
+Heavy experiment sweeps (training several surrogate models, benchmarking many
+scheduler policies) are embarrassingly parallel at the task level.  This
+helper follows the HPC guidance of keeping each worker's payload a plain
+picklable function of plain arguments, and degrades gracefully to a serial
+loop when only one worker is requested or when running inside an environment
+where forking is undesirable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_workers(requested: Optional[int] = None) -> int:
+    """Resolve a worker count: ``requested`` capped by the visible CPUs."""
+    cpus = os.cpu_count() or 1
+    if requested is None or requested <= 0:
+        return cpus
+    return max(1, min(requested, cpus))
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    *,
+    workers: Optional[int] = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """Apply ``func`` to every item, optionally across processes.
+
+    Parameters
+    ----------
+    func:
+        A picklable callable applied to each item.
+    items:
+        The work list; materialised to preserve ordering of results.
+    workers:
+        Number of worker processes.  ``1`` (the default) runs serially, which
+        is also the safe choice when ``func`` closes over non-picklable state.
+    chunksize:
+        Forwarded to :meth:`ProcessPoolExecutor.map` to amortise IPC overhead
+        for large, cheap work lists.
+    """
+    work = list(items)
+    n_workers = available_workers(workers)
+    if n_workers == 1 or len(work) <= 1:
+        return [func(item) for item in work]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(func, work, chunksize=max(1, chunksize)))

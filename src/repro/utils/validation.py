@@ -1,0 +1,78 @@
+"""Lightweight argument validation helpers.
+
+The goal is uniform, informative error messages across the library rather than
+exhaustive type checking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def check_array(
+    x: Any,
+    *,
+    ndim: Optional[int] = None,
+    dtype: Optional[np.dtype] = None,
+    allow_empty: bool = True,
+    name: str = "array",
+) -> np.ndarray:
+    """Convert ``x`` to an ndarray and validate its shape/dtype.
+
+    Parameters
+    ----------
+    x:
+        Array-like input.
+    ndim:
+        Required number of dimensions (``None`` to skip the check).
+    dtype:
+        Target dtype; the array is cast if necessary.
+    allow_empty:
+        When ``False``, zero-length arrays raise ``ValueError``.
+    name:
+        Name used in error messages.
+    """
+    arr = np.asarray(x, dtype=dtype)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got ndim={arr.ndim}")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if np.issubdtype(arr.dtype, np.floating) and not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_fitted(obj: Any, attributes: Sequence[str]) -> None:
+    """Raise ``RuntimeError`` unless every attribute in ``attributes`` is set."""
+    missing = [a for a in attributes if getattr(obj, a, None) is None]
+    if missing:
+        raise RuntimeError(
+            f"{type(obj).__name__} is not fitted; call fit() before using it "
+            f"(missing attributes: {', '.join(missing)})"
+        )
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly by default)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_options(value: Any, options: Iterable[Any], name: str) -> Any:
+    """Validate that ``value`` is one of ``options``."""
+    opts: Tuple[Any, ...] = tuple(options)
+    if value not in opts:
+        raise ValueError(f"{name} must be one of {opts!r}, got {value!r}")
+    return value

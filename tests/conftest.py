@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (the synthetic PanDA trace and its train/test split)
+are session-scoped so the many tests that need "a realistic mixed-type table"
+share one generation pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator
+from repro.panda.pipeline import FilteringPipeline
+from repro.tabular.schema import TableSchema
+from repro.tabular.splits import train_test_split
+from repro.tabular.table import Table
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def panda_generator() -> PandaWorkloadGenerator:
+    return PandaWorkloadGenerator(GeneratorConfig(n_jobs=4000, n_days=60.0, seed=3))
+
+
+@pytest.fixture(scope="session")
+def raw_table(panda_generator) -> Table:
+    return panda_generator.generate_raw()
+
+
+@pytest.fixture(scope="session")
+def panda_table(panda_generator, raw_table) -> Table:
+    pipeline = FilteringPipeline(panda_generator.sites)
+    table, _report = pipeline.run(raw_table)
+    return table
+
+
+@pytest.fixture(scope="session")
+def filter_report(panda_generator, raw_table):
+    pipeline = FilteringPipeline(panda_generator.sites)
+    _table, report = pipeline.run(raw_table)
+    return report
+
+
+@pytest.fixture(scope="session")
+def split_tables(panda_table):
+    return train_test_split(panda_table, test_fraction=0.2, seed=5)
+
+
+@pytest.fixture(scope="session")
+def train_table(split_tables) -> Table:
+    return split_tables[0]
+
+
+@pytest.fixture(scope="session")
+def test_table(split_tables) -> Table:
+    return split_tables[1]
+
+
+@pytest.fixture()
+def tiny_table() -> Table:
+    """A small handcrafted mixed-type table for fast, deterministic tests."""
+    schema = TableSchema.from_columns(
+        numerical=["x", "y"], categorical=["color", "status"]
+    )
+    n = 200
+    gen = np.random.default_rng(0)
+    x = gen.normal(0.0, 1.0, size=n)
+    y = 2.0 * x + gen.normal(0.0, 0.3, size=n)
+    color = np.where(x > 0, "red", "blue")
+    status = gen.choice(["ok", "fail", "retry"], size=n, p=[0.7, 0.2, 0.1])
+    return Table({"x": x, "y": y, "color": color, "status": status}, schema)

@@ -1,0 +1,179 @@
+"""Tests for the experiment harness (configs, dataset bundle, Table I, figures,
+ablations and the CLI)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import ablate_smote_k
+from repro.experiments.cli import main as cli_main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import build_dataset
+from repro.experiments.figures import (
+    fig1_data_volume,
+    fig2_scheduler_comparison,
+    fig3_dataset_profile,
+    fig4_distributions,
+    fig5_correlations,
+)
+from repro.experiments.table1 import build_model, run_table1
+from repro.models.smote import SMOTESurrogate
+from repro.models.tabddpm import TabDDPMSurrogate
+from repro.models.tvae import TVAESurrogate
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    base = ExperimentConfig.ci()
+    return dataclasses.replace(
+        base,
+        n_raw_jobs=2500,
+        n_synthetic=500,
+        models=("smote",),
+        mlef=dataclasses.replace(base.mlef, n_estimators=10),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(tiny_config):
+    return build_dataset(tiny_config)
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        assert ExperimentConfig.ci().n_raw_jobs < ExperimentConfig.default().n_raw_jobs
+        assert ExperimentConfig.paper_scale().n_raw_jobs > 1_000_000
+
+    def test_with_models(self):
+        config = ExperimentConfig.ci().with_models(["smote"])
+        assert config.models == ("smote",)
+
+    def test_build_model_dispatch(self):
+        config = ExperimentConfig.ci()
+        assert isinstance(build_model("tvae", config), TVAESurrogate)
+        assert isinstance(build_model("smote", config), SMOTESurrogate)
+        assert isinstance(build_model("tabddpm", config), TabDDPMSurrogate)
+
+    def test_build_model_seeds_differ_per_model(self):
+        config = ExperimentConfig.ci()
+        a = build_model("tvae", config)
+        b = build_model("tabddpm", config)
+        assert a._seed != b._seed
+
+
+class TestDatasetBundle:
+    def test_bundle_consistency(self, tiny_dataset):
+        assert tiny_dataset.n_train + tiny_dataset.n_test == len(tiny_dataset.table)
+        assert tiny_dataset.filter_report.final_records == len(tiny_dataset.table)
+        assert len(tiny_dataset.raw) == 2500
+
+    def test_deterministic_given_config(self, tiny_config):
+        a = build_dataset(tiny_config)
+        b = build_dataset(tiny_config)
+        assert a.table == b.table
+        assert a.train == b.train
+
+
+class TestTable1:
+    def test_smoke_single_model(self, tiny_config, tiny_dataset):
+        result = run_table1(tiny_config, dataset=tiny_dataset, compute_mlef=True)
+        scores = result["scores"]
+        assert len(scores) == 1
+        score = scores[0]
+        assert score.model == "SMOTE"
+        assert 0.0 <= score.wd < 0.5
+        assert 0.0 <= score.jsd < 0.5
+        assert np.isfinite(score.diff_mlef)
+        assert "SMOTE" in result["formatted"]
+        assert result["ranks"]["WD"][0] == "SMOTE"
+        assert result["timings"]["SMOTE"]["fit_seconds"] >= 0.0
+
+    def test_skip_mlef(self, tiny_config, tiny_dataset):
+        result = run_table1(tiny_config, dataset=tiny_dataset, compute_mlef=False)
+        assert np.isnan(result["scores"][0].diff_mlef)
+
+
+class TestFigures:
+    def test_fig1_series(self, tiny_config, tiny_dataset):
+        series = fig1_data_volume(tiny_config, dataset=tiny_dataset)
+        assert np.all(np.diff(series["cumulative_bytes"]) >= 0)
+        assert series["total_petabytes"][0] > 0
+
+    def test_fig2_rows(self, tiny_config, tiny_dataset):
+        result = fig2_scheduler_comparison(
+            tiny_config, dataset=tiny_dataset, brokers=("random", "least_loaded"), max_jobs=300
+        )
+        rows = result["rows"]
+        assert len(rows) == 2
+        assert {r["broker"] for r in rows} == {"random", "least_loaded"}
+        assert all(r["workload"] == "real" for r in rows)
+
+    def test_fig2_with_synthetic(self, tiny_config, tiny_dataset):
+        synthetic = SMOTESurrogate().fit(tiny_dataset.train).sample(300, seed=0)
+        result = fig2_scheduler_comparison(
+            tiny_config, dataset=tiny_dataset, synthetic=synthetic,
+            brokers=("least_loaded",), max_jobs=300,
+        )
+        labels = {r["workload"] for r in result["rows"]}
+        assert labels == {"real", "synthetic"}
+
+    def test_fig3_profile_and_funnel(self, tiny_config, tiny_dataset):
+        result = fig3_dataset_profile(tiny_config, dataset=tiny_dataset)
+        names = {row["name"] for row in result["profile"]}
+        assert {"workload", "computingsite", "datatype"} <= names
+        funnel_rows = [r["rows"] for r in result["funnel"]]
+        assert funnel_rows[0] == 2500
+        assert all(a >= b for a, b in zip(funnel_rows, funnel_rows[1:]))
+
+    def test_fig4_structure(self, tiny_config, tiny_dataset):
+        synthetic = {"SMOTE": SMOTESurrogate().fit(tiny_dataset.train).sample(400, seed=1)}
+        result = fig4_distributions(tiny_config, dataset=tiny_dataset, synthetic_tables=synthetic)
+        assert set(result["numerical"]) == set(tiny_dataset.train.schema.numerical)
+        assert set(result["categorical"]) == set(tiny_dataset.train.schema.categorical)
+        series = result["numerical"]["workload"]["SMOTE"]
+        assert series["real"].shape == series["synthetic"].shape
+
+    def test_fig5_structure(self, tiny_config, tiny_dataset):
+        synthetic = {"SMOTE": SMOTESurrogate().fit(tiny_dataset.train).sample(400, seed=2)}
+        result = fig5_correlations(tiny_config, dataset=tiny_dataset, synthetic_tables=synthetic)
+        k = len(result["columns"])
+        assert result["ground_truth"].shape == (k, k)
+        assert result["models"]["SMOTE"]["difference"].shape == (k, k)
+        assert result["models"]["SMOTE"]["diff_corr"] >= 0.0
+
+
+class TestAblations:
+    def test_smote_k_sweep(self, tiny_config, tiny_dataset):
+        rows = ablate_smote_k(tiny_config, tiny_dataset, ks=(1, 5))
+        assert len(rows) == 2
+        assert rows[0]["k"] == 1.0 and rows[1]["k"] == 5.0
+        assert all(np.isfinite(row["WD"]) for row in rows)
+
+
+class TestCLI:
+    def test_fig3_text_output(self, capsys):
+        exit_code = cli_main(["fig3", "--preset", "ci", "--raw-jobs", "2000", "--seed", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "filtering funnel" in out.lower()
+        assert "workload" in out
+
+    def test_fig1_json_output(self, capsys):
+        exit_code = cli_main(["fig1", "--preset", "ci", "--raw-jobs", "2000", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cumulative_bytes" in payload
+
+    def test_table1_smoke(self, capsys):
+        exit_code = cli_main(
+            ["table1", "--preset", "ci", "--raw-jobs", "2000", "--models", "smote", "--no-mlef"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "SMOTE" in out and "WD" in out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["table7"])

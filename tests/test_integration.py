@@ -1,0 +1,129 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These mirror the paper's workflow (generate → filter → split → fit → sample →
+evaluate → consume downstream) on deliberately tiny budgets, and check the
+*orderings* the paper reports rather than absolute metric values.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GeneratorConfig,
+    PandaWorkloadGenerator,
+    create_surrogate,
+    evaluate_surrogate_data,
+)
+from repro.metrics.report import format_table, rank_models
+from repro.models.tabddpm import TabDDPMConfig, TabDDPMSurrogate
+from repro.models.tvae import TVAEConfig, TVAESurrogate
+from repro.scheduler.broker import LeastLoadedBroker
+from repro.scheduler.cluster import GridCluster
+from repro.scheduler.jobs import jobs_from_table
+from repro.scheduler.simulator import GridSimulator
+from repro.tabular import train_test_split
+from repro.tabular.io import read_npz, write_npz
+
+
+class TestEndToEndSurrogatePipeline:
+    @pytest.fixture(scope="class")
+    def pipeline_outputs(self, train_table, test_table):
+        """Fit SMOTE (strong baseline) and a small TabDDPM on the shared trace."""
+        smote = create_surrogate("smote")
+        smote.fit(train_table)
+        smote_synth = smote.sample(len(train_table), seed=0)
+
+        ddpm = TabDDPMSurrogate(
+            TabDDPMConfig(n_timesteps=25, hidden_dims=(96,), epochs=12, batch_size=256),
+            seed=0,
+        )
+        ddpm.fit(train_table)
+        ddpm_synth = ddpm.sample(len(train_table), seed=1)
+
+        smote_score = evaluate_surrogate_data(
+            "SMOTE", train_table, test_table, smote_synth, compute_mlef=False
+        )
+        ddpm_score = evaluate_surrogate_data(
+            "TabDDPM", train_table, test_table, ddpm_synth, compute_mlef=False
+        )
+        return {
+            "smote": (smote_synth, smote_score),
+            "tabddpm": (ddpm_synth, ddpm_score),
+        }
+
+    def test_both_models_produce_valid_tables(self, pipeline_outputs, train_table):
+        for synth, _score in pipeline_outputs.values():
+            assert synth.schema == train_table.schema
+            assert len(synth) == len(train_table)
+
+    def test_smote_fidelity_is_tight(self, pipeline_outputs):
+        _, score = pipeline_outputs["smote"]
+        assert score.wd < 0.05
+        assert score.jsd < 0.1
+        assert score.diff_corr < 0.15
+
+    def test_privacy_ordering_matches_paper(self, pipeline_outputs):
+        """The paper's core finding: SMOTE has (much) lower DCR than TabDDPM."""
+        _, smote_score = pipeline_outputs["smote"]
+        _, ddpm_score = pipeline_outputs["tabddpm"]
+        assert smote_score.dcr < ddpm_score.dcr
+
+    def test_report_table_renders(self, pipeline_outputs):
+        scores = [score for _, score in pipeline_outputs.values()]
+        text = format_table(scores)
+        assert "SMOTE" in text and "TabDDPM" in text
+        ranks = rank_models(scores)
+        assert ranks["DCR"][0] == "TabDDPM"
+
+    def test_synthetic_drives_grid_simulation(self, pipeline_outputs, panda_generator, test_table):
+        synth, _ = pipeline_outputs["tabddpm"]
+        real_jobs = jobs_from_table(test_table)[:400]
+        synth_jobs = jobs_from_table(synth)[:400]
+        real_result = GridSimulator(
+            GridCluster(panda_generator.sites, capacity_scale=0.004), LeastLoadedBroker()
+        ).run(real_jobs)
+        synth_result = GridSimulator(
+            GridCluster(panda_generator.sites, capacity_scale=0.004), LeastLoadedBroker()
+        ).run(synth_jobs)
+        assert real_result.n_completed == 400
+        assert synth_result.n_completed == 400
+        # The synthetic workload should keep utilisation within the same ballpark.
+        assert abs(real_result.mean_utilization - synth_result.mean_utilization) < 0.5
+
+    def test_synthetic_table_roundtrips_through_io(self, pipeline_outputs, tmp_path):
+        synth, _ = pipeline_outputs["smote"]
+        path = tmp_path / "synthetic.npz"
+        write_npz(synth, path)
+        loaded = read_npz(path)
+        assert loaded == synth
+
+
+class TestSmallFreshPipeline:
+    def test_generate_fit_evaluate_from_scratch(self):
+        generator = PandaWorkloadGenerator(GeneratorConfig(n_jobs=1500, n_days=30.0, seed=21))
+        table = generator.generate_training_table()
+        train, test = train_test_split(table, 0.2, seed=21)
+        model = TVAESurrogate(TVAEConfig.fast(), seed=1)
+        model.fit(train)
+        synth = model.sample(len(train), seed=2)
+        score = evaluate_surrogate_data("TVAE", train, test, synth, compute_mlef=False)
+        assert np.isfinite(score.wd)
+        assert np.isfinite(score.jsd)
+        assert score.dcr > 0.0
+
+    def test_different_generator_seeds_give_different_traces(self):
+        a = PandaWorkloadGenerator(GeneratorConfig(n_jobs=800, seed=1)).generate_training_table()
+        b = PandaWorkloadGenerator(GeneratorConfig(n_jobs=800, seed=2)).generate_training_table()
+        assert a != b
+
+    def test_held_out_real_data_scores_well_as_synthetic(self, train_table, test_table):
+        """Sanity anchor: real held-out data is the gold standard for every
+        fidelity metric, so every metric should be small (but DCR non-zero)."""
+        sized_test = test_table.sample(min(len(test_table), len(train_table)), seed=0)
+        score = evaluate_surrogate_data(
+            "real-test", train_table, test_table, sized_test, compute_mlef=False
+        )
+        assert score.wd < 0.05
+        assert score.jsd < 0.1
+        assert score.diff_corr < 0.2
+        assert score.dcr > 0.0

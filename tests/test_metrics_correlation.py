@@ -1,0 +1,144 @@
+"""Tests for pairwise association metrics and diff-CORR."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.correlation import (
+    association_difference,
+    association_matrix,
+    correlation_ratio,
+    diff_corr,
+    pearson_correlation,
+    theils_u,
+)
+from repro.tabular.schema import TableSchema
+from repro.tabular.table import Table
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(100, dtype=float)
+        assert pearson_correlation(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(50, dtype=float)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson_correlation(rng.normal(size=5000), rng.normal(size=5000))) < 0.05
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(3), np.ones(4))
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=200), rng.normal(size=200)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+
+class TestCorrelationRatio:
+    def test_category_determines_value(self):
+        cats = np.array(["a"] * 50 + ["b"] * 50)
+        values = np.concatenate([np.full(50, 1.0), np.full(50, 10.0)])
+        assert correlation_ratio(cats, values) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        cats = rng.choice(["a", "b", "c"], 5000)
+        values = rng.normal(size=5000)
+        assert correlation_ratio(cats, values) < 0.05
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        cats = rng.choice(["a", "b"], 300)
+        values = rng.normal(size=300) + (cats == "a") * 0.5
+        assert 0.0 <= correlation_ratio(cats, values) <= 1.0
+
+    def test_constant_values(self):
+        assert correlation_ratio(np.array(["a", "b"]), np.array([1.0, 1.0])) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            correlation_ratio(np.array(["a"]), np.array([1.0, 2.0]))
+
+
+class TestTheilsU:
+    def test_perfect_dependence(self):
+        x = np.array(["a", "b", "a", "b"] * 25)
+        y = np.array(["p", "q", "p", "q"] * 25)  # y fully determines x
+        assert theils_u(x, y) == pytest.approx(1.0)
+
+    def test_independence_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.choice(["a", "b"], 5000)
+        y = rng.choice(["p", "q", "r"], 5000)
+        assert theils_u(x, y) < 0.02
+
+    def test_asymmetry(self):
+        # y (4 values) determines x (2 values) exactly, but not vice versa.
+        y = np.array(["p", "q", "r", "s"] * 50)
+        x = np.array(["a", "a", "b", "b"] * 50)
+        assert theils_u(x, y) == pytest.approx(1.0)
+        assert theils_u(y, x) < 1.0
+
+    def test_constant_x_is_one(self):
+        assert theils_u(np.array(["a", "a"]), np.array(["p", "q"])) == 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        x = rng.choice(["a", "b", "c"], 500)
+        y = np.where(x == "a", "p", rng.choice(["p", "q"], 500))
+        assert 0.0 <= theils_u(x, y) <= 1.0
+
+
+class TestAssociationMatrix:
+    def test_shape_and_diagonal(self, train_table):
+        matrix, cols = association_matrix(train_table)
+        assert matrix.shape == (len(cols), len(cols))
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_entries_bounded(self, train_table):
+        matrix, _ = association_matrix(train_table)
+        assert matrix.min() >= -1e-9
+        assert matrix.max() <= 1.0 + 1e-9
+
+    def test_known_structure(self):
+        # Build a table where y = 2x and the category mirrors the sign of x.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=400)
+        schema = TableSchema.from_columns(numerical=["x", "y"], categorical=["sign"])
+        table = Table({"x": x, "y": 2 * x, "sign": np.where(x > 0, "pos", "neg")}, schema)
+        matrix, cols = association_matrix(table)
+        idx = {c: i for i, c in enumerate(cols)}
+        assert matrix[idx["x"], idx["y"]] == pytest.approx(1.0)
+        assert matrix[idx["sign"], idx["x"]] > 0.7
+
+    def test_subset_of_columns(self, train_table):
+        matrix, cols = association_matrix(train_table, columns=["workload", "datatype"])
+        assert matrix.shape == (2, 2)
+        assert cols == ["workload", "datatype"]
+
+
+class TestDiffCorr:
+    def test_zero_for_identical(self, train_table):
+        assert diff_corr(train_table, train_table) == pytest.approx(0.0, abs=1e-12)
+
+    def test_detects_broken_correlation(self, train_table):
+        shuffled_workload = np.random.default_rng(0).permutation(
+            np.asarray(train_table["workload"])
+        )
+        broken = train_table.with_column("workload", shuffled_workload, "numerical")
+        assert diff_corr(train_table, broken) > diff_corr(train_table, train_table)
+
+    def test_association_difference_payload(self, train_table, test_table):
+        payload = association_difference(train_table, test_table)
+        assert payload["real"].shape == payload["synthetic"].shape
+        assert payload["difference"].shape == payload["real"].shape
+        assert payload["diff_corr"] >= 0.0
+        # Real-vs-real-test matrices should agree closely (same distribution).
+        assert payload["diff_corr"] < 0.2

@@ -1,0 +1,136 @@
+"""Tests for repro.metrics.distribution (WD, JSD, Fig. 4 helpers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.distribution import (
+    categorical_frequencies,
+    histogram_series,
+    jensen_shannon_divergence,
+    mean_jsd,
+    mean_wasserstein,
+    top_k_frequencies,
+    wasserstein_1d,
+)
+
+
+class TestWasserstein:
+    def test_identical_samples_zero(self):
+        x = np.random.default_rng(0).normal(size=500)
+        assert wasserstein_1d(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_distributions(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 1.0, 5000)
+        b = rng.normal(0.0, 1.0, 5000) + 2.0
+        # Normalised by the real sample's range (~6-7 sigma), the unit shift of
+        # 2 should come out around 2 / range.
+        wd = wasserstein_1d(a, b)
+        expected = 2.0 / (a.max() - a.min())
+        assert wd == pytest.approx(expected, rel=0.15)
+
+    def test_unnormalised_shift(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 1.0, 5000)
+        b = a + 3.0
+        assert wasserstein_1d(a, b, normalize=False) == pytest.approx(3.0, rel=0.01)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.exponential(1.0, 1000), rng.exponential(2.0, 1000)
+        assert wasserstein_1d(a, b, normalize=False) == pytest.approx(
+            wasserstein_1d(b, a, normalize=False), rel=0.05
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            wasserstein_1d(np.array([]), np.array([1.0]))
+
+    @given(st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_nonnegative_property(self, shift):
+        rng = np.random.default_rng(abs(int(shift * 100)) + 1)
+        a = rng.normal(size=300)
+        assert wasserstein_1d(a, a + shift) >= 0.0
+
+
+class TestJSD:
+    def test_identical_zero(self):
+        values = np.array(["a", "b", "a", "c"])
+        assert jensen_shannon_divergence(values, values) == pytest.approx(0.0)
+
+    def test_disjoint_supports_is_one(self):
+        assert jensen_shannon_divergence(np.array(["a"] * 10), np.array(["b"] * 10)) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        a = rng.choice(["x", "y", "z"], 200)
+        b = rng.choice(["x", "y", "w"], 200)
+        assert 0.0 <= jensen_shannon_divergence(a, b) <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.choice(["x", "y"], 100, p=[0.9, 0.1])
+        b = rng.choice(["x", "y"], 100, p=[0.4, 0.6])
+        assert jensen_shannon_divergence(a, b) == pytest.approx(jensen_shannon_divergence(b, a))
+
+    def test_more_different_is_larger(self):
+        base = np.array(["a"] * 80 + ["b"] * 20)
+        close = np.array(["a"] * 70 + ["b"] * 30)
+        far = np.array(["a"] * 10 + ["b"] * 90)
+        assert jensen_shannon_divergence(base, far) > jensen_shannon_divergence(base, close)
+
+
+class TestFrequencies:
+    def test_frequencies_sum_to_one(self):
+        freqs = categorical_frequencies(np.array(["a", "b", "b"]))
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_fixed_support_includes_missing(self):
+        freqs = categorical_frequencies(np.array(["a", "a"]), categories=["a", "b"])
+        assert freqs["b"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            categorical_frequencies(np.array([]))
+
+
+class TestTableLevelMetrics:
+    def test_mean_wasserstein_on_identical_tables(self, train_table):
+        mean, per_col = mean_wasserstein(train_table, train_table)
+        assert mean == pytest.approx(0.0, abs=1e-9)
+        assert set(per_col) == set(train_table.schema.numerical)
+
+    def test_mean_jsd_on_identical_tables(self, train_table):
+        mean, per_col = mean_jsd(train_table, train_table)
+        assert mean == pytest.approx(0.0, abs=1e-12)
+        assert set(per_col) == set(train_table.schema.categorical)
+
+    def test_mean_wasserstein_detects_corruption(self, train_table):
+        corrupted = train_table.with_column(
+            "workload", np.asarray(train_table["workload"]) * 10.0, "numerical"
+        )
+        mean, per_col = mean_wasserstein(train_table, corrupted)
+        assert per_col["workload"] > 0.01
+        assert per_col["creationtime"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_top_k_frequencies_structure(self, train_table, test_table):
+        rows = top_k_frequencies(train_table, test_table, "computingsite", k=5)
+        assert len(rows) <= 5
+        assert all({"category", "real", "synthetic"} <= set(r) for r in rows)
+        reals = [r["real"] for r in rows]
+        assert reals == sorted(reals, reverse=True)
+
+    def test_histogram_series_alignment(self, train_table, test_table):
+        series = histogram_series(train_table["workload"], test_table["workload"], bins=20)
+        assert series["centers"].shape == (20,)
+        assert series["real"].shape == (20,)
+        assert series["synthetic"].shape == (20,)
+
+    def test_histogram_series_density_normalised(self):
+        rng = np.random.default_rng(0)
+        series = histogram_series(rng.normal(size=1000), rng.normal(size=1000), bins=30)
+        width = series["centers"][1] - series["centers"][0]
+        assert (series["real"] * width).sum() == pytest.approx(1.0, rel=1e-6)

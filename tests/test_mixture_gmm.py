@@ -1,0 +1,139 @@
+"""Tests for the 1-D Gaussian mixture model and k-means initialiser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mixture.gmm import GaussianMixture, kmeans_1d
+
+
+@pytest.fixture()
+def bimodal():
+    rng = np.random.default_rng(0)
+    return np.concatenate([rng.normal(-5.0, 0.5, 800), rng.normal(5.0, 0.5, 800)])
+
+
+class TestKMeans1D:
+    def test_finds_two_clusters(self, bimodal):
+        centers = kmeans_1d(bimodal, 2)
+        assert centers.size == 2
+        assert centers[0] < 0 < centers[1]
+        assert abs(centers[0] + 5.0) < 0.5
+        assert abs(centers[1] - 5.0) < 0.5
+
+    def test_k_capped_by_unique_values(self):
+        centers = kmeans_1d(np.array([1.0, 1.0, 2.0]), 10)
+        assert centers.size <= 2
+
+    def test_sorted_output(self, bimodal):
+        centers = kmeans_1d(bimodal, 4)
+        assert np.all(np.diff(centers) >= 0)
+
+    def test_single_cluster(self):
+        centers = kmeans_1d(np.array([3.0, 3.1, 2.9]), 1)
+        assert centers.size == 1
+        assert abs(centers[0] - 3.0) < 0.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([]), 2)
+
+
+class TestGaussianMixtureFitting:
+    def test_recovers_bimodal_means(self, bimodal):
+        gmm = GaussianMixture(n_components=5, seed=0).fit(bimodal)
+        means = np.sort(gmm.params_.means)
+        # The two dominant components should sit near ±5.
+        assert np.any(np.abs(means + 5.0) < 0.5)
+        assert np.any(np.abs(means - 5.0) < 0.5)
+
+    def test_weights_sum_to_one(self, bimodal):
+        gmm = GaussianMixture(n_components=4, seed=0).fit(bimodal)
+        assert gmm.params_.weights.sum() == pytest.approx(1.0)
+
+    def test_prunes_low_weight_components(self):
+        # 97% of the mass in one tight mode, 3% in another: with a 10% weight
+        # threshold the minor component(s) must be pruned away.
+        rng = np.random.default_rng(3)
+        data = np.concatenate([rng.normal(0.0, 0.1, 970), rng.normal(8.0, 0.1, 30)])
+        gmm = GaussianMixture(n_components=2, weight_threshold=0.10, seed=0).fit(data)
+        assert gmm.n_active_components == 1
+
+    def test_pruning_keeps_weights_normalised(self, bimodal):
+        gmm = GaussianMixture(n_components=10, weight_threshold=0.02, seed=0).fit(bimodal)
+        assert gmm.n_active_components <= 10
+        assert gmm.params_.weights.sum() == pytest.approx(1.0)
+
+    def test_single_component_data(self):
+        data = np.random.default_rng(1).normal(2.0, 1.0, 500)
+        gmm = GaussianMixture(n_components=3, seed=0).fit(data)
+        assert abs(gmm.params_.means[np.argmax(gmm.params_.weights)] - 2.0) < 0.3
+
+    def test_constant_data_safe(self):
+        gmm = GaussianMixture(n_components=3, seed=0).fit(np.full(100, 4.0))
+        assert gmm.n_active_components == 1
+        assert np.isfinite(gmm.params_.stds).all()
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture().responsibilities(np.array([1.0]))
+
+    def test_log_likelihood_improves_over_bad_model(self, bimodal):
+        good = GaussianMixture(n_components=4, seed=0).fit(bimodal)
+        single = GaussianMixture(n_components=1, seed=0).fit(bimodal)
+        assert good.log_likelihood(bimodal) > single.log_likelihood(bimodal)
+
+
+class TestGaussianMixtureInference:
+    def test_responsibilities_rows_sum_to_one(self, bimodal):
+        gmm = GaussianMixture(n_components=4, seed=0).fit(bimodal)
+        resp = gmm.responsibilities(bimodal[:100])
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_predict_component_separates_modes(self, bimodal):
+        gmm = GaussianMixture(n_components=2, seed=0).fit(bimodal)
+        low = gmm.predict_component(np.array([-5.0]))[0]
+        high = gmm.predict_component(np.array([5.0]))[0]
+        assert low != high
+
+    def test_sample_component_deterministic_with_rng(self, bimodal):
+        gmm = GaussianMixture(n_components=3, seed=0).fit(bimodal)
+        a = gmm.sample_component(bimodal[:50], np.random.default_rng(1))
+        b = gmm.sample_component(bimodal[:50], np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_samples_cover_both_modes(self, bimodal):
+        gmm = GaussianMixture(n_components=3, seed=0).fit(bimodal)
+        draws = gmm.sample(2000, np.random.default_rng(2))
+        assert (draws < 0).mean() > 0.3
+        assert (draws > 0).mean() > 0.3
+
+    def test_normalize_denormalize_roundtrip(self, bimodal):
+        gmm = GaussianMixture(n_components=3, seed=0).fit(bimodal)
+        values = bimodal[:200]
+        comp = gmm.predict_component(values)
+        alpha = gmm.normalize(values, comp)
+        recovered = gmm.denormalize(alpha, comp)
+        # Exact unless the value was clipped at ±1 (beyond 4 sigma of its mode).
+        not_clipped = np.abs(alpha) < 1.0
+        np.testing.assert_allclose(recovered[not_clipped], values[not_clipped], rtol=1e-9)
+
+    def test_normalize_clips_to_unit_interval(self, bimodal):
+        gmm = GaussianMixture(n_components=2, seed=0).fit(bimodal)
+        alpha = gmm.normalize(np.array([100.0]), np.array([0]))
+        assert -1.0 <= alpha[0] <= 1.0
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_fit_never_produces_invalid_parameters(self, k):
+        rng = np.random.default_rng(k)
+        data = rng.lognormal(0.0, 1.0, size=300)
+        gmm = GaussianMixture(n_components=k, seed=k).fit(data)
+        assert np.all(gmm.params_.stds > 0)
+        assert np.all(gmm.params_.weights > 0)
+        assert gmm.params_.weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,153 @@
+"""Tests for the non-neural surrogates (SMOTE, Gaussian copula) and the common
+Surrogate interface / registry."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distribution import mean_jsd, mean_wasserstein
+from repro.metrics.privacy import distance_to_closest_record
+from repro.models import available_surrogates, create_surrogate
+from repro.models.base import Surrogate
+from repro.models.gaussian_copula import GaussianCopulaSurrogate
+from repro.models.smote import SMOTESurrogate
+from repro.tabular.table import Table
+
+
+class TestRegistry:
+    def test_available_names(self):
+        names = available_surrogates()
+        for expected in ("tvae", "ctabgan+", "smote", "tabddpm"):
+            assert expected in names
+
+    def test_create_by_name_case_insensitive(self):
+        assert isinstance(create_surrogate("SMOTE"), SMOTESurrogate)
+        assert isinstance(create_surrogate("Copula"), GaussianCopulaSurrogate)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown surrogate"):
+            create_surrogate("gpt")
+
+    def test_kwargs_forwarded(self):
+        model = create_surrogate("smote", k_neighbors=3)
+        assert model.k_neighbors == 3
+
+
+class TestSurrogateBase:
+    def test_sample_before_fit_raises(self, train_table):
+        for name in ("smote", "copula"):
+            with pytest.raises(RuntimeError):
+                create_surrogate(name).sample(10)
+
+    def test_fit_empty_table_raises(self, train_table):
+        empty = Table.empty(train_table.schema)
+        with pytest.raises(ValueError):
+            create_surrogate("smote").fit(empty)
+
+    def test_is_fitted_flag(self, train_table):
+        model = create_surrogate("smote")
+        assert not model.is_fitted
+        model.fit(train_table)
+        assert model.is_fitted
+        assert model.n_training_rows_ == len(train_table)
+
+    def test_save_load_roundtrip(self, train_table, tmp_path):
+        model = SMOTESurrogate(k_neighbors=3).fit(train_table)
+        path = tmp_path / "smote.pkl"
+        model.save(path)
+        loaded = SMOTESurrogate.load(path)
+        a = loaded.sample(50, seed=1)
+        b = model.sample(50, seed=1)
+        assert a == b
+
+    def test_load_wrong_type_rejected(self, train_table, tmp_path):
+        model = SMOTESurrogate().fit(train_table)
+        path = tmp_path / "model.pkl"
+        model.save(path)
+        with pytest.raises(TypeError):
+            GaussianCopulaSurrogate.load(path)
+
+
+class TestSMOTE:
+    @pytest.fixture(scope="class")
+    def fitted(self, train_table):
+        return SMOTESurrogate(k_neighbors=5).fit(train_table)
+
+    def test_sample_schema_and_size(self, fitted, train_table):
+        synth = fitted.sample(400, seed=0)
+        assert synth.schema == train_table.schema
+        assert len(synth) == 400
+
+    def test_sample_deterministic_by_seed(self, fitted):
+        assert fitted.sample(100, seed=5) == fitted.sample(100, seed=5)
+
+    def test_categories_subset_of_training(self, fitted, train_table):
+        synth = fitted.sample(500, seed=1)
+        for column in train_table.schema.categorical:
+            assert set(np.unique(synth[column])) <= set(np.unique(train_table[column]))
+
+    def test_numericals_within_training_range(self, fitted, train_table):
+        synth = fitted.sample(500, seed=2)
+        for column in train_table.schema.numerical:
+            assert synth[column].min() >= train_table[column].min() - 1e-6
+            assert synth[column].max() <= train_table[column].max() + 1e-6
+
+    def test_high_distribution_fidelity(self, fitted, train_table):
+        synth = fitted.sample(len(train_table), seed=3)
+        wd, _ = mean_wasserstein(train_table, synth)
+        jsd, _ = mean_jsd(train_table, synth)
+        assert wd < 0.05
+        assert jsd < 0.1
+
+    def test_low_dcr_signature(self, fitted, train_table):
+        # SMOTE's defining weakness per the paper: samples hug the training data.
+        synth = fitted.sample(500, seed=4)
+        assert distance_to_closest_record(train_table, synth) < 0.05
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SMOTESurrogate(k_neighbors=0)
+
+    def test_works_on_tiny_dataset(self, train_table):
+        tiny = train_table.head(4)
+        model = SMOTESurrogate(k_neighbors=5).fit(tiny)
+        assert len(model.sample(10, seed=0)) == 10
+
+
+class TestGaussianCopula:
+    @pytest.fixture(scope="class")
+    def fitted(self, train_table):
+        return GaussianCopulaSurrogate().fit(train_table)
+
+    def test_sample_schema(self, fitted, train_table):
+        synth = fitted.sample(300, seed=0)
+        assert synth.schema == train_table.schema
+        assert len(synth) == 300
+
+    def test_marginals_match(self, fitted, train_table):
+        synth = fitted.sample(len(train_table), seed=1)
+        wd, _ = mean_wasserstein(train_table, synth)
+        jsd, _ = mean_jsd(train_table, synth)
+        assert wd < 0.05
+        assert jsd < 0.12
+
+    def test_preserves_strong_numeric_correlation(self, fitted, train_table):
+        synth = fitted.sample(len(train_table), seed=2)
+        real_corr = np.corrcoef(
+            np.log(np.asarray(train_table["workload"])),
+            np.log(np.asarray(train_table["inputfilebytes"])),
+        )[0, 1]
+        synth_corr = np.corrcoef(
+            np.log(np.maximum(np.asarray(synth["workload"]), 1e-9)),
+            np.log(np.maximum(np.asarray(synth["inputfilebytes"]), 1e-9)),
+        )[0, 1]
+        assert abs(real_corr - synth_corr) < 0.25
+
+    def test_better_privacy_than_smote(self, fitted, train_table):
+        copula_synth = fitted.sample(400, seed=3)
+        smote_synth = SMOTESurrogate().fit(train_table).sample(400, seed=3)
+        copula_dcr = distance_to_closest_record(train_table, copula_synth)
+        smote_dcr = distance_to_closest_record(train_table, smote_synth)
+        assert copula_dcr > smote_dcr
+
+    def test_deterministic_sampling(self, fitted):
+        assert fitted.sample(50, seed=9) == fitted.sample(50, seed=9)

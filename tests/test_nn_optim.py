@@ -1,0 +1,145 @@
+"""Tests for optimisers, LR schedule and gradient clipping — including a
+small end-to-end regression fit that exercises the whole nn stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, CosineSchedule, SGD, Tensor, clip_grad_norm, mse_loss
+from repro.nn.module import Parameter
+
+
+def quadratic_step(optimizer_cls, **kwargs):
+    """Minimise f(w) = ||w - 3||^2 for a few steps and return the trajectory."""
+    w = Parameter(np.array([0.0]))
+    opt = optimizer_cls([w], **kwargs)
+    values = []
+    for _ in range(200):
+        opt.zero_grad()
+        loss = ((w - 3.0) ** 2).sum()
+        loss.backward()
+        opt.step()
+        values.append(float(w.data[0]))
+    return values
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        trajectory = quadratic_step(SGD, lr=0.1)
+        assert abs(trajectory[-1] - 3.0) < 1e-3
+
+    def test_momentum_converges(self):
+        trajectory = quadratic_step(SGD, lr=0.05, momentum=0.9)
+        assert abs(trajectory[-1] - 3.0) < 1e-2
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_skips_parameters_without_grad(self):
+        w = Parameter(np.array([1.0]))
+        opt = SGD([w], lr=0.1)
+        opt.step()  # no gradient accumulated; should be a no-op
+        assert w.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        trajectory = quadratic_step(Adam, lr=0.1)
+        assert abs(trajectory[-1] - 3.0) < 1e-2
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.array([5.0]))
+        opt = Adam([w], lr=0.0001, weight_decay=10.0)
+        opt.zero_grad()
+        (w * 0.0).sum().backward()
+        opt.step()
+        assert abs(w.data[0]) < 5.0
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.2, 0.9))
+
+    def test_bias_correction_first_step(self):
+        # After one step with constant gradient g, Adam moves by ~lr*sign(g).
+        w = Parameter(np.array([0.0]))
+        opt = Adam([w], lr=0.1)
+        opt.zero_grad()
+        (w * 2.0).sum().backward()
+        opt.step()
+        assert w.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+
+class TestCosineSchedule:
+    def test_starts_at_base_lr(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1e-3)
+        sched = CosineSchedule(opt, total_steps=100)
+        assert sched.lr_at(0) == pytest.approx(1e-3)
+
+    def test_ends_at_min_lr(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1e-3)
+        sched = CosineSchedule(opt, total_steps=10, min_lr=1e-5)
+        assert sched.lr_at(10) == pytest.approx(1e-5)
+
+    def test_monotone_decay(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineSchedule(opt, total_steps=50)
+        lrs = [sched.step() for _ in range(50)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_step_updates_optimizer(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineSchedule(opt, total_steps=2)
+        sched.step()
+        assert opt.lr < 1.0
+
+    def test_invalid_total_steps(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineSchedule(opt, total_steps=0)
+
+
+class TestGradClipping:
+    def test_norm_reduced(self):
+        w = Parameter(np.ones(4))
+        (w * 100.0).sum().backward()
+        norm_before = np.linalg.norm(w.grad)
+        returned = clip_grad_norm([w], max_norm=1.0)
+        assert returned == pytest.approx(norm_before)
+        assert np.linalg.norm(w.grad) <= 1.0 + 1e-9
+
+    def test_small_gradients_untouched(self):
+        w = Parameter(np.ones(2))
+        (w * 0.01).sum().backward()
+        before = w.grad.copy()
+        clip_grad_norm([w], max_norm=10.0)
+        np.testing.assert_array_equal(w.grad, before)
+
+    def test_no_grads_returns_zero(self):
+        assert clip_grad_norm([Parameter(np.ones(2))], 1.0) == 0.0
+
+
+class TestEndToEndTraining:
+    def test_mlp_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(256, 3))
+        y = (X @ np.array([1.0, -2.0, 0.5]))[:, None] + 0.3
+        model = MLP(3, [32], 1, activation="relu", seed=0)
+        opt = Adam(model.parameters(), lr=1e-2)
+        first_loss = None
+        for step in range(300):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(X)), y)
+            loss.backward()
+            opt.step()
+            if first_loss is None:
+                first_loss = loss.item()
+        final_loss = mse_loss(model(Tensor(X)), y).item()
+        assert final_loss < 0.05 * first_loss

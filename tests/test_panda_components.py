@@ -1,0 +1,240 @@
+"""Tests for the PanDA substrate components: sites, DAOD catalog, users, temporal
+process and workload derivation."""
+
+import numpy as np
+import pytest
+
+from repro.panda.daod import (
+    DatasetCatalog,
+    is_daod,
+    parse_dataset_name,
+)
+from repro.panda.sites import ComputingSite, SiteCatalog
+from repro.panda.temporal import ArrivalProcess, CampaignBurst
+from repro.panda.users import UserPopulation
+from repro.panda.workload import hs23_workload, sample_core_counts, sample_cpu_time_hours
+
+
+class TestSiteCatalog:
+    def test_default_size(self):
+        catalog = SiteCatalog.default(25, seed=0)
+        assert len(catalog) == 25
+        assert len(set(catalog.names)) == 25
+
+    def test_popularity_normalised_and_skewed(self):
+        catalog = SiteCatalog.default(30, seed=0)
+        assert catalog.popularity.sum() == pytest.approx(1.0)
+        assert catalog.popularity[0] > catalog.popularity[-1]
+
+    def test_bnl_is_most_popular(self):
+        catalog = SiteCatalog.default(40, seed=0)
+        assert catalog.sites[int(np.argmax(catalog.popularity))].name == "BNL"
+
+    def test_lookup(self):
+        catalog = SiteCatalog.default(10, seed=0)
+        assert catalog["BNL"].name == "BNL"
+        assert "BNL" in catalog
+        with pytest.raises(KeyError):
+            catalog["NOWHERE"]
+
+    def test_hs23_lookup_vectorised(self):
+        catalog = SiteCatalog.default(10, seed=0)
+        values = catalog.hs23_of(["BNL", "BNL", "TRIUMF"])
+        assert values.shape == (3,)
+        assert values[0] == values[1] == catalog["BNL"].hs23_per_core
+
+    def test_reliability_range(self):
+        catalog = SiteCatalog.default(50, seed=1)
+        rel = catalog.reliability_of(catalog.names)
+        assert (rel >= 0.7).all() and (rel <= 0.995).all()
+
+    def test_sample_sites_respects_popularity(self):
+        catalog = SiteCatalog.default(20, seed=0)
+        draws = catalog.sample_sites(5000, np.random.default_rng(0))
+        top_fraction = np.mean(draws == catalog.names[0])
+        bottom_fraction = np.mean(draws == catalog.names[-1])
+        assert top_fraction > bottom_fraction
+
+    def test_more_sites_than_builtin_names(self):
+        catalog = SiteCatalog.default(70, seed=0)
+        assert len(catalog) == 70
+
+    def test_deterministic_by_seed(self):
+        a = SiteCatalog.default(15, seed=5)
+        b = SiteCatalog.default(15, seed=5)
+        assert [s.hs23_per_core for s in a.sites] == [s.hs23_per_core for s in b.sites]
+
+    def test_core_hours_conversion(self):
+        site = ComputingSite("X", hs23_per_core=10.0, n_cores=100, reliability=0.9, region="EU")
+        np.testing.assert_allclose(site.core_hours_to_workload(np.array([2.0])), [20.0])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SiteCatalog([], None)
+        with pytest.raises(ValueError):
+            SiteCatalog.default(0)
+
+
+class TestDatasetNomenclature:
+    def test_parse_roundtrip_fields(self):
+        name = "mc23_13p6TeV.123456.e8514_s4162_r14622.deriv.DAOD_PHYS.p0012"
+        parsed = parse_dataset_name(name)
+        assert parsed["project"] == "mc23_13p6TeV"
+        assert parsed["prodstep"] == "deriv"
+        assert parsed["datatype"] == "DAOD_PHYS"
+        assert parsed["version"] == "p0012"
+
+    def test_parse_invalid_name(self):
+        with pytest.raises(ValueError):
+            parse_dataset_name("not.a.dataset")
+
+    def test_is_daod(self):
+        assert is_daod("DAOD_PHYSLITE")
+        assert not is_daod("AOD")
+
+
+class TestDatasetCatalog:
+    def test_size_and_fraction(self):
+        catalog = DatasetCatalog(500, daod_fraction=0.8, seed=0)
+        assert len(catalog) == 500
+        daod_fraction = len(catalog.daod_datasets) / len(catalog)
+        assert 0.7 < daod_fraction < 0.9
+
+    def test_names_are_parseable(self):
+        catalog = DatasetCatalog(100, seed=1)
+        for record in catalog.datasets[:20]:
+            parsed = parse_dataset_name(record.name)
+            assert parsed["project"] == record.project
+            assert parsed["datatype"] == record.datatype
+
+    def test_popularity_distribution(self):
+        catalog = DatasetCatalog(200, seed=0)
+        assert catalog.popularity.sum() == pytest.approx(1.0)
+        draws = catalog.sample_indices(1000, np.random.default_rng(0))
+        assert draws.min() >= 0 and draws.max() < 200
+
+    def test_file_counts_positive(self):
+        catalog = DatasetCatalog(300, seed=2)
+        assert all(d.n_files >= 1 for d in catalog.datasets)
+        assert all(d.total_bytes > 0 for d in catalog.datasets)
+
+    def test_physlite_smaller_than_aod_on_average(self):
+        catalog = DatasetCatalog(3000, seed=3)
+        lite = [d.total_bytes / d.n_files for d in catalog.datasets if d.datatype == "DAOD_PHYSLITE"]
+        aod = [d.total_bytes / d.n_files for d in catalog.datasets if d.datatype == "AOD"]
+        assert np.mean(lite) < np.mean(aod)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DatasetCatalog(0)
+        with pytest.raises(ValueError):
+            DatasetCatalog(10, daod_fraction=0.0)
+
+
+class TestUserPopulation:
+    def test_default_population(self):
+        users = UserPopulation.default(100, seed=0)
+        assert len(users) == 100
+        assert users.activity_distribution.sum() == pytest.approx(1.0)
+
+    def test_activity_heterogeneous(self):
+        users = UserPopulation.default(300, seed=1)
+        top = users.top_users(10)
+        top_share = sum(users.activity_distribution[users.users.index(u)] for u in top)
+        assert top_share > 10 / 300  # heavier than uniform
+
+    def test_sampling(self):
+        users = UserPopulation.default(50, seed=2)
+        draws = users.sample_users(1000, np.random.default_rng(0))
+        assert draws.min() >= 0 and draws.max() < 50
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UserPopulation([])
+        with pytest.raises(ValueError):
+            UserPopulation.default(0)
+
+
+class TestArrivalProcess:
+    def test_sample_times_in_window(self):
+        process = ArrivalProcess.default(60.0, seed=0)
+        times = process.sample_times(2000, seed=1)
+        assert times.min() >= 0.0 and times.max() <= 60.0
+        assert times.shape == (2000,)
+
+    def test_sorted_output(self):
+        times = ArrivalProcess.default(30.0, seed=0).sample_times(500, seed=2)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_zero_jobs(self):
+        assert ArrivalProcess.default(10.0, seed=0).sample_times(0, seed=0).size == 0
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess.default(10.0, seed=0).sample_times(-1)
+
+    def test_weekend_suppression(self):
+        process = ArrivalProcess(n_days=70.0, diurnal_amplitude=0.0, weekly_amplitude=0.5, bursts=[])
+        times = process.sample_times(40_000, seed=3)
+        day_of_week = np.floor(times) % 7
+        weekend_rate = np.mean(day_of_week >= 5) / (2 / 7)
+        weekday_rate = np.mean(day_of_week < 5) / (5 / 7)
+        assert weekend_rate < weekday_rate
+
+    def test_burst_increases_local_rate(self):
+        burst = CampaignBurst(center_day=10.0, amplitude=5.0, width_days=1.0)
+        process = ArrivalProcess(n_days=20.0, diurnal_amplitude=0.0, weekly_amplitude=0.0,
+                                 drift_scale=0.0, bursts=[burst])
+        times = process.sample_times(30_000, seed=4)
+        near_burst = np.mean(np.abs(times - 10.0) < 1.0)
+        elsewhere = np.mean(np.abs(times - 15.0) < 1.0)
+        assert near_burst > 2.0 * elsewhere
+
+    def test_expected_profile_positive(self):
+        grid, rate = ArrivalProcess.default(50.0, seed=0).expected_profile()
+        assert (rate > 0).all()
+
+    def test_rate_multiplier_peaks_at_center(self):
+        burst = CampaignBurst(center_day=5.0, amplitude=2.0, width_days=1.0)
+        values = burst.rate_multiplier(np.array([0.0, 5.0, 10.0]))
+        assert values[1] == values.max()
+
+
+class TestWorkloadDerivation:
+    def test_hs23_workload_formula(self):
+        out = hs23_workload(np.array([8.0]), np.array([2.0]), np.array([12.5]))
+        np.testing.assert_allclose(out, [8.0 * 2.0 * 12.5])
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            hs23_workload(np.array([-1.0]), np.array([1.0]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hs23_workload(np.array([1.0, 2.0]), np.array([1.0]), np.array([1.0]))
+
+    def test_cpu_time_scales_with_bytes(self):
+        rng = np.random.default_rng(0)
+        small = sample_cpu_time_hours(
+            np.full(2000, 10.0), np.full(2000, 1e9), ["DAOD_PHYS"] * 2000, rng
+        )
+        rng = np.random.default_rng(0)
+        large = sample_cpu_time_hours(
+            np.full(2000, 10.0), np.full(2000, 100e9), ["DAOD_PHYS"] * 2000, rng
+        )
+        assert large.mean() > 10.0 * small.mean()
+
+    def test_physlite_cheaper_than_phys(self):
+        rng = np.random.default_rng(1)
+        lite = sample_cpu_time_hours(
+            np.full(3000, 10.0), np.full(3000, 10e9), ["DAOD_PHYSLITE"] * 3000, rng
+        )
+        rng = np.random.default_rng(1)
+        phys = sample_cpu_time_hours(
+            np.full(3000, 10.0), np.full(3000, 10e9), ["DAOD_PHYS"] * 3000, rng
+        )
+        assert lite.mean() < phys.mean()
+
+    def test_core_counts_valid(self):
+        cores = sample_core_counts(1000, np.random.default_rng(0))
+        assert set(np.unique(cores)) <= {1.0, 2.0, 4.0, 8.0, 16.0}

@@ -1,0 +1,243 @@
+"""Tests for the discrete-event grid simulator (events, cluster, brokers, simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.panda.sites import SiteCatalog
+from repro.scheduler.broker import DataLocalityBroker, LeastLoadedBroker, RandomBroker, make_broker
+from repro.scheduler.cluster import GridCluster, SiteState
+from repro.scheduler.events import Event, EventQueue, EventType
+from repro.scheduler.jobs import SimulatedJob, jobs_from_table
+from repro.scheduler.simulator import GridSimulator, compare_workloads
+
+
+@pytest.fixture()
+def catalog():
+    return SiteCatalog.default(8, seed=0)
+
+
+@pytest.fixture()
+def cluster(catalog):
+    return GridCluster(catalog, capacity_scale=0.01, min_capacity=4)
+
+
+def make_jobs(n=50, spacing=0.01, workload=50.0, cores=1):
+    return [
+        SimulatedJob(job_id=i, arrival_time=i * spacing, cores=cores, workload=workload, project=f"p{i % 3}")
+        for i in range(n)
+    ]
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(2.0, EventType.JOB_FINISH))
+        q.push(Event(1.0, EventType.JOB_ARRIVAL))
+        assert q.pop().time == 1.0
+        assert q.pop().time == 2.0
+
+    def test_stable_for_equal_times(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventType.JOB_ARRIVAL, "first"))
+        q.push(Event(1.0, EventType.JOB_ARRIVAL, "second"))
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(Event(0.0, EventType.JOB_ARRIVAL))
+        assert len(q) == 1 and q
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(Event(3.5, EventType.JOB_ARRIVAL))
+        assert q.peek_time() == 3.5
+
+
+class TestJobs:
+    def test_runtime_scaling(self):
+        job = SimulatedJob(0, 0.0, cores=4, workload=100.0)
+        assert job.runtime_at(25.0) == pytest.approx(1.0)
+        assert job.runtime_at(50.0) == pytest.approx(0.5)
+
+    def test_runtime_invalid_power(self):
+        with pytest.raises(ValueError):
+            SimulatedJob(0, 0.0, 1, 1.0).runtime_at(0.0)
+
+    def test_jobs_from_table(self, panda_table):
+        jobs = jobs_from_table(panda_table.head(100))
+        assert len(jobs) == 100
+        times = [j.arrival_time for j in jobs]
+        assert times == sorted(times)
+        assert all(j.cores == 1 for j in jobs)
+        assert all(j.workload >= 0 for j in jobs)
+
+    def test_jobs_from_table_custom_cores(self, panda_table):
+        jobs = jobs_from_table(panda_table.head(10), cores=np.full(10, 8))
+        assert all(j.cores == 8 for j in jobs)
+
+
+class TestCluster:
+    def test_capacity_positive(self, cluster):
+        assert cluster.total_capacity() > 0
+        assert all(state.capacity >= 4 for state in cluster.sites.values())
+
+    def test_allocate_release_cycle(self, cluster):
+        name = cluster.names[0]
+        state = cluster[name]
+        state.allocate(2, 1.0)
+        assert state.busy_cores == 2
+        state.release(2, 2.0)
+        assert state.busy_cores == 0
+        assert state.core_hours_used == pytest.approx(2.0)
+
+    def test_over_allocation_rejected(self, cluster):
+        state = cluster[cluster.names[0]]
+        with pytest.raises(RuntimeError):
+            state.allocate(state.capacity + 1, 0.0)
+
+    def test_release_more_than_busy_rejected(self, cluster):
+        state = cluster[cluster.names[0]]
+        with pytest.raises(RuntimeError):
+            state.release(1, 0.0)
+
+    def test_time_cannot_move_backwards(self, cluster):
+        state = cluster[cluster.names[0]]
+        state.advance_to(5.0)
+        with pytest.raises(ValueError):
+            state.advance_to(1.0)
+
+    def test_utilization_bounded(self, cluster):
+        state = cluster[cluster.names[0]]
+        state.allocate(state.capacity, 0.0)
+        state.advance_to(10.0)
+        assert state.utilization(10.0) == pytest.approx(1.0)
+
+    def test_invalid_scale(self, catalog):
+        with pytest.raises(ValueError):
+            GridCluster(catalog, capacity_scale=0.0)
+
+
+class TestBrokers:
+    def test_least_loaded_prefers_free_site(self, cluster):
+        job = SimulatedJob(0, 0.0, cores=1, workload=10.0)
+        broker = LeastLoadedBroker()
+        chosen = broker.select_site(job, cluster)
+        assert chosen is not None
+        free = {name: s.free_cores for name, s in cluster.sites.items()}
+        assert free[chosen] == max(free.values())
+
+    def test_random_broker_only_eligible_sites(self, cluster):
+        # Fill every site except one; the random broker must pick the free one.
+        names = cluster.names
+        for name in names[1:]:
+            cluster[name].allocate(cluster[name].capacity, 0.0)
+        job = SimulatedJob(0, 0.0, cores=1, workload=1.0)
+        broker = RandomBroker(seed=0)
+        for _ in range(10):
+            assert broker.select_site(job, cluster) == names[0]
+
+    def test_broker_returns_none_when_full(self, cluster):
+        for name in cluster.names:
+            cluster[name].allocate(cluster[name].capacity, 0.0)
+        job = SimulatedJob(0, 0.0, cores=1, workload=1.0)
+        assert LeastLoadedBroker().select_site(job, cluster) is None
+        assert RandomBroker(seed=0).select_site(job, cluster) is None
+
+    def test_data_locality_prefers_hosts(self, cluster):
+        broker = DataLocalityBroker(cluster, replicas_per_project=2, seed=0)
+        job = SimulatedJob(0, 0.0, cores=1, workload=1.0, project="mc23_13p6TeV")
+        hosts = set(broker._hosts_of("mc23_13p6TeV"))
+        assert broker.select_site(job, cluster) in hosts
+
+    def test_data_locality_fallback(self, cluster):
+        broker = DataLocalityBroker(cluster, replicas_per_project=1, seed=0)
+        job = SimulatedJob(0, 0.0, cores=1, workload=1.0, project="projX")
+        host = broker._hosts_of("projX")[0]
+        cluster[host].allocate(cluster[host].capacity, 0.0)
+        chosen = broker.select_site(job, cluster)
+        assert chosen is not None and chosen != host
+
+    def test_make_broker_factory(self, cluster):
+        assert isinstance(make_broker("random", cluster), RandomBroker)
+        assert isinstance(make_broker("least_loaded", cluster), LeastLoadedBroker)
+        assert isinstance(make_broker("data_locality", cluster), DataLocalityBroker)
+        with pytest.raises(ValueError):
+            make_broker("fifo", cluster)
+
+
+class TestSimulator:
+    def test_all_jobs_complete(self, cluster):
+        result = GridSimulator(cluster, LeastLoadedBroker()).run(make_jobs(100))
+        assert result.n_completed == 100
+        assert result.makespan_days > 0
+
+    def test_no_contention_means_no_wait(self, cluster):
+        # A single tiny job per hour on an idle grid should never wait.
+        jobs = make_jobs(10, spacing=1.0, workload=1.0)
+        result = GridSimulator(cluster, LeastLoadedBroker()).run(jobs)
+        assert result.mean_wait_hours == pytest.approx(0.0, abs=1e-9)
+
+    def test_contention_creates_waits(self, catalog):
+        tiny_cluster = GridCluster(catalog, capacity_scale=1e-9, min_capacity=1)
+        jobs = make_jobs(60, spacing=0.0, workload=500.0)
+        result = GridSimulator(tiny_cluster, LeastLoadedBroker()).run(jobs)
+        assert result.mean_wait_hours > 0.0
+        assert result.p95_wait_hours >= result.mean_wait_hours
+
+    def test_utilization_increases_with_load(self, catalog):
+        light = GridSimulator(GridCluster(catalog, capacity_scale=0.01), LeastLoadedBroker()).run(
+            make_jobs(20, workload=10.0)
+        )
+        heavy = GridSimulator(GridCluster(catalog, capacity_scale=0.01), LeastLoadedBroker()).run(
+            make_jobs(400, spacing=0.001, workload=200.0)
+        )
+        assert heavy.mean_utilization > light.mean_utilization
+
+    def test_least_loaded_not_worse_than_random(self, catalog):
+        jobs = make_jobs(300, spacing=0.001, workload=300.0, cores=2)
+        random_result = GridSimulator(
+            GridCluster(catalog, capacity_scale=0.002, min_capacity=2), RandomBroker(seed=0)
+        ).run(jobs)
+        ll_result = GridSimulator(
+            GridCluster(catalog, capacity_scale=0.002, min_capacity=2), LeastLoadedBroker()
+        ).run(jobs)
+        assert ll_result.mean_wait_hours <= random_result.mean_wait_hours + 1e-6
+
+    def test_result_row_format(self, cluster):
+        result = GridSimulator(cluster, LeastLoadedBroker()).run(make_jobs(10))
+        row = result.as_row()
+        assert row["completed"] == 10
+        assert "mean_utilization" in row
+
+    def test_deterministic_with_deterministic_broker(self, catalog):
+        jobs = make_jobs(50)
+        a = GridSimulator(GridCluster(catalog, capacity_scale=0.01), LeastLoadedBroker()).run(jobs)
+        b = GridSimulator(GridCluster(catalog, capacity_scale=0.01), LeastLoadedBroker()).run(jobs)
+        assert a.mean_wait_hours == b.mean_wait_hours
+        assert a.makespan_days == b.makespan_days
+
+    def test_empty_job_list(self, cluster):
+        result = GridSimulator(cluster, LeastLoadedBroker()).run([])
+        assert result.n_jobs == 0 and result.n_completed == 0
+
+    def test_compare_workloads_runs_fresh_clusters(self, catalog):
+        workloads = {"a": make_jobs(30), "b": make_jobs(30, workload=500.0)}
+        results = compare_workloads(
+            lambda: GridCluster(catalog, capacity_scale=0.01), "least_loaded", workloads
+        )
+        assert set(results) == {"a", "b"}
+        assert all(r.n_completed == 30 for r in results.values())
+
+    def test_simulation_with_real_trace(self, panda_table, panda_generator):
+        jobs = jobs_from_table(panda_table.head(400))
+        cluster = GridCluster(panda_generator.sites, capacity_scale=0.005)
+        result = GridSimulator(cluster, LeastLoadedBroker()).run(jobs)
+        assert result.n_completed == 400
+        assert 0.0 <= result.mean_utilization <= 1.0

@@ -1,0 +1,146 @@
+"""Tests for repro.tabular.encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tabular.encoding import FrequencyTable, LabelEncoder, OneHotEncoder
+
+
+class TestLabelEncoder:
+    def test_most_frequent_gets_code_zero(self):
+        enc = LabelEncoder().fit(["b", "a", "b", "b", "a", "c"])
+        assert enc.categories_[0] == "b"
+
+    def test_transform_roundtrip(self):
+        values = ["x", "y", "z", "y", "x"]
+        enc = LabelEncoder().fit(values)
+        codes = enc.transform(values)
+        np.testing.assert_array_equal(enc.inverse_transform(codes), np.asarray(values))
+
+    def test_unknown_maps_to_most_frequent(self):
+        enc = LabelEncoder().fit(["a", "a", "b"])
+        assert enc.transform(["zzz"])[0] == 0
+
+    def test_unknown_error_mode(self):
+        enc = LabelEncoder(handle_unknown="error").fit(["a", "b"])
+        with pytest.raises(ValueError, match="unknown"):
+            enc.transform(["c"])
+
+    def test_invalid_handle_unknown(self):
+        with pytest.raises(ValueError):
+            LabelEncoder(handle_unknown="bogus")
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            LabelEncoder().fit([])
+
+    def test_n_categories(self):
+        assert LabelEncoder().fit(["a", "b", "c", "a"]).n_categories == 3
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])
+
+    def test_inverse_out_of_range(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            enc.inverse_transform([5])
+
+    def test_numeric_categories_coerced(self):
+        enc = LabelEncoder().fit([1, 2, 2, 3])
+        assert set(enc.categories_) == {"1", "2", "3"}
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, values):
+        enc = LabelEncoder().fit(values)
+        recovered = enc.inverse_transform(enc.transform(values))
+        assert recovered.tolist() == values
+
+
+class TestOneHotEncoder:
+    def test_shape(self):
+        enc = OneHotEncoder().fit(["a", "b", "c"])
+        assert enc.transform(["a", "b"]).shape == (2, 3)
+
+    def test_rows_sum_to_one(self):
+        enc = OneHotEncoder().fit(["a", "b", "c", "a"])
+        onehot = enc.transform(["a", "c", "b"])
+        np.testing.assert_allclose(onehot.sum(axis=1), 1.0)
+
+    def test_roundtrip(self):
+        values = ["p", "q", "p", "r"]
+        enc = OneHotEncoder().fit(values)
+        np.testing.assert_array_equal(
+            enc.inverse_transform(enc.transform(values)), np.asarray(values)
+        )
+
+    def test_inverse_accepts_soft_probabilities(self):
+        enc = OneHotEncoder().fit(["a", "b"])
+        soft = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert enc.inverse_transform(soft).tolist() == ["a", "b"]
+
+    def test_inverse_wrong_width(self):
+        enc = OneHotEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            enc.inverse_transform(np.ones((2, 3)))
+
+    def test_transform_codes_matches_label_encoder(self):
+        values = ["a", "b", "b", "c"]
+        enc = OneHotEncoder().fit(values)
+        np.testing.assert_array_equal(
+            enc.transform_codes(values), enc.label_encoder.transform(values)
+        )
+
+
+class TestFrequencyTable:
+    def test_probabilities_normalised(self):
+        table = FrequencyTable(["a", "b"], [3.0, 1.0])
+        assert table.probabilities.sum() == pytest.approx(1.0)
+        assert table.probability_of("a") == pytest.approx(0.75)
+
+    def test_sorted_by_probability(self):
+        table = FrequencyTable(["low", "high"], [0.1, 0.9])
+        assert table.categories[0] == "high"
+
+    def test_unseen_probability_zero(self):
+        assert FrequencyTable(["a"], [1.0]).probability_of("zzz") == 0.0
+
+    def test_from_values(self):
+        table = FrequencyTable.from_values(["x", "x", "y"])
+        assert table.probability_of("x") == pytest.approx(2.0 / 3.0)
+
+    def test_top_k(self):
+        table = FrequencyTable(["a", "b", "c"], [5, 3, 2])
+        top = table.top_k(2)
+        assert [c for c, _ in top] == ["a", "b"]
+
+    def test_top_k_larger_than_support(self):
+        assert len(FrequencyTable(["a"], [1.0]).top_k(5)) == 1
+
+    def test_sample_support(self):
+        table = FrequencyTable(["a", "b"], [0.5, 0.5])
+        draws = table.sample(100, np.random.default_rng(0))
+        assert set(draws) <= {"a", "b"}
+
+    def test_sample_respects_skew(self):
+        table = FrequencyTable(["common", "rare"], [0.99, 0.01])
+        draws = table.sample(500, np.random.default_rng(1))
+        assert (draws == "common").mean() > 0.9
+
+    def test_entropy_uniform_is_maximal(self):
+        uniform = FrequencyTable(["a", "b"], [1, 1]).entropy()
+        skewed = FrequencyTable(["a", "b"], [9, 1]).entropy()
+        assert uniform > skewed
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            FrequencyTable(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            FrequencyTable([], [])
+        with pytest.raises(ValueError):
+            FrequencyTable(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            FrequencyTable(["a", "b"], [0.0, 0.0])

@@ -1,0 +1,119 @@
+"""Tests for repro.tabular.mixed (whole-table encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.tabular.mixed import MixedEncoder
+from repro.tabular.schema import TableSchema
+from repro.tabular.table import Table
+from repro.tabular.transforms import StandardScaler
+
+
+class TestMixedEncoder:
+    def test_output_width(self, tiny_table):
+        enc = MixedEncoder().fit(tiny_table)
+        # 2 numerical + 2 categories (color) + 3 categories (status)
+        assert enc.n_features == 2 + 2 + 3
+
+    def test_block_layout_covers_all_features(self, tiny_table):
+        enc = MixedEncoder().fit(tiny_table)
+        widths = sum(b.width for b in enc.blocks_)
+        assert widths == enc.n_features
+        assert enc.blocks_[0].start == 0
+        for prev, nxt in zip(enc.blocks_, enc.blocks_[1:]):
+            assert nxt.start == prev.stop
+
+    def test_transform_shape(self, tiny_table):
+        enc = MixedEncoder()
+        matrix = enc.fit_transform(tiny_table)
+        assert matrix.values.shape == (len(tiny_table), enc.n_features)
+
+    def test_numerical_indices(self, tiny_table):
+        enc = MixedEncoder()
+        matrix = enc.fit_transform(tiny_table)
+        assert matrix.numerical_indices.tolist() == [0, 1]
+
+    def test_categorical_blocks_sum_to_one(self, tiny_table):
+        enc = MixedEncoder()
+        matrix = enc.fit_transform(tiny_table)
+        for block in matrix.categorical_blocks:
+            sums = matrix.values[:, block.slice].sum(axis=1)
+            np.testing.assert_allclose(sums, 1.0)
+
+    def test_roundtrip_categoricals_exact(self, tiny_table):
+        enc = MixedEncoder()
+        matrix = enc.fit_transform(tiny_table)
+        recovered = enc.inverse_transform(matrix.values)
+        np.testing.assert_array_equal(recovered["color"], tiny_table["color"])
+        np.testing.assert_array_equal(recovered["status"], tiny_table["status"])
+
+    def test_roundtrip_numericals_close(self, tiny_table):
+        enc = MixedEncoder()
+        matrix = enc.fit_transform(tiny_table)
+        recovered = enc.inverse_transform(matrix.values)
+        # Quantile transform round-trip is approximate at the tails.
+        corr = np.corrcoef(recovered["x"], tiny_table["x"])[0, 1]
+        assert corr > 0.99
+
+    def test_schema_mismatch_rejected(self, tiny_table):
+        enc = MixedEncoder().fit(tiny_table)
+        other = tiny_table.drop(["status"])
+        with pytest.raises(ValueError):
+            enc.transform(other)
+
+    def test_wrong_matrix_width_rejected(self, tiny_table):
+        enc = MixedEncoder().fit(tiny_table)
+        with pytest.raises(ValueError):
+            enc.inverse_transform(np.zeros((3, enc.n_features + 1)))
+
+    def test_unfitted_raises(self, tiny_table):
+        with pytest.raises(RuntimeError):
+            MixedEncoder().transform(tiny_table)
+
+    def test_custom_numerical_transform(self, tiny_table):
+        enc = MixedEncoder(numerical_transform_factory=StandardScaler).fit(tiny_table)
+        matrix = enc.transform(tiny_table)
+        x_encoded = matrix.values[:, 0]
+        assert abs(x_encoded.mean()) < 1e-9
+
+    def test_category_cardinalities(self, tiny_table):
+        enc = MixedEncoder().fit(tiny_table)
+        assert enc.category_cardinalities() == [2, 3]
+
+    def test_block_lookup(self, tiny_table):
+        enc = MixedEncoder()
+        matrix = enc.fit_transform(tiny_table)
+        block = matrix.block("status")
+        assert block.width == 3
+        with pytest.raises(KeyError):
+            matrix.block("missing")
+
+
+class TestTransformCodes:
+    def test_codes_shapes(self, tiny_table):
+        enc = MixedEncoder().fit(tiny_table)
+        num, cat = enc.transform_codes(tiny_table)
+        assert num.shape == (len(tiny_table), 2)
+        assert cat.shape == (len(tiny_table), 2)
+
+    def test_codes_roundtrip(self, tiny_table):
+        enc = MixedEncoder().fit(tiny_table)
+        num, cat = enc.transform_codes(tiny_table)
+        recovered = enc.inverse_transform_codes(num, cat)
+        np.testing.assert_array_equal(recovered["color"], tiny_table["color"])
+        np.testing.assert_array_equal(recovered["status"], tiny_table["status"])
+
+    def test_codes_clipped_to_valid_range(self, tiny_table):
+        enc = MixedEncoder().fit(tiny_table)
+        num, cat = enc.transform_codes(tiny_table)
+        cat = cat.astype(float) + 100.0  # out-of-range codes
+        recovered = enc.inverse_transform_codes(num, cat)
+        assert set(recovered["status"]) <= set(tiny_table["status"])
+
+    def test_on_panda_table(self, train_table):
+        enc = MixedEncoder().fit(train_table)
+        matrix = enc.transform(train_table)
+        assert matrix.n_rows == len(train_table)
+        assert matrix.n_features == enc.n_features
+        recovered = enc.inverse_transform(matrix.values)
+        assert recovered.schema == train_table.schema

@@ -1,0 +1,98 @@
+"""Tests for repro.tabular.schema."""
+
+import pytest
+
+from repro.tabular.schema import ColumnKind, ColumnSchema, TableSchema
+
+
+class TestColumnSchema:
+    def test_kind_coercion_from_string(self):
+        col = ColumnSchema("a", "numerical")
+        assert col.kind is ColumnKind.NUMERICAL
+
+    def test_is_numerical_flag(self):
+        assert ColumnSchema("a", ColumnKind.NUMERICAL).is_numerical
+        assert not ColumnSchema("a", ColumnKind.NUMERICAL).is_categorical
+
+    def test_is_categorical_flag(self):
+        assert ColumnSchema("a", ColumnKind.CATEGORICAL).is_categorical
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSchema("", ColumnKind.NUMERICAL)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSchema("a", "weird")
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema.from_columns(numerical=["w", "t"], categorical=["site", "status"])
+
+    def test_names_order(self):
+        assert self.make().names == ["w", "t", "site", "status"]
+
+    def test_numerical_and_categorical_lists(self):
+        schema = self.make()
+        assert schema.numerical == ["w", "t"]
+        assert schema.categorical == ["site", "status"]
+
+    def test_kind_of(self):
+        schema = self.make()
+        assert schema.kind_of("w") is ColumnKind.NUMERICAL
+        assert schema.kind_of("site") is ColumnKind.CATEGORICAL
+
+    def test_contains(self):
+        schema = self.make()
+        assert "w" in schema
+        assert "missing" not in schema
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self.make()["nope"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema([ColumnSchema("a", "numerical"), ColumnSchema("a", "categorical")])
+
+    def test_from_kinds_preserves_order(self):
+        schema = TableSchema.from_kinds({"b": "categorical", "a": "numerical"})
+        assert schema.names == ["b", "a"]
+
+    def test_select_subset(self):
+        sub = self.make().select(["site", "w"])
+        assert sub.names == ["site", "w"]
+
+    def test_drop(self):
+        schema = self.make().drop(["t"])
+        assert schema.names == ["w", "site", "status"]
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self.make().drop(["nope"])
+
+    def test_rename(self):
+        renamed = self.make().rename({"w": "workload"})
+        assert "workload" in renamed and "w" not in renamed
+
+    def test_with_column(self):
+        extended = self.make().with_column(ColumnSchema("new", "numerical"))
+        assert extended.names[-1] == "new"
+
+    def test_roundtrip_dict(self):
+        schema = self.make()
+        assert TableSchema.from_dict(schema.to_dict()) == schema
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        assert self.make() != self.make().drop(["w"])
+
+    def test_describe(self):
+        pairs = self.make().describe()
+        assert ("w", "numerical") in pairs and ("site", "categorical") in pairs
+
+    def test_len_and_iter(self):
+        schema = self.make()
+        assert len(schema) == 4
+        assert [c.name for c in schema] == schema.names

@@ -1,0 +1,113 @@
+"""Tests for repro.tabular.splits and repro.tabular.io."""
+
+import numpy as np
+import pytest
+
+from repro.tabular.io import read_csv, read_npz, write_csv, write_npz
+from repro.tabular.schema import TableSchema
+from repro.tabular.splits import kfold_indices, temporal_split, train_test_split
+from repro.tabular.table import Table
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, tiny_table):
+        train, test = train_test_split(tiny_table, 0.25, seed=0)
+        assert len(test) == 50
+        assert len(train) == 150
+
+    def test_disjoint_and_complete(self, tiny_table):
+        train, test = train_test_split(tiny_table, 0.2, seed=0)
+        assert len(train) + len(test) == len(tiny_table)
+        combined = sorted(np.concatenate([train["x"], test["x"]]).tolist())
+        assert combined == sorted(tiny_table["x"].tolist())
+
+    def test_deterministic_by_seed(self, tiny_table):
+        a, _ = train_test_split(tiny_table, 0.2, seed=7)
+        b, _ = train_test_split(tiny_table, 0.2, seed=7)
+        assert a == b
+
+    def test_no_shuffle_keeps_order(self, tiny_table):
+        train, test = train_test_split(tiny_table, 0.1, shuffle=False)
+        np.testing.assert_array_equal(test["x"], tiny_table["x"][:20])
+
+    def test_invalid_fraction(self, tiny_table):
+        with pytest.raises(ValueError):
+            train_test_split(tiny_table, 1.5)
+
+    def test_zero_fraction(self, tiny_table):
+        train, test = train_test_split(tiny_table, 0.0)
+        assert len(test) == 0 and len(train) == len(tiny_table)
+
+
+class TestTemporalSplit:
+    def test_train_precedes_test(self, panda_table):
+        train, test = temporal_split(panda_table, "creationtime", 0.3)
+        assert train["creationtime"].max() <= test["creationtime"].min() + 1e-9
+
+    def test_sizes(self, panda_table):
+        train, test = temporal_split(panda_table, "creationtime", 0.25)
+        assert len(test) == int(round(0.25 * len(panda_table)))
+
+
+class TestKFold:
+    def test_covers_all_rows(self):
+        folds = list(kfold_indices(100, 5, seed=0))
+        assert len(folds) == 5
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        np.testing.assert_array_equal(all_test, np.arange(100))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(50, 5, seed=1):
+            assert set(train).isdisjoint(set(test))
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 5))
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, 1))
+
+
+class TestIO:
+    def test_csv_roundtrip(self, tiny_table, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(tiny_table, path)
+        loaded = read_csv(path)
+        assert loaded.schema == tiny_table.schema
+        np.testing.assert_allclose(loaded["x"], tiny_table["x"], rtol=1e-12)
+        np.testing.assert_array_equal(loaded["color"], tiny_table["color"])
+
+    def test_csv_without_schema_requires_argument(self, tiny_table, tmp_path):
+        path = tmp_path / "bare.csv"
+        write_csv(tiny_table, path)
+        # Strip the schema comment line to emulate an external CSV.
+        lines = path.read_text().splitlines()[1:]
+        bare = tmp_path / "noschema.csv"
+        bare.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            read_csv(bare)
+        loaded = read_csv(bare, schema=tiny_table.schema)
+        assert len(loaded) == len(tiny_table)
+
+    def test_npz_roundtrip(self, tiny_table, tmp_path):
+        path = tmp_path / "table.npz"
+        write_npz(tiny_table, path)
+        loaded = read_npz(path)
+        assert loaded.schema == tiny_table.schema
+        np.testing.assert_allclose(loaded["y"], tiny_table["y"])
+        np.testing.assert_array_equal(loaded["status"], tiny_table["status"])
+
+    def test_npz_missing_schema_rejected(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(ValueError):
+            read_npz(path)
+
+    def test_csv_roundtrip_panda(self, panda_table, tmp_path):
+        small = panda_table.head(50)
+        path = tmp_path / "panda.csv"
+        write_csv(small, path)
+        loaded = read_csv(path)
+        assert loaded.schema == small.schema
+        np.testing.assert_allclose(loaded["workload"], small["workload"], rtol=1e-9)

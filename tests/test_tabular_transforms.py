@@ -1,0 +1,177 @@
+"""Tests for repro.tabular.transforms, including round-trip property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tabular.transforms import (
+    GaussianQuantileTransform,
+    IdentityTransform,
+    LogTransform,
+    MinMaxScaler,
+    StandardScaler,
+    TransformPipeline,
+)
+
+finite_columns = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=5, max_value=200),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestIdentityTransform:
+    def test_roundtrip(self):
+        x = np.array([1.0, -2.0, 3.5])
+        tf = IdentityTransform().fit(x)
+        np.testing.assert_array_equal(tf.inverse_transform(tf.transform(x)), x)
+
+    def test_returns_copy(self):
+        x = np.array([1.0, 2.0])
+        out = IdentityTransform().fit(x).transform(x)
+        out[0] = 99.0
+        assert x[0] == 1.0
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        x = np.random.default_rng(0).normal(5.0, 3.0, size=500)
+        z = StandardScaler().fit_transform(x)
+        assert abs(z.mean()) < 1e-9
+        assert abs(z.std() - 1.0) < 1e-9
+
+    def test_roundtrip(self):
+        x = np.array([3.0, 7.0, -1.0, 4.0])
+        tf = StandardScaler().fit(x)
+        np.testing.assert_allclose(tf.inverse_transform(tf.transform(x)), x)
+
+    def test_constant_column_safe(self):
+        x = np.full(10, 2.0)
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.array([1.0]))
+
+    @given(finite_columns)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, x):
+        tf = StandardScaler().fit(x)
+        np.testing.assert_allclose(tf.inverse_transform(tf.transform(x)), x, rtol=1e-9, atol=1e-6)
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        x = np.array([2.0, 4.0, 8.0])
+        z = MinMaxScaler().fit_transform(x)
+        assert z.min() == 0.0 and z.max() == 1.0
+
+    def test_custom_range(self):
+        x = np.array([0.0, 1.0])
+        z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(x)
+        np.testing.assert_allclose(z, [-1.0, 1.0])
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_roundtrip(self):
+        x = np.array([5.0, -2.0, 9.0, 0.0])
+        tf = MinMaxScaler().fit(x)
+        np.testing.assert_allclose(tf.inverse_transform(tf.transform(x)), x)
+
+    def test_constant_column_safe(self):
+        z = MinMaxScaler().fit_transform(np.full(5, 3.0))
+        assert np.all(np.isfinite(z))
+
+
+class TestLogTransform:
+    def test_positive_data_roundtrip(self):
+        x = np.array([1.0, 10.0, 100.0, 1000.0])
+        tf = LogTransform().fit(x)
+        np.testing.assert_allclose(tf.inverse_transform(tf.transform(x)), x, rtol=1e-9)
+
+    def test_handles_zero_and_negative(self):
+        x = np.array([-5.0, 0.0, 5.0])
+        tf = LogTransform().fit(x)
+        z = tf.transform(x)
+        assert np.all(np.isfinite(z))
+        np.testing.assert_allclose(tf.inverse_transform(z), x, atol=1e-6)
+
+    def test_compresses_tail(self):
+        x = np.array([1.0, 1e9])
+        z = LogTransform().fit_transform(x)
+        assert z[1] - z[0] < 25.0
+
+
+class TestGaussianQuantileTransform:
+    def test_output_is_roughly_standard_normal(self):
+        x = np.random.default_rng(0).exponential(5.0, size=2000)
+        z = GaussianQuantileTransform().fit_transform(x)
+        assert abs(np.mean(z)) < 0.1
+        assert 0.8 < np.std(z) < 1.2
+
+    def test_monotonicity(self):
+        x = np.random.default_rng(1).lognormal(0.0, 2.0, size=500)
+        tf = GaussianQuantileTransform().fit(x)
+        sorted_x = np.sort(x)
+        z = tf.transform(sorted_x)
+        assert np.all(np.diff(z) >= -1e-12)
+
+    def test_roundtrip_within_range(self):
+        x = np.random.default_rng(2).normal(10.0, 3.0, size=800)
+        tf = GaussianQuantileTransform().fit(x)
+        recovered = tf.inverse_transform(tf.transform(x))
+        # Round trip is exact up to interpolation error away from the extremes.
+        inner = (x > np.quantile(x, 0.01)) & (x < np.quantile(x, 0.99))
+        np.testing.assert_allclose(recovered[inner], x[inner], rtol=0.05, atol=0.1)
+
+    def test_out_of_range_clipped(self):
+        x = np.linspace(0.0, 1.0, 100)
+        tf = GaussianQuantileTransform().fit(x)
+        z = tf.transform(np.array([-10.0, 10.0]))
+        assert np.all(np.isfinite(z))
+
+    def test_inverse_maps_prior_samples_into_data_range(self):
+        x = np.random.default_rng(3).gamma(2.0, 3.0, size=500)
+        tf = GaussianQuantileTransform().fit(x)
+        samples = tf.inverse_transform(np.random.default_rng(4).standard_normal(200))
+        assert samples.min() >= x.min() - 1e-9
+        assert samples.max() <= x.max() + 1e-9
+
+    def test_constant_column(self):
+        x = np.full(50, 7.0)
+        tf = GaussianQuantileTransform().fit(x)
+        z = tf.transform(x)
+        assert np.all(np.isfinite(z))
+        np.testing.assert_allclose(tf.inverse_transform(z), x)
+
+    def test_requires_two_quantiles(self):
+        with pytest.raises(ValueError):
+            GaussianQuantileTransform(n_quantiles=1)
+
+    @given(finite_columns)
+    @settings(max_examples=25, deadline=None)
+    def test_transform_always_finite(self, x):
+        tf = GaussianQuantileTransform(n_quantiles=100).fit(x)
+        assert np.all(np.isfinite(tf.transform(x)))
+
+
+class TestTransformPipeline:
+    def test_compose_roundtrip(self):
+        x = np.random.default_rng(5).lognormal(2.0, 1.0, size=300)
+        pipeline = TransformPipeline([LogTransform(), StandardScaler()])
+        pipeline.fit(x)
+        np.testing.assert_allclose(pipeline.inverse_transform(pipeline.transform(x)), x, rtol=1e-6)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            TransformPipeline([])
+
+    def test_order_matters(self):
+        x = np.array([1.0, 10.0, 100.0])
+        log_then_scale = TransformPipeline([LogTransform(), MinMaxScaler()]).fit(x).transform(x)
+        assert log_then_scale.max() == pytest.approx(1.0)

@@ -1,0 +1,46 @@
+"""Tests for repro.utils.parallel."""
+
+import os
+
+import pytest
+
+from repro.utils.parallel import available_workers, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+class TestAvailableWorkers:
+    def test_default_is_cpu_count(self):
+        assert available_workers(None) == (os.cpu_count() or 1)
+
+    def test_requested_capped(self):
+        assert available_workers(10_000) <= (os.cpu_count() or 1)
+
+    def test_at_least_one(self):
+        assert available_workers(0) >= 1
+
+
+class TestParallelMap:
+    def test_serial_matches_map(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=1) == [x * x for x in items]
+
+    def test_preserves_order(self):
+        items = [5, 3, 1, 4]
+        assert parallel_map(_square, items, workers=1) == [25, 9, 1, 16]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=1) == []
+
+    def test_single_item_short_circuits(self):
+        assert parallel_map(_square, [7], workers=4) == [49]
+
+    def test_multiprocess_matches_serial(self):
+        items = list(range(8))
+        expected = [x * x for x in items]
+        assert parallel_map(_square, items, workers=2) == expected
+
+    def test_accepts_generator_input(self):
+        assert parallel_map(_square, (i for i in range(4)), workers=1) == [0, 1, 4, 9]

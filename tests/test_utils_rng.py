@@ -1,0 +1,74 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, derive_seed, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_rng(1).random(5), as_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_rngs(3, 3)]
+        b = [g.random() for g in spawn_rngs(3, 3)]
+        assert a == b
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        assert children[0].random(4).tolist() != children[1].random(4).tolist()
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(5)
+        assert len(spawn_rngs(gen, 2)) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_depends_on_names(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_depends_on_base(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_none_base_allowed(self):
+        assert isinstance(derive_seed(None, "x"), int)
+
+    def test_result_is_32bit(self):
+        for name in ["alpha", "beta", "gamma"]:
+            assert 0 <= derive_seed(123, name) < 2**32

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_fitted,
+    check_in_options,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_converts_list(self):
+        out = check_array([1, 2, 3], dtype=np.float64)
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_empty_rejected_when_requested(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array([], allow_empty=False)
+
+    def test_empty_allowed_by_default(self):
+        assert check_array([]).size == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_array([np.inf, 1.0])
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_array([[1.0]], ndim=1, name="myarg")
+
+
+class TestCheckFitted:
+    def test_passes_when_set(self):
+        class Obj:
+            attr_ = 1
+
+        check_fitted(Obj(), ["attr_"])
+
+    def test_raises_when_missing(self):
+        class Obj:
+            attr_ = None
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            check_fitted(Obj(), ["attr_"])
+
+
+class TestScalarChecks:
+    def test_check_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_check_positive_non_strict_accepts_zero(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+    def test_check_in_options(self):
+        assert check_in_options("a", ["a", "b"], "opt") == "a"
+        with pytest.raises(ValueError):
+            check_in_options("c", ["a", "b"], "opt")
