@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Time the four optimized hot-path kernels against their seed baselines.
+
+Each kernel — GBDT fit, association matrix, filtering-pipeline funnel, grid
+simulator — is timed at two problem sizes in both the seed implementation
+(``seed_baselines.py``) and the optimized one shipped in ``src/repro``, and
+the results (plus per-kernel speedups) are written to ``BENCH_hotpaths.json``.
+The committed copy of that file is the perf baseline that
+``check_regression.py`` guards.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py [--output PATH] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from seed_baselines import (  # noqa: E402
+    SeedFilteringPipeline,
+    SeedGradientBoostingRegressor,
+    SeedGridSimulator,
+    seed_association_matrix,
+)
+
+from repro.boosting.gbdt import GradientBoostingRegressor  # noqa: E402
+from repro.metrics.correlation import association_matrix  # noqa: E402
+from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator  # noqa: E402
+from repro.panda.pipeline import FilteringPipeline  # noqa: E402
+from repro.scheduler.broker import LeastLoadedBroker  # noqa: E402
+from repro.scheduler.cluster import GridCluster  # noqa: E402
+from repro.scheduler.jobs import jobs_from_table  # noqa: E402
+from repro.scheduler.simulator import GridSimulator  # noqa: E402
+from repro.utils.profiling import BenchmarkRegistry  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_hotpaths.json")
+
+
+def _gbdt_case(n_rows: int):
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(n_rows, 8))
+    y = (
+        3.0 * X[:, 0]
+        - 2.0 * X[:, 1]
+        + np.sin(2.0 * X[:, 2])
+        + 0.5 * X[:, 3] * X[:, 4]
+        + 0.1 * rng.normal(size=n_rows)
+    )
+    params = dict(n_estimators=20, learning_rate=0.2, max_depth=6, max_bins=64, seed=0)
+    return X, y, params
+
+
+def bench_gbdt(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    for n_rows in sizes:
+        X, y, params = _gbdt_case(n_rows)
+        size = f"n={n_rows}"
+        registry.measure(
+            "gbdt_fit", "seed", size, lambda: SeedGradientBoostingRegressor(**params).fit(X, y)
+        )
+        registry.measure(
+            "gbdt_fit",
+            "optimized",
+            size,
+            lambda: GradientBoostingRegressor(**params).fit(X, y),
+            repeats=repeats,
+        )
+
+
+def _table_case(n_rows: int):
+    generator = PandaWorkloadGenerator(
+        GeneratorConfig(n_jobs=int(n_rows / 0.35), n_days=90.0, seed=5)
+    )
+    return generator, generator.generate_training_table()
+
+
+def bench_association(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    for n_rows in sizes:
+        _generator, table = _table_case(n_rows)
+        size = f"n={len(table)}"
+        registry.measure(
+            "association_matrix", "seed", size, lambda: seed_association_matrix(table)
+        )
+        registry.measure(
+            "association_matrix",
+            "optimized",
+            size,
+            lambda: association_matrix(table),
+            repeats=repeats,
+        )
+
+
+def bench_pipeline(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    for n_rows in sizes:
+        generator = PandaWorkloadGenerator(GeneratorConfig(n_jobs=n_rows, n_days=90.0, seed=5))
+        raw = generator.generate_raw()
+        size = f"n={n_rows}"
+        registry.measure(
+            "pipeline_funnel", "seed", size, lambda: SeedFilteringPipeline(generator.sites).run(raw)
+        )
+        registry.measure(
+            "pipeline_funnel",
+            "optimized",
+            size,
+            lambda: FilteringPipeline(generator.sites).run(raw),
+            repeats=repeats,
+        )
+
+
+def bench_simulator(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    # One burst-arrival workload (fixed-size so quick and full runs slice the
+    # same job stream), sliced per size; a 40-core cluster keeps the backlog
+    # deep so the per-event dispatch cost dominates.
+    generator = PandaWorkloadGenerator(
+        GeneratorConfig(n_jobs=int(4_000 / 0.35), n_days=10.0, seed=5)
+    )
+    all_jobs = jobs_from_table(generator.generate_training_table())
+    for n_jobs in sizes:
+        jobs = all_jobs[:n_jobs]
+        size = f"n={len(jobs)}"
+
+        def run_seed():
+            cluster = GridCluster(generator.sites, capacity_scale=1e-9, min_capacity=1)
+            return SeedGridSimulator(cluster, LeastLoadedBroker()).run(jobs)
+
+        def run_optimized():
+            cluster = GridCluster(generator.sites, capacity_scale=1e-9, min_capacity=1)
+            return GridSimulator(cluster, LeastLoadedBroker()).run(jobs)
+
+        registry.measure("simulator", "seed", size, run_seed)
+        registry.measure("simulator", "optimized", size, run_optimized, repeats=repeats)
+
+
+def run_benchmarks(*, quick: bool = False, repeats: int = 3) -> BenchmarkRegistry:
+    registry = BenchmarkRegistry()
+    # Quick mode keeps only the smaller size of each kernel so its size labels
+    # stay comparable with a committed full-mode baseline.
+    gbdt_sizes = [5_000, 40_000]
+    table_sizes = [5_000, 40_000]
+    pipe_sizes = [20_000, 150_000]
+    sim_sizes = [1_000, 4_000]
+    if quick:
+        gbdt_sizes, table_sizes, pipe_sizes, sim_sizes = (
+            gbdt_sizes[:1],
+            table_sizes[:1],
+            pipe_sizes[:1],
+            sim_sizes[:1],
+        )
+    bench_gbdt(registry, gbdt_sizes, repeats)
+    bench_association(registry, table_sizes, repeats)
+    bench_pipeline(registry, pipe_sizes, repeats)
+    bench_simulator(registry, sim_sizes, repeats)
+    return registry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="where to write the JSON report")
+    parser.add_argument(
+        "--quick", action="store_true", help="single small size per kernel (smoke test)"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="repeats for optimized variants")
+    args = parser.parse_args(argv)
+
+    registry = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    registry.write_json(args.output)
+
+    print(f"wrote {args.output}")
+    print(f"{'kernel':<20} {'size':<12} {'seed (s)':>10} {'optimized (s)':>14} {'speedup':>9}")
+    for kernel, by_size in sorted(registry.speedups().items()):
+        for size, speedup in sorted(by_size.items()):
+            seed_s = registry.seconds_of(kernel, "seed", size)
+            opt_s = registry.seconds_of(kernel, "optimized", size)
+            print(f"{kernel:<20} {size:<12} {seed_s:>10.3f} {opt_s:>14.3f} {speedup:>8.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

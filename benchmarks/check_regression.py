@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare fresh hot-path timings against the committed
+baseline and fail on a large slowdown.
+
+Intended as a tier-2 step next to the test suite::
+
+    PYTHONPATH=src python -m pytest -x -q
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+Without ``--fresh``, the benchmarks are (re)run in quick mode and compared
+against the committed ``BENCH_hotpaths.json``.  The gate fails (exit 1) when
+any optimized kernel is more than ``--threshold`` times slower than the
+baseline measurement of the same kernel/size, and warns (but passes) on
+timings for kernel/size pairs missing from the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.utils.profiling import BenchmarkRegistry  # noqa: E402
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_hotpaths.json")
+
+
+def compare(
+    fresh: BenchmarkRegistry, baseline: BenchmarkRegistry, *, threshold: float
+) -> int:
+    """Flag kernels whose fresh measurement regressed beyond ``threshold``.
+
+    The primary metric is the seed/optimized *speedup* of each kernel, which
+    both runs measure on their own machine — comparing speedups keeps the
+    gate meaningful when the baseline was committed from different hardware.
+    When either side lacks the seed measurement, absolute optimized seconds
+    are compared as a fallback.
+    """
+    failures = 0
+    checked = 0
+    for rec in fresh.records:
+        if rec.variant != "optimized":
+            continue
+        base_seconds = baseline.seconds_of(rec.kernel, "optimized", rec.size)
+        if base_seconds is None:
+            print(f"  [warn] no baseline for {rec.kernel} @ {rec.size}; skipping")
+            continue
+        checked += 1
+        fresh_seed = fresh.seconds_of(rec.kernel, "seed", rec.size)
+        base_seed = baseline.seconds_of(rec.kernel, "seed", rec.size)
+        if fresh_seed and base_seed and rec.seconds > 0 and base_seconds > 0:
+            fresh_speedup = fresh_seed / rec.seconds
+            base_speedup = base_seed / base_seconds
+            ratio = base_speedup / fresh_speedup if fresh_speedup > 0 else float("inf")
+            detail = f"speedup {fresh_speedup:.1f}x vs baseline {base_speedup:.1f}x"
+        else:
+            ratio = rec.seconds / base_seconds if base_seconds > 0 else float("inf")
+            detail = f"{rec.seconds:.4f}s vs baseline {base_seconds:.4f}s"
+        status = "ok" if ratio <= threshold else "REGRESSION"
+        print(f"  [{status}] {rec.kernel} @ {rec.size}: {detail} ({ratio:.2f}x slowdown)")
+        if ratio > threshold:
+            failures += 1
+    if checked == 0:
+        print("  [error] no comparable measurements found")
+        return 1
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fresh",
+        default=None,
+        help="path to a freshly written BENCH_hotpaths.json; when omitted the "
+        "benchmarks are re-run in quick mode",
+    )
+    parser.add_argument("--baseline", default=BASELINE, help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="maximum tolerated slowdown factor per kernel/size (default 2x)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run the full (not quick) benchmark sizes"
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        print(f"baseline {args.baseline} not found; run bench_hotpaths.py first")
+        return 1
+    baseline = BenchmarkRegistry.from_json(args.baseline)
+
+    if args.fresh is not None:
+        if not os.path.exists(args.fresh):
+            print(f"fresh report {args.fresh} not found; run bench_hotpaths.py first")
+            return 1
+        fresh = BenchmarkRegistry.from_json(args.fresh)
+    else:
+        from bench_hotpaths import run_benchmarks
+
+        print("running hot-path benchmarks (quick mode)..." if not args.full else
+              "running hot-path benchmarks (full mode)...")
+        fresh = run_benchmarks(quick=not args.full)
+
+    print(f"comparing against {args.baseline} (threshold {args.threshold:.1f}x):")
+    code = compare(fresh, baseline, threshold=args.threshold)
+    print("perf gate " + ("FAILED" if code else "passed"))
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,380 @@
+"""Seed (pre-optimization) implementations of the four hot-path kernels.
+
+These are verbatim ports of the implementations the repository shipped with
+before the vectorized hot-path engine: the per-feature histogram loop of the
+GBDT tree, the O(d^2) per-pair association matrix, the row-by-row dataset-name
+parse of the filtering pipeline and the per-event backlog rescan of the grid
+simulator.  They exist for two reasons:
+
+* ``bench_hotpaths.py`` times them against the optimized kernels so the
+  speedup is a measured number rather than a claim, and
+* ``tests/test_perf_equivalence.py`` checks the optimized kernels produce the
+  same outputs.
+
+They are *not* part of the library API and should never be imported from
+``src/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.boosting.tree import FeatureBinner, TreeNode
+from repro.metrics.correlation import correlation_ratio, pearson_correlation, theils_u
+from repro.panda.daod import parse_dataset_name
+from repro.panda.records import JOB_STATUSES, PANDA_SCHEMA
+from repro.panda.workload import hs23_workload
+from repro.scheduler.events import Event, EventQueue, EventType
+from repro.scheduler.jobs import SimulatedJob
+from repro.tabular.schema import ColumnKind
+from repro.tabular.table import Table
+from repro.utils.rng import SeedLike, as_rng
+
+# ---------------------------------------------------------------------------
+# 1. Boosting: per-feature histogram loop, full rescan of both children.
+# ---------------------------------------------------------------------------
+
+
+class SeedRegressionTree:
+    """The seed histogram tree: one ``np.bincount`` per feature per node."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 20,
+        min_gain: float = 1e-12,
+        lambda_reg: float = 1.0,
+    ) -> None:
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.min_gain = float(min_gain)
+        self.lambda_reg = float(lambda_reg)
+        self.nodes_: Optional[List[TreeNode]] = None
+
+    def fit(self, binned, residuals, n_bins_per_feature):
+        g = np.asarray(residuals, dtype=np.float64)
+        n_features = binned.shape[1]
+        nodes: List[TreeNode] = []
+
+        def leaf_value(grad_sum, count):
+            return grad_sum / (count + self.lambda_reg)
+
+        root_idx = np.arange(binned.shape[0])
+        nodes.append(TreeNode(value=leaf_value(float(g.sum()), g.size), n_samples=g.size))
+        stack = [(0, root_idx, 0)]
+        while stack:
+            node_id, rows, depth = stack.pop()
+            node = nodes[node_id]
+            grad_sum = float(g[rows].sum())
+            count = rows.size
+            node.value = leaf_value(grad_sum, count)
+            node.n_samples = count
+            if depth >= self.max_depth or count < 2 * self.min_samples_leaf:
+                continue
+            parent_score = grad_sum * grad_sum / (count + self.lambda_reg)
+            best_gain = self.min_gain
+            best_feature = -1
+            best_bin = -1
+            sub_binned = binned[rows]
+            sub_g = g[rows]
+            for j in range(n_features):
+                nb = n_bins_per_feature[j]
+                if nb < 2:
+                    continue
+                codes = sub_binned[:, j]
+                grad_hist = np.bincount(codes, weights=sub_g, minlength=nb)
+                cnt_hist = np.bincount(codes, minlength=nb)
+                grad_cum = np.cumsum(grad_hist)[:-1]
+                cnt_cum = np.cumsum(cnt_hist)[:-1]
+                n_left = cnt_cum
+                n_right = count - cnt_cum
+                valid = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
+                if not valid.any():
+                    continue
+                g_left = grad_cum
+                g_right = grad_sum - grad_cum
+                gain = (
+                    g_left * g_left / (n_left + self.lambda_reg)
+                    + g_right * g_right / (n_right + self.lambda_reg)
+                    - parent_score
+                )
+                gain = np.where(valid, gain, -np.inf)
+                best_j = int(np.argmax(gain))
+                if gain[best_j] > best_gain:
+                    best_gain = float(gain[best_j])
+                    best_feature = j
+                    best_bin = best_j
+            if best_feature < 0:
+                continue
+            mask = sub_binned[:, best_feature] <= best_bin
+            node.feature = best_feature
+            node.threshold_bin = best_bin
+            node.left = len(nodes)
+            nodes.append(TreeNode())
+            node.right = len(nodes)
+            nodes.append(TreeNode())
+            stack.append((node.left, rows[mask], depth + 1))
+            stack.append((node.right, rows[~mask], depth + 1))
+        self.nodes_ = nodes
+        return self
+
+    def predict(self, binned):
+        n = binned.shape[0]
+        out = np.zeros(n, dtype=np.float64)
+        node_of_row = np.zeros(n, dtype=np.int64)
+        active = np.arange(n)
+        while active.size:
+            current = node_of_row[active]
+            feats = np.array([self.nodes_[c].feature for c in current])
+            is_leaf = feats < 0
+            if is_leaf.any():
+                out[active[is_leaf]] = [self.nodes_[c].value for c in current[is_leaf]]
+            keep = ~is_leaf
+            active = active[keep]
+            if not active.size:
+                break
+            current = current[keep]
+            feats = feats[keep]
+            thresholds = np.array([self.nodes_[c].threshold_bin for c in current])
+            lefts = np.array([self.nodes_[c].left for c in current])
+            rights = np.array([self.nodes_[c].right for c in current])
+            go_left = binned[active, feats] <= thresholds
+            node_of_row[active] = np.where(go_left, lefts, rights)
+        return out
+
+
+class SeedGradientBoostingRegressor:
+    """The seed GBDT loop, consuming randomness exactly like the optimized one."""
+
+    def __init__(
+        self,
+        n_estimators: int = 200,
+        learning_rate: float = 0.1,
+        max_depth: int = 6,
+        min_samples_leaf: int = 20,
+        subsample: float = 1.0,
+        max_bins: int = 64,
+        lambda_reg: float = 1.0,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.subsample = float(subsample)
+        self.max_bins = int(max_bins)
+        self.lambda_reg = float(lambda_reg)
+        self._rng = as_rng(seed)
+        self.binner_ = None
+        self.trees_ = None
+        self.base_prediction_ = None
+        self.train_losses_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self.binner_ = FeatureBinner(max_bins=self.max_bins)
+        binned = self.binner_.fit_transform(X)
+        n_bins = [self.binner_.n_bins(j) for j in range(X.shape[1])]
+        self.base_prediction_ = float(y.mean())
+        prediction = np.full(y.shape[0], self.base_prediction_)
+        trees = []
+        losses = []
+        n = y.shape[0]
+        for _ in range(self.n_estimators):
+            residuals = y - prediction
+            losses.append(float(np.mean(residuals ** 2)))
+            if self.subsample < 1.0:
+                idx = self._rng.choice(n, size=max(2, int(round(self.subsample * n))), replace=False)
+            else:
+                idx = np.arange(n)
+            tree = SeedRegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                lambda_reg=self.lambda_reg,
+            )
+            tree.fit(binned[idx], residuals[idx], n_bins)
+            prediction = prediction + self.learning_rate * tree.predict(binned)
+            trees.append(tree)
+        self.trees_ = trees
+        self.train_losses_ = losses
+        return self
+
+    def predict(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        binned = self.binner_.transform(X)
+        prediction = np.full(X.shape[0], self.base_prediction_)
+        for tree in self.trees_:
+            prediction = prediction + self.learning_rate * tree.predict(binned)
+        return prediction
+
+
+# ---------------------------------------------------------------------------
+# 2. Metrics: per-pair association matrix, re-encoding columns per pair.
+# ---------------------------------------------------------------------------
+
+
+def seed_association_matrix(
+    table: Table, columns: Optional[Sequence[str]] = None
+) -> Tuple[np.ndarray, Sequence[str]]:
+    """The seed O(d^2) double loop over column pairs."""
+    cols = list(columns) if columns is not None else table.columns
+    k = len(cols)
+    matrix = np.eye(k)
+    kinds = {c: table.schema.kind_of(c) for c in cols}
+    for i, ci in enumerate(cols):
+        for j, cj in enumerate(cols):
+            if i == j:
+                continue
+            ki, kj = kinds[ci], kinds[cj]
+            if ki is ColumnKind.NUMERICAL and kj is ColumnKind.NUMERICAL:
+                value = abs(pearson_correlation(table[ci], table[cj]))
+            elif ki is ColumnKind.CATEGORICAL and kj is ColumnKind.CATEGORICAL:
+                value = theils_u(table[ci], table[cj])
+            elif ki is ColumnKind.CATEGORICAL:
+                value = correlation_ratio(table[ci], table[cj])
+            else:
+                value = correlation_ratio(table[cj], table[ci])
+            matrix[i, j] = value
+    return matrix, cols
+
+
+# ---------------------------------------------------------------------------
+# 3. Panda: row-by-row dataset-name parsing in the filtering pipeline.
+# ---------------------------------------------------------------------------
+
+
+class SeedFilteringPipeline:
+    """The seed pipeline: ``parse_dataset_name`` called once per row."""
+
+    def __init__(self, sites):
+        self.sites = sites
+
+    def run(self, raw: Table):
+        from repro.panda.pipeline import FilterReport
+
+        report = FilterReport(gross_records=len(raw))
+        analysis = raw.mask(np.asarray(raw["tasktype"]) == "analysis")
+        report.add("user analysis jobs", len(raw), len(analysis))
+        datatypes = np.array(
+            [parse_dataset_name(name)["datatype"] for name in analysis["inputdatasetname"]]
+        )
+        daod_mask = np.char.startswith(datatypes.astype(str), "DAOD")
+        daod = analysis.mask(daod_mask)
+        report.add("DAOD input datasets", len(analysis), len(daod))
+        final_mask = np.isin(np.asarray(daod["jobstatus"]), np.asarray(JOB_STATUSES))
+        final = daod.mask(final_mask)
+        report.add("final job status", len(daod), len(final))
+        table = self.derive_features(final)
+        report.add("feature derivation", len(final), len(table))
+        return table, report
+
+    def derive_features(self, records: Table) -> Table:
+        parsed = [parse_dataset_name(name) for name in records["inputdatasetname"]]
+        project = np.array([p["project"] for p in parsed], dtype=object).astype(str)
+        prodstep = np.array([p["prodstep"] for p in parsed], dtype=object).astype(str)
+        datatype = np.array([p["datatype"] for p in parsed], dtype=object).astype(str)
+        hs23 = self.sites.hs23_of(records["computingsite"])
+        workload = hs23_workload(records["corecount"], records["cputime_hours"], hs23)
+        data = {
+            "workload": workload,
+            "creationtime": records["creationtime"],
+            "ninputdatafiles": records["ninputdatafiles"],
+            "inputfilebytes": records["inputfilebytes"],
+            "jobstatus": records["jobstatus"],
+            "computingsite": records["computingsite"],
+            "project": project,
+            "prodstep": prodstep,
+            "datatype": datatype,
+        }
+        return Table(data, PANDA_SCHEMA)
+
+
+# ---------------------------------------------------------------------------
+# 4. Scheduler: full backlog rescan (broker call per queued job) per event.
+# ---------------------------------------------------------------------------
+
+_HOURS_PER_DAY = 24.0
+
+
+class SeedGridSimulator:
+    """The seed event loop: every event rescans the whole FIFO backlog."""
+
+    def __init__(self, cluster, broker) -> None:
+        self.cluster = cluster
+        self.broker = broker
+
+    def run(self, jobs: Sequence[SimulatedJob], *, max_backlog: Optional[int] = None):
+        from repro.scheduler.simulator import SimulationResult
+
+        jobs = list(jobs)
+        queue = EventQueue()
+        for job in jobs:
+            queue.push(Event(job.arrival_time, EventType.JOB_ARRIVAL, job))
+        backlog: List[SimulatedJob] = []
+        start_times: Dict[int, float] = {}
+        finish_times: Dict[int, float] = {}
+        runtimes: Dict[int, float] = {}
+        site_of_job: Dict[int, str] = {}
+        now = 0.0
+
+        def try_dispatch(time: float) -> None:
+            still_waiting: List[SimulatedJob] = []
+            for job in backlog:
+                site_name = self.broker.select_site(job, self.cluster)
+                if site_name is None:
+                    still_waiting.append(job)
+                    continue
+                state = self.cluster[site_name]
+                state.allocate(job.cores, time)
+                runtime_hours = job.runtime_at(state.site.hs23_per_core)
+                start_times[job.job_id] = time
+                runtimes[job.job_id] = runtime_hours
+                site_of_job[job.job_id] = site_name
+                queue.push(
+                    Event(time + runtime_hours / _HOURS_PER_DAY, EventType.JOB_FINISH, job)
+                )
+            backlog[:] = still_waiting
+
+        while queue:
+            event = queue.pop()
+            now = event.time
+            job = event.payload
+            if event.kind is EventType.JOB_ARRIVAL:
+                backlog.append(job)
+                if max_backlog is not None and len(backlog) > max_backlog:
+                    raise RuntimeError(
+                        f"backlog exceeded {max_backlog} jobs; the cluster is undersized"
+                    )
+                try_dispatch(now)
+            elif event.kind is EventType.JOB_FINISH:
+                site_name = site_of_job[job.job_id]
+                state = self.cluster[site_name]
+                state.release(job.cores, now)
+                state.completed_jobs += 1
+                finish_times[job.job_id] = now
+                try_dispatch(now)
+
+        horizon = max(now, 1e-9)
+        for state in self.cluster.sites.values():
+            state.advance_to(horizon)
+        completed = sorted(finish_times.keys())
+        jobs_by_id = {job.job_id: job for job in jobs}
+        wait_hours = np.array(
+            [(start_times[j] - jobs_by_id[j].arrival_time) * _HOURS_PER_DAY for j in completed]
+        )
+        runtime_hours = np.array([runtimes[j] for j in completed]) if completed else np.empty(0)
+        return SimulationResult(
+            broker=self.broker.name,
+            n_jobs=len(jobs),
+            n_completed=len(completed),
+            makespan_days=float(horizon - min((j.arrival_time for j in jobs), default=0.0)),
+            mean_wait_hours=float(wait_hours.mean()) if wait_hours.size else 0.0,
+            p95_wait_hours=float(np.percentile(wait_hours, 95)) if wait_hours.size else 0.0,
+            mean_runtime_hours=float(runtime_hours.mean()) if runtime_hours.size else 0.0,
+            utilization_by_site=self.cluster.utilization_by_site(horizon),
+            wait_times_hours=wait_hours,
+        )

@@ -24,6 +24,32 @@ Quickstart
 >>> train, test = train_test_split(table, 0.2, seed=1)
 >>> model = create_surrogate("smote")
 >>> synthetic = model.fit(train).sample(len(train), seed=2)
+
+Performance
+-----------
+The four hottest loops run through a vectorized engine:
+
+* **boosting** — the histogram tree builds all per-feature histograms with a
+  single flattened ``np.bincount`` per node, derives each sibling histogram
+  as parent-minus-scanned-child, and routes predictions through packed node
+  arrays instead of Python node objects (:mod:`repro.boosting.tree`);
+* **metrics** — the association matrix integer-codes every column once and
+  fills both Theil directions of a categorical pair from one contingency
+  table, with the numerical block as a single BLAS Gram product
+  (:func:`repro.metrics.correlation.association_matrix`);
+* **panda** — dataset names are parsed once per *distinct* name
+  (:func:`repro.panda.daod.parse_dataset_names`), so the filtering funnel and
+  the workload generator scale with the number of datasets, not rows;
+* **scheduler** — the grid simulator keeps free-slot watermarks next to its
+  event heap so a saturated backlog is never rescanned with brokerage calls
+  (:mod:`repro.scheduler.simulator`).
+
+``benchmarks/bench_hotpaths.py`` times every kernel against the seed
+implementation at two problem sizes and writes ``BENCH_hotpaths.json``;
+``benchmarks/check_regression.py`` fails when a kernel regresses more than 2x
+against the committed baseline, and ``tests/test_perf_equivalence.py`` proves
+the optimized kernels reproduce the seed outputs.  Timing helpers live in
+:mod:`repro.utils.profiling`.
 """
 
 from repro.panda import GeneratorConfig, PandaWorkloadGenerator, FilteringPipeline, PANDA_SCHEMA

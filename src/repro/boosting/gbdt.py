@@ -71,6 +71,9 @@ class GradientBoostingRegressor:
         self.binner_ = FeatureBinner(max_bins=self.max_bins)
         binned = self.binner_.fit_transform(X)
         n_bins = [self.binner_.n_bins(j) for j in range(X.shape[1])]
+        # The flattened (feature, bin) histogram index only depends on the
+        # binned matrix, so build it once for the whole ensemble.
+        flat = RegressionTree.flatten_bins(binned, n_bins)
 
         self.base_prediction_ = float(y.mean())
         prediction = np.full(y.shape[0], self.base_prediction_)
@@ -81,16 +84,16 @@ class GradientBoostingRegressor:
         for _ in range(self.n_estimators):
             residuals = y - prediction
             losses.append(float(np.mean(residuals ** 2)))
-            if self.subsample < 1.0:
-                idx = self._rng.choice(n, size=max(2, int(round(self.subsample * n))), replace=False)
-            else:
-                idx = np.arange(n)
             tree = RegressionTree(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 lambda_reg=self.lambda_reg,
             )
-            tree.fit(binned[idx], residuals[idx], n_bins)
+            if self.subsample < 1.0:
+                idx = self._rng.choice(n, size=max(2, int(round(self.subsample * n))), replace=False)
+                tree.fit(binned[idx], residuals[idx], n_bins, flat_index=flat[idx])
+            else:
+                tree.fit(binned, residuals, n_bins, flat_index=flat)
             update = tree.predict(binned)
             prediction = prediction + self.learning_rate * update
             trees.append(tree)

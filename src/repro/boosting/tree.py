@@ -4,6 +4,16 @@ Features are pre-binned into at most ``max_bins`` quantile bins (shared across
 all trees of an ensemble), so finding the best split of a node reduces to a
 cumulative sum over per-bin gradient histograms — the same strategy used by
 LightGBM/CatBoost, implemented with vectorised numpy.
+
+Two classic histogram tricks keep node evaluation off the Python interpreter:
+
+* all per-feature histograms of a node are built with **one** ``np.bincount``
+  over a flattened ``feature * max_bins + bin`` index instead of a per-feature
+  loop, and
+* only the **smaller** child of a split is scanned; the sibling histogram is
+  derived as ``parent - scanned`` (count histograms are exact under this
+  subtraction; gradient histograms may differ from a direct rescan by a few
+  ulps, which is the documented tolerance of the optimized path).
 """
 
 from __future__ import annotations
@@ -104,73 +114,111 @@ class RegressionTree:
         self.nodes_: Optional[List[TreeNode]] = None
 
     # -- fitting -------------------------------------------------------------
-    def fit(self, binned: np.ndarray, residuals: np.ndarray, n_bins_per_feature: List[int]) -> "RegressionTree":
-        """Fit to pre-binned features and residual targets."""
+    def _build_histograms(
+        self, flat: np.ndarray, g: np.ndarray, rows: np.ndarray, total_bins: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-(feature, bin) gradient and count histograms for ``rows``.
+
+        ``flat`` holds the flattened ``feature * max_bins + bin`` index of every
+        cell, so one ``bincount`` over the row-major ravel accumulates all
+        feature histograms at once, in the same per-bin summation order as a
+        per-feature scan.
+        """
+        idx = flat[rows].ravel()
+        n_features = flat.shape[1]
+        grad_hist = np.bincount(idx, weights=np.repeat(g[rows], n_features), minlength=total_bins)
+        cnt_hist = np.bincount(idx, minlength=total_bins)
+        return grad_hist, cnt_hist
+
+    def fit(
+        self,
+        binned: np.ndarray,
+        residuals: np.ndarray,
+        n_bins_per_feature: List[int],
+        *,
+        flat_index: Optional[np.ndarray] = None,
+    ) -> "RegressionTree":
+        """Fit to pre-binned features and residual targets.
+
+        ``flat_index`` is an optional precomputed ``binned + feature_offsets``
+        int64 matrix (see :meth:`flatten_bins`); the boosting loop passes it so
+        the flattened histogram index is built once per ensemble fit rather
+        than once per tree.
+        """
         if binned.ndim != 2:
             raise ValueError("binned feature matrix must be 2-D")
         g = np.asarray(residuals, dtype=np.float64)
         if g.shape[0] != binned.shape[0]:
             raise ValueError("residuals length must match number of rows")
         n_features = binned.shape[1]
+        nb = np.asarray(n_bins_per_feature, dtype=np.int64)
+        if nb.shape[0] != n_features:
+            raise ValueError("n_bins_per_feature length must match number of features")
+        max_nb = int(nb.max()) if n_features else 0
+        total_bins = n_features * max_nb
+        if flat_index is None:
+            flat_index = self.flatten_bins(binned, n_bins_per_feature)
+        # Split positions beyond a feature's last usable bin are never valid;
+        # `bin_pos < nb - 1` also rules out features with fewer than 2 bins.
+        bin_pos = np.arange(max_nb)
+        splittable = bin_pos[None, :] < (nb[:, None] - 1)
+
         nodes: List[TreeNode] = []
+        lam = self.lambda_reg
 
         def leaf_value(grad_sum: float, count: int) -> float:
-            return grad_sum / (count + self.lambda_reg)
+            return grad_sum / (count + lam)
 
-        # Each stack entry: (node_index, row_indices, depth)
-        root_idx = np.arange(binned.shape[0])
+        root_rows = np.arange(binned.shape[0])
         nodes.append(TreeNode(value=leaf_value(float(g.sum()), g.size), n_samples=g.size))
-        stack: List[Tuple[int, np.ndarray, int]] = [(0, root_idx, 0)]
+        root_hists = (
+            self._build_histograms(flat_index, g, root_rows, total_bins)
+            if binned.shape[0]
+            else (np.zeros(total_bins), np.zeros(total_bins, dtype=np.int64))
+        )
+        # Each stack entry: (node_index, row_indices, depth, grad_hist, cnt_hist).
+        stack: List[Tuple[int, np.ndarray, int, np.ndarray, np.ndarray]] = [
+            (0, root_rows, 0, root_hists[0], root_hists[1])
+        ]
 
         while stack:
-            node_id, rows, depth = stack.pop()
+            node_id, rows, depth, grad_hist, cnt_hist = stack.pop()
             node = nodes[node_id]
             grad_sum = float(g[rows].sum())
             count = rows.size
             node.value = leaf_value(grad_sum, count)
             node.n_samples = count
-            if depth >= self.max_depth or count < 2 * self.min_samples_leaf:
+            if depth >= self.max_depth or count < 2 * self.min_samples_leaf or total_bins == 0:
                 continue
 
-            parent_score = grad_sum * grad_sum / (count + self.lambda_reg)
-            best_gain = self.min_gain
-            best_feature = -1
-            best_bin = -1
-
-            sub_binned = binned[rows]
-            sub_g = g[rows]
-            for j in range(n_features):
-                nb = n_bins_per_feature[j]
-                if nb < 2:
-                    continue
-                codes = sub_binned[:, j]
-                grad_hist = np.bincount(codes, weights=sub_g, minlength=nb)
-                cnt_hist = np.bincount(codes, minlength=nb)
-                grad_cum = np.cumsum(grad_hist)[:-1]
-                cnt_cum = np.cumsum(cnt_hist)[:-1]
-                n_left = cnt_cum
-                n_right = count - cnt_cum
-                valid = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
-                if not valid.any():
-                    continue
-                g_left = grad_cum
-                g_right = grad_sum - grad_cum
-                gain = (
-                    g_left * g_left / (n_left + self.lambda_reg)
-                    + g_right * g_right / (n_right + self.lambda_reg)
-                    - parent_score
-                )
-                gain = np.where(valid, gain, -np.inf)
-                best_j = int(np.argmax(gain))
-                if gain[best_j] > best_gain:
-                    best_gain = float(gain[best_j])
-                    best_feature = j
-                    best_bin = best_j
-
-            if best_feature < 0:
+            parent_score = grad_sum * grad_sum / (count + lam)
+            # Per-feature prefix sums over the (n_features, max_nb) histogram
+            # grid; row-wise cumsum reproduces the per-feature accumulation
+            # order of a feature-by-feature scan.
+            g_left = np.cumsum(grad_hist.reshape(n_features, max_nb), axis=1)
+            n_left = np.cumsum(cnt_hist.reshape(n_features, max_nb), axis=1)
+            n_right = count - n_left
+            valid = (
+                splittable
+                & (n_left >= self.min_samples_leaf)
+                & (n_right >= self.min_samples_leaf)
+            )
+            g_right = grad_sum - g_left
+            gain = (
+                g_left * g_left / (n_left + lam)
+                + g_right * g_right / (n_right + lam)
+                - parent_score
+            )
+            gain = np.where(valid, gain, -np.inf)
+            # Row-major argmax = first feature then first bin achieving the
+            # maximum, matching the strict-improvement scan order of a
+            # feature-by-feature search.
+            best_flat = int(np.argmax(gain))
+            if not gain.flat[best_flat] > self.min_gain:
                 continue
+            best_feature, best_bin = divmod(best_flat, max_nb)
 
-            mask = sub_binned[:, best_feature] <= best_bin
+            mask = binned[rows, best_feature] <= best_bin
             left_rows = rows[mask]
             right_rows = rows[~mask]
             node.feature = best_feature
@@ -179,40 +227,66 @@ class RegressionTree:
             nodes.append(TreeNode())
             node.right = len(nodes)
             nodes.append(TreeNode())
-            stack.append((node.left, left_rows, depth + 1))
-            stack.append((node.right, right_rows, depth + 1))
+            # Scan only the smaller child; the sibling histogram is the
+            # parent's minus the scanned one (the LightGBM subtraction trick).
+            if left_rows.size <= right_rows.size:
+                left_hists = self._build_histograms(flat_index, g, left_rows, total_bins)
+                right_hists = (grad_hist - left_hists[0], cnt_hist - left_hists[1])
+            else:
+                right_hists = self._build_histograms(flat_index, g, right_rows, total_bins)
+                left_hists = (grad_hist - right_hists[0], cnt_hist - right_hists[1])
+            stack.append((node.left, left_rows, depth + 1, left_hists[0], left_hists[1]))
+            stack.append((node.right, right_rows, depth + 1, right_hists[0], right_hists[1]))
 
         self.nodes_ = nodes
+        self._pack_nodes()
         return self
+
+    @staticmethod
+    def flatten_bins(binned: np.ndarray, n_bins_per_feature: List[int]) -> np.ndarray:
+        """Flattened ``feature * max_bins + bin`` index matrix for ``binned``."""
+        nb = np.asarray(n_bins_per_feature, dtype=np.int64)
+        max_nb = int(nb.max()) if nb.size else 0
+        offsets = np.arange(binned.shape[1], dtype=np.int64) * max_nb
+        return binned.astype(np.int64) + offsets[None, :]
+
+    def _pack_nodes(self) -> None:
+        """Mirror ``nodes_`` into flat arrays so prediction never touches
+        Python-level node objects."""
+        nodes = self.nodes_
+        self._feature = np.array([n.feature for n in nodes], dtype=np.int64)
+        self._threshold = np.array([n.threshold_bin for n in nodes], dtype=np.int64)
+        self._left = np.array([n.left for n in nodes], dtype=np.int64)
+        self._right = np.array([n.right for n in nodes], dtype=np.int64)
+        self._value = np.array([n.value for n in nodes], dtype=np.float64)
 
     # -- prediction -----------------------------------------------------------
     def predict(self, binned: np.ndarray) -> np.ndarray:
         """Predict leaf values for pre-binned features (vectorised routing)."""
         check_fitted(self, ["nodes_"])
+        if not hasattr(self, "_feature"):
+            self._pack_nodes()  # tolerate hand-assigned ``nodes_``
         n = binned.shape[0]
         out = np.zeros(n, dtype=np.float64)
         node_of_row = np.zeros(n, dtype=np.int64)
         active = np.arange(n)
-        # Route all rows level by level; each iteration advances every row one
-        # edge, so the loop count is bounded by the tree depth.
+        # Route all rows level by level over the packed node arrays; each
+        # iteration advances every row one edge, so the loop count is bounded
+        # by the tree depth and no per-node Python objects are touched.
         while active.size:
             current = node_of_row[active]
-            feats = np.array([self.nodes_[c].feature for c in current])
+            feats = self._feature[current]
             is_leaf = feats < 0
             if is_leaf.any():
-                leaf_rows = active[is_leaf]
-                out[leaf_rows] = [self.nodes_[c].value for c in current[is_leaf]]
+                out[active[is_leaf]] = self._value[current[is_leaf]]
             keep = ~is_leaf
             active = active[keep]
             if not active.size:
                 break
             current = current[keep]
             feats = feats[keep]
-            thresholds = np.array([self.nodes_[c].threshold_bin for c in current])
-            lefts = np.array([self.nodes_[c].left for c in current])
-            rights = np.array([self.nodes_[c].right for c in current])
-            go_left = binned[active, feats] <= thresholds
-            node_of_row[active] = np.where(go_left, lefts, rights)
+            go_left = binned[active, feats] <= self._threshold[current]
+            node_of_row[active] = np.where(go_left, self._left[current], self._right[current])
         return out
 
     @property

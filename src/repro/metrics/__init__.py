@@ -37,7 +37,13 @@ from repro.metrics.correlation import (
     pearson_correlation,
     theils_u,
 )
-from repro.metrics.privacy import distance_to_closest_record, nearest_record_distances
+from repro.metrics.privacy import (
+    TableEmbedder,
+    distance_to_closest_record,
+    duplicate_fraction,
+    embed_tables,
+    nearest_record_distances,
+)
 from repro.metrics.mlef import machine_learning_efficacy, diff_mlef
 from repro.metrics.report import SurrogateScore, evaluate_surrogate_data, format_table
 
@@ -54,8 +60,11 @@ __all__ = [
     "theils_u",
     "association_matrix",
     "diff_corr",
+    "TableEmbedder",
+    "embed_tables",
     "nearest_record_distances",
     "distance_to_closest_record",
+    "duplicate_fraction",
     "machine_learning_efficacy",
     "diff_mlef",
     "SurrogateScore",

@@ -94,6 +94,17 @@ def theils_u(x: np.ndarray, y: np.ndarray) -> float:
     return float(np.clip((h_x - h_x_given_y) / h_x, 0.0, 1.0))
 
 
+def _theils_u_from_joint(joint: np.ndarray, h_x: float) -> float:
+    """Theil's U(x|y) from a normalised joint table with x on the rows."""
+    if h_x == 0:
+        return 1.0
+    py = joint.sum(axis=0)
+    mask = joint > 0
+    cond = joint[mask] * np.log(joint[mask] / np.broadcast_to(py, joint.shape)[mask])
+    h_x_given_y = float(-cond.sum())
+    return float(np.clip((h_x - h_x_given_y) / h_x, 0.0, 1.0))
+
+
 def association_matrix(
     table: Table, columns: Optional[Sequence[str]] = None
 ) -> Tuple[np.ndarray, Sequence[str]]:
@@ -103,25 +114,87 @@ def association_matrix(
     absolute Pearson for numerical pairs, correlation ratio for mixed pairs
     and Theil's U (rows conditioned on columns) for categorical pairs.  The
     diagonal is 1.
+
+    Sufficient statistics are shared across pairs: every categorical column is
+    integer-coded once, every numerical column is centred once, both Theil
+    directions of a categorical pair are read off one contingency table, and
+    the mixed-pair correlation ratio (a symmetric measure) fills both
+    entries.  Values match the per-pair functions within ~1e-12 (the numerical
+    block uses a BLAS Gram product, the transposed Theil direction sums the
+    same terms in a different order).
     """
     cols = list(columns) if columns is not None else table.columns
     k = len(cols)
     matrix = np.eye(k)
-    kinds = {c: table.schema.kind_of(c) for c in cols}
-    for i, ci in enumerate(cols):
-        for j, cj in enumerate(cols):
-            if i == j:
+    n = len(table)
+    kinds = [table.schema.kind_of(c) for c in cols]
+    num_pos = [i for i, kind in enumerate(kinds) if kind is ColumnKind.NUMERICAL]
+    cat_pos = [i for i, kind in enumerate(kinds) if kind is ColumnKind.CATEGORICAL]
+
+    # -- numerical sufficient statistics: centred columns + std -------------
+    if num_pos and n >= 2:
+        X = np.column_stack(
+            [np.asarray(table[cols[i]], dtype=np.float64) for i in num_pos]
+        )
+        mu = X.mean(axis=0)
+        std = X.std(axis=0)
+        centred = X - mu
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = (centred.T @ centred) / n / np.outer(std, std)
+        # Constant columns get 0 like pearson_correlation; NaN *data* is left
+        # to propagate, also like pearson_correlation (std of NaN data is NaN,
+        # never 0, so those entries survive the masks below).
+        corr[(std == 0), :] = 0.0
+        corr[:, (std == 0)] = 0.0
+        np.abs(corr, out=corr)
+        for a, i in enumerate(num_pos):
+            for b, j in enumerate(num_pos):
+                if i != j:
+                    matrix[i, j] = corr[a, b]
+
+    # -- categorical sufficient statistics: integer codes + entropies -------
+    codes: Dict[int, np.ndarray] = {}
+    n_cats: Dict[int, int] = {}
+    entropy_of: Dict[int, float] = {}
+    for i in cat_pos:
+        _cats, inverse = np.unique(np.asarray(table[cols[i]]).astype(str), return_inverse=True)
+        codes[i] = inverse
+        n_cats[i] = int(_cats.size)
+        entropy_of[i] = _entropy(np.bincount(inverse).astype(np.float64) / n) if n else 0.0
+
+    # -- categorical-categorical: one contingency table per unordered pair --
+    for a, i in enumerate(cat_pos):
+        for j in cat_pos[a + 1 :]:
+            if n == 0:
+                matrix[i, j] = matrix[j, i] = 0.0
                 continue
-            ki, kj = kinds[ci], kinds[cj]
-            if ki is ColumnKind.NUMERICAL and kj is ColumnKind.NUMERICAL:
-                value = abs(pearson_correlation(table[ci], table[cj]))
-            elif ki is ColumnKind.CATEGORICAL and kj is ColumnKind.CATEGORICAL:
-                value = theils_u(table[ci], table[cj])
-            elif ki is ColumnKind.CATEGORICAL:
-                value = correlation_ratio(table[ci], table[cj])
+            joint = (
+                np.bincount(
+                    codes[i] * n_cats[j] + codes[j], minlength=n_cats[i] * n_cats[j]
+                )
+                .reshape(n_cats[i], n_cats[j])
+                .astype(np.float64)
+                / n
+            )
+            matrix[i, j] = _theils_u_from_joint(joint, entropy_of[i])
+            matrix[j, i] = _theils_u_from_joint(joint.T, entropy_of[j])
+
+    # -- categorical-numerical: the correlation ratio is symmetric ----------
+    for j in num_pos:
+        if n == 0:
+            continue  # matrix entries stay 0, matching correlation_ratio
+        y = np.asarray(table[cols[j]], dtype=np.float64)
+        total_var = y.var()
+        y_mean = y.mean()
+        for i in cat_pos:
+            if total_var == 0:
+                value = 0.0
             else:
-                value = correlation_ratio(table[cj], table[ci])
-            matrix[i, j] = value
+                counts = np.bincount(codes[i], minlength=n_cats[i]).astype(np.float64)
+                means = np.bincount(codes[i], weights=y, minlength=n_cats[i]) / counts
+                between = np.sum(counts * (means - y_mean) ** 2) / n
+                value = float(np.sqrt(np.clip(between / total_var, 0.0, 1.0)))
+            matrix[i, j] = matrix[j, i] = value
     return matrix, cols
 
 

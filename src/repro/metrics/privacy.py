@@ -5,63 +5,121 @@ mixed-type metric space (min-max scaled numerical columns, one-hot scaled
 categorical columns) and report the mean of those nearest distances.  Small
 DCR means synthetic rows hug the training data — good fidelity but a privacy
 risk; the paper reads higher DCR as better privacy.
+
+The embedding is fitted once per table pair (:class:`TableEmbedder`) instead
+of refitting a fresh encoder per categorical column per call, and the query
+side can be embedded and searched in chunks (``chunk_size``) so huge
+synthetic tables never materialise one giant one-hot matrix.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.tabular.encoding import OneHotEncoder
 from repro.tabular.table import Table
+from repro.utils.validation import check_fitted
+
+#: One-hot blocks are scaled so a category mismatch contributes a unit
+#: distance, commensurate with a full-range numerical mismatch.
+_CATEGORY_SCALE = 1.0 / np.sqrt(2.0)
 
 
-def _embed(
+class TableEmbedder:
+    """Embed mixed-type tables in a common numeric space.
+
+    Numerical columns are min-max scaled using the *reference* table's ranges;
+    categorical columns become one-hot blocks over the union of categories
+    seen across all tables passed to :meth:`fit`.  Fit once, then transform
+    any number of (chunks of) tables.
+    """
+
+    def __init__(self, columns: Optional[Sequence[str]] = None) -> None:
+        self.columns = list(columns) if columns is not None else None
+        self.columns_: Optional[List[str]] = None
+        self.ranges_: Optional[Dict[str, Tuple[float, float]]] = None
+        self.encoders_: Optional[Dict[str, OneHotEncoder]] = None
+
+    def fit(self, reference: Table, *others: Table) -> "TableEmbedder":
+        """Learn scaling from ``reference`` and categories from all tables."""
+        cols = self.columns if self.columns is not None else reference.columns
+        ranges: Dict[str, Tuple[float, float]] = {}
+        encoders: Dict[str, OneHotEncoder] = {}
+        for name in cols:
+            if reference.schema.kind_of(name).value == "numerical":
+                ref_col = np.asarray(reference[name], dtype=np.float64)
+                lo, hi = float(ref_col.min()), float(ref_col.max())
+                span = hi - lo if hi > lo else 1.0
+                ranges[name] = (lo, span)
+            else:
+                encoder = OneHotEncoder()
+                encoder.fit(np.concatenate([reference[name]] + [t[name] for t in others]))
+                encoders[name] = encoder
+        self.columns_ = list(cols)
+        self.ranges_ = ranges
+        self.encoders_ = encoders
+        return self
+
+    @property
+    def n_features(self) -> int:
+        check_fitted(self, ["columns_"])
+        total = len(self.ranges_)
+        for encoder in self.encoders_.values():
+            total += encoder.n_categories
+        return total
+
+    def transform(self, table: Table) -> np.ndarray:
+        """Embed ``table`` (or any chunk of it) into the fitted space."""
+        check_fitted(self, ["columns_"])
+        parts: List[np.ndarray] = []
+        for name in self.columns_:
+            if name in self.ranges_:
+                lo, span = self.ranges_[name]
+                col = np.asarray(table[name], dtype=np.float64)
+                parts.append(((col - lo) / span)[:, None])
+            else:
+                parts.append(self.encoders_[name].transform(table[name]) * _CATEGORY_SCALE)
+        return np.concatenate(parts, axis=1)
+
+
+def embed_tables(
     reference: Table, other: Table, columns: Optional[Sequence[str]] = None
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Embed both tables in a common numeric space scaled by the reference table.
-
-    Numerical columns are min-max scaled using the reference ranges;
-    categorical columns become one-hot blocks scaled by ``1/sqrt(2)`` so a
-    category mismatch contributes a unit distance, commensurate with a
-    full-range numerical mismatch.
-    """
-    cols = list(columns) if columns is not None else reference.columns
-    ref_parts = []
-    other_parts = []
-    for name in cols:
-        if reference.schema.kind_of(name).value == "numerical":
-            ref_col = np.asarray(reference[name], dtype=np.float64)
-            other_col = np.asarray(other[name], dtype=np.float64)
-            lo, hi = float(ref_col.min()), float(ref_col.max())
-            span = hi - lo if hi > lo else 1.0
-            ref_parts.append(((ref_col - lo) / span)[:, None])
-            other_parts.append(((other_col - lo) / span)[:, None])
-        else:
-            encoder = OneHotEncoder()
-            encoder.fit(np.concatenate([reference[name], other[name]]))
-            scale = 1.0 / np.sqrt(2.0)
-            ref_parts.append(encoder.transform(reference[name]) * scale)
-            other_parts.append(encoder.transform(other[name]) * scale)
-    ref_matrix = np.concatenate(ref_parts, axis=1)
-    other_matrix = np.concatenate(other_parts, axis=1)
-    return ref_matrix, other_matrix
+    """Embed both tables in a common numeric space scaled by the reference table."""
+    embedder = TableEmbedder(columns).fit(reference, other)
+    return embedder.transform(reference), embedder.transform(other)
 
 
 def nearest_record_distances(
     training: Table,
     synthetic: Table,
     columns: Optional[Sequence[str]] = None,
+    *,
+    chunk_size: Optional[int] = None,
 ) -> np.ndarray:
-    """Distance from each synthetic row to its nearest training row."""
+    """Distance from each synthetic row to its nearest training row.
+
+    ``chunk_size`` bounds how many synthetic rows are embedded and queried at
+    once; results are identical to the unchunked computation.
+    """
     if len(training) == 0 or len(synthetic) == 0:
         raise ValueError("both tables must be non-empty")
-    train_matrix, synth_matrix = _embed(training, synthetic, columns)
-    tree = cKDTree(train_matrix)
-    distances, _ = tree.query(synth_matrix, k=1)
-    return np.asarray(distances, dtype=np.float64)
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be a positive integer")
+    embedder = TableEmbedder(columns).fit(training, synthetic)
+    tree = cKDTree(embedder.transform(training))
+    n = len(synthetic)
+    if chunk_size is None or chunk_size >= n:
+        distances, _ = tree.query(embedder.transform(synthetic), k=1)
+        return np.asarray(distances, dtype=np.float64)
+    distances = np.empty(n, dtype=np.float64)
+    for start in range(0, n, chunk_size):
+        chunk = synthetic.take(np.arange(start, min(start + chunk_size, n)))
+        distances[start : start + len(chunk)], _ = tree.query(embedder.transform(chunk), k=1)
+    return distances
 
 
 def distance_to_closest_record(
@@ -70,13 +128,14 @@ def distance_to_closest_record(
     columns: Optional[Sequence[str]] = None,
     *,
     normalize_by_dimension: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> float:
     """Mean DCR of the synthetic table with respect to the training table.
 
     ``normalize_by_dimension`` divides by the square root of the number of
     feature columns so DCR stays comparable across schemas of different width.
     """
-    distances = nearest_record_distances(training, synthetic, columns)
+    distances = nearest_record_distances(training, synthetic, columns, chunk_size=chunk_size)
     value = float(distances.mean())
     if normalize_by_dimension:
         n_cols = len(columns) if columns is not None else len(training.columns)
@@ -85,12 +144,17 @@ def distance_to_closest_record(
 
 
 def duplicate_fraction(
-    training: Table, synthetic: Table, columns: Optional[Sequence[str]] = None, *, tol: float = 1e-9
+    training: Table,
+    synthetic: Table,
+    columns: Optional[Sequence[str]] = None,
+    *,
+    tol: float = 1e-9,
+    chunk_size: Optional[int] = None,
 ) -> float:
     """Fraction of synthetic rows that exactly coincide with a training row.
 
     A complementary privacy indicator: SMOTE-style interpolators rarely emit
     exact duplicates, while memorising models do.
     """
-    distances = nearest_record_distances(training, synthetic, columns)
+    distances = nearest_record_distances(training, synthetic, columns, chunk_size=chunk_size)
     return float(np.mean(distances <= tol))

@@ -93,6 +93,42 @@ def parse_dataset_name(name: str) -> Dict[str, str]:
     }
 
 
+def parse_dataset_names(names: Sequence[str]) -> Dict[str, np.ndarray]:
+    """Vectorised :func:`parse_dataset_name` over an array of dataset names.
+
+    Real PanDA streams reference each dataset from many jobs, so parsing is
+    memoised over the *unique* names (a dict-based factorization, cheaper than
+    sorting the strings) and the per-row fields are gathered back through the
+    integer codes; the parse cost scales with distinct datasets, not rows.
+    Returns ``{field: array_of_str}`` with the same six keys as
+    :func:`parse_dataset_name`.  Malformed names raise ``ValueError`` exactly
+    as the scalar parser does (though not necessarily at the first bad *row*,
+    since each distinct name is parsed only once).
+    """
+    arr = np.asarray(names)
+    if arr.dtype.kind != "U":
+        arr = arr.astype(str)
+    code_of: Dict[str, int] = {}
+    codes = np.empty(arr.size, dtype=np.int64)
+    uniques: List[str] = []
+    for i, name in enumerate(arr.tolist()):
+        code = code_of.get(name)
+        if code is None:
+            code = code_of[name] = len(uniques)
+            uniques.append(name)
+        codes[i] = code
+    fields = ("project", "run", "stream", "prodstep", "datatype", "version")
+    parsed = [parse_dataset_name(name) for name in uniques]
+    out: Dict[str, np.ndarray] = {}
+    for key in fields:
+        # A unicode-dtype unique table makes the per-row gather a plain C copy.
+        table = np.array([record[key] for record in parsed], dtype=str)
+        out[key] = (
+            table[codes] if table.size else np.empty(arr.size, dtype="<U1")
+        )
+    return out
+
+
 def is_daod(datatype: str) -> bool:
     """True when a datatype string is a DAOD flavour."""
     return str(datatype).startswith("DAOD")
@@ -204,6 +240,16 @@ class DatasetCatalog:
                     total_bytes=float(total_bytes[i]),
                 )
             )
+        # Columnar views of the catalog, cached once so per-job gathers in the
+        # workload generator are single fancy-indexing operations instead of
+        # Python loops over DatasetRecord objects.
+        self.name_array = np.array([d.name for d in self.datasets], dtype=object)
+        self.project_array = project_draw.astype(object).astype(str)
+        self.prodstep_array = prodstep_draw.astype(object).astype(str)
+        self.datatype_array = datatype_draw.astype(object).astype(str)
+        self.n_files_array = n_files.astype(np.float64)
+        self.total_bytes_array = total_bytes.astype(np.float64)
+
         # Dataset popularity is itself Zipf-like: a few derivations are hammered
         # by many analyses while most are touched once or twice.
         ranks = rng.permutation(self.n_datasets) + 1

@@ -94,11 +94,12 @@ class PandaWorkloadGenerator:
         user_idx = self.users.sample_users(n, rng)
         dataset_idx = self.datasets.sample_indices(n, rng)
 
-        datasets = self.datasets.datasets
-        dataset_names = np.array([datasets[i].name for i in dataset_idx], dtype=object)
-        datatype = np.array([datasets[i].datatype for i in dataset_idx], dtype=object).astype(str)
-        ds_files = np.array([datasets[i].n_files for i in dataset_idx], dtype=np.float64)
-        ds_bytes = np.array([datasets[i].total_bytes for i in dataset_idx], dtype=np.float64)
+        # Columnar gathers over the catalog's cached arrays: cost scales with
+        # the number of distinct datasets, not with the number of job rows.
+        dataset_names = self.datasets.name_array[dataset_idx]
+        datatype = self.datasets.datatype_array[dataset_idx]
+        ds_files = self.datasets.n_files_array[dataset_idx]
+        ds_bytes = self.datasets.total_bytes_array[dataset_idx]
 
         # A user-analysis job typically reads a subset of the dataset's files.
         read_fraction = np.clip(rng.beta(2.0, 3.0, size=n), 0.02, 1.0)
@@ -113,9 +114,11 @@ class PandaWorkloadGenerator:
         # Site choice with mild project/region affinity: hash the project onto a
         # preferred site subset and boost its probability.
         site_names = self.sites.sample_sites(n, rng)
-        project_codes = np.array(
-            [hash(datasets[i].project) % len(self.sites) for i in dataset_idx]
+        # Hash once per catalog dataset, then gather per row.
+        catalog_codes = np.array(
+            [hash(p) % len(self.sites) for p in self.datasets.project_array]
         )
+        project_codes = catalog_codes[dataset_idx]
         affinity = rng.random(n) < 0.25
         preferred_sites = np.array(self.sites.names, dtype=object)[project_codes]
         site_names = np.where(affinity, preferred_sites, site_names).astype(str)

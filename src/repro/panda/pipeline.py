@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.panda.daod import is_daod, parse_dataset_name
+from repro.panda.daod import parse_dataset_names
 from repro.panda.records import JOB_STATUSES, PANDA_SCHEMA
 from repro.panda.sites import SiteCatalog
 from repro.panda.workload import hs23_workload
@@ -78,31 +78,42 @@ class FilteringPipeline:
         analysis = raw.mask(np.asarray(raw["tasktype"]) == "analysis")
         report.add("user analysis jobs", len(raw), len(analysis))
 
-        # Stage 2: DAOD input datasets only.
-        datatypes = np.array(
-            [parse_dataset_name(name)["datatype"] for name in analysis["inputdatasetname"]]
-        )
-        daod_mask = np.char.startswith(datatypes.astype(str), "DAOD")
+        # Stage 2: DAOD input datasets only (parsed once per distinct dataset;
+        # the parsed fields are masked through the remaining stages so the
+        # names are never parsed twice).
+        parsed = parse_dataset_names(analysis["inputdatasetname"])
+        daod_mask = np.char.startswith(parsed["datatype"], "DAOD")
         daod = analysis.mask(daod_mask)
+        parsed = {key: values[daod_mask] for key, values in parsed.items()}
         report.add("DAOD input datasets", len(analysis), len(daod))
 
         # Stage 3: final job statuses only.
         final_mask = np.isin(np.asarray(daod["jobstatus"]), np.asarray(JOB_STATUSES))
         final = daod.mask(final_mask)
+        parsed = {key: values[final_mask] for key, values in parsed.items()}
         report.add("final job status", len(daod), len(final))
 
         # Stage 4: parse nomenclature and derive workload.
-        table = self.derive_features(final)
+        table = self.derive_features(final, parsed=parsed)
         report.add("feature derivation", len(final), len(table))
         return table, report
 
-    def derive_features(self, records: Table) -> Table:
-        """Parse dataset names and compute the workload feature."""
-        names = records["inputdatasetname"]
-        parsed = [parse_dataset_name(name) for name in names]
-        project = np.array([p["project"] for p in parsed], dtype=object).astype(str)
-        prodstep = np.array([p["prodstep"] for p in parsed], dtype=object).astype(str)
-        datatype = np.array([p["datatype"] for p in parsed], dtype=object).astype(str)
+    def derive_features(
+        self, records: Table, *, parsed: Optional[Dict[str, np.ndarray]] = None
+    ) -> Table:
+        """Parse dataset names and compute the workload feature.
+
+        Dataset names are parsed once per distinct name
+        (:func:`~repro.panda.daod.parse_dataset_names`), so this stage scales
+        with the number of datasets rather than the number of job rows.
+        ``parsed`` lets :meth:`run` pass the already-parsed (and row-masked)
+        nomenclature fields instead of re-parsing.
+        """
+        if parsed is None:
+            parsed = parse_dataset_names(records["inputdatasetname"])
+        project = parsed["project"]
+        prodstep = parsed["prodstep"]
+        datatype = parsed["datatype"]
 
         hs23 = self.sites.hs23_of(records["computingsite"])
         workload = hs23_workload(records["corecount"], records["cputime_hours"], hs23)

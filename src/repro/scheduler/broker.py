@@ -24,7 +24,14 @@ from repro.utils.rng import SeedLike, as_rng
 
 
 class Broker:
-    """Interface: pick a site name for a job, or ``None`` to keep it queued."""
+    """Interface: pick a site name for a job, or ``None`` to keep it queued.
+
+    Contract: a broker must only return a site whose ``free_cores`` is at
+    least ``job.cores`` (all built-in policies do).  The simulator's
+    free-slot accounting relies on this to skip brokerage calls for jobs no
+    site could host; a broker violating it would previously have crashed the
+    allocation step anyway.
+    """
 
     name = "broker"
 

@@ -26,11 +26,11 @@ def _as_column(values: ArrayLike, kind: ColumnKind) -> np.ndarray:
         arr = np.asarray(values, dtype=np.float64)
     else:
         arr = np.asarray(values)
-        if arr.dtype.kind not in ("U", "O", "S"):
-            # Categorical entries are stored as strings so that integer-coded
-            # and string-coded categories behave identically downstream.
-            arr = arr.astype(str)
-        else:
+        if arr.dtype.kind != "U":
+            # Categorical entries are stored as strings so that integer-coded,
+            # bytes-coded and string-coded categories behave identically
+            # downstream.  Arrays that are already unicode are used as-is
+            # (treat columns as read-only; Table never mutates them).
             arr = arr.astype(str)
     if arr.ndim != 1:
         raise ValueError(f"columns must be 1-D, got shape {arr.shape}")

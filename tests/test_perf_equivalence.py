@@ -1,0 +1,150 @@
+"""Optimized-vs-seed equivalence for the vectorized hot-path engine.
+
+The four optimized kernels (GBDT fit, association matrix, filtering funnel,
+grid simulator) must reproduce the outputs of the seed implementations kept in
+``benchmarks/seed_baselines.py``:
+
+* GBDT predictions identical (the sibling-subtraction trick can shift
+  gradient histograms by a few ulps, but split decisions — and therefore
+  predictions — are unchanged on these fixtures),
+* association matrices equal within 1e-12,
+* identical simulator completion times and pipeline funnels on a fixed-seed
+  5k-job workload.
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "benchmarks"))
+
+from seed_baselines import (  # noqa: E402
+    SeedFilteringPipeline,
+    SeedGradientBoostingRegressor,
+    SeedGridSimulator,
+    seed_association_matrix,
+)
+
+from repro.boosting.gbdt import GradientBoostingRegressor  # noqa: E402
+from repro.metrics.correlation import association_matrix  # noqa: E402
+from repro.metrics.privacy import nearest_record_distances  # noqa: E402
+from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator  # noqa: E402
+from repro.panda.pipeline import FilteringPipeline  # noqa: E402
+from repro.scheduler.broker import make_broker  # noqa: E402
+from repro.scheduler.cluster import GridCluster  # noqa: E402
+from repro.scheduler.jobs import jobs_from_table  # noqa: E402
+from repro.scheduler.simulator import GridSimulator  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def workload_5k():
+    """A fixed-seed generator and a raw stream that filters to ~5k jobs."""
+    generator = PandaWorkloadGenerator(GeneratorConfig(n_jobs=10_000, n_days=10.0, seed=21))
+    return generator, generator.generate_raw()
+
+
+class TestGBDTEquivalence:
+    @pytest.mark.parametrize("subsample", [1.0, 0.7])
+    def test_identical_predictions(self, subsample):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(1_500, 6))
+        y = (
+            2.0 * X[:, 0]
+            - X[:, 1] * X[:, 2]
+            + np.sin(3.0 * X[:, 3])
+            + 0.1 * rng.normal(size=1_500)
+        )
+        params = dict(
+            n_estimators=15, learning_rate=0.3, max_depth=5, max_bins=32,
+            subsample=subsample, seed=9,
+        )
+        seed_model = SeedGradientBoostingRegressor(**params).fit(X, y)
+        opt_model = GradientBoostingRegressor(**params).fit(X, y)
+        X_query = rng.normal(size=(400, 6))
+        np.testing.assert_array_equal(seed_model.predict(X_query), opt_model.predict(X_query))
+        np.testing.assert_array_equal(seed_model.train_losses_, opt_model.train_losses_)
+
+    def test_identical_tree_structures(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(800, 4))
+        y = X[:, 0] ** 2 + X[:, 1] + 0.05 * rng.normal(size=800)
+        seed_model = SeedGradientBoostingRegressor(n_estimators=5, seed=1).fit(X, y)
+        opt_model = GradientBoostingRegressor(n_estimators=5, seed=1).fit(X, y)
+        for seed_tree, opt_tree in zip(seed_model.trees_, opt_model.trees_):
+            assert len(seed_tree.nodes_) == len(opt_tree.nodes_)
+            for a, b in zip(seed_tree.nodes_, opt_tree.nodes_):
+                assert (a.feature, a.threshold_bin, a.left, a.right) == (
+                    b.feature, b.threshold_bin, b.left, b.right,
+                )
+                assert a.n_samples == b.n_samples
+                assert a.value == pytest.approx(b.value, abs=1e-12)
+
+
+class TestAssociationEquivalence:
+    def test_matrix_within_1e12(self, workload_5k):
+        generator, raw = workload_5k
+        table, _ = FilteringPipeline(generator.sites).run(raw)
+        seed_matrix, seed_cols = seed_association_matrix(table)
+        opt_matrix, opt_cols = association_matrix(table)
+        assert list(seed_cols) == list(opt_cols)
+        np.testing.assert_allclose(opt_matrix, seed_matrix, rtol=0.0, atol=1e-12)
+
+    def test_subset_and_edge_cases(self, tiny_table):
+        for cols in (["x", "color"], ["color", "status"], ["x", "y"], None):
+            seed_matrix, _ = seed_association_matrix(tiny_table, cols)
+            opt_matrix, _ = association_matrix(tiny_table, cols)
+            np.testing.assert_allclose(opt_matrix, seed_matrix, rtol=0.0, atol=1e-12)
+
+
+class TestPipelineEquivalence:
+    def test_identical_funnel_and_table(self, workload_5k):
+        generator, raw = workload_5k
+        seed_table, seed_report = SeedFilteringPipeline(generator.sites).run(raw)
+        opt_table, opt_report = FilteringPipeline(generator.sites).run(raw)
+        assert seed_report.as_rows() == opt_report.as_rows()
+        assert seed_table == opt_table  # column-wise array equality
+
+
+class TestSimulatorEquivalence:
+    def _assert_same(self, generator, jobs, broker_name, capacity_scale):
+        def run(simulator_cls):
+            cluster = GridCluster(generator.sites, capacity_scale=capacity_scale, min_capacity=1)
+            broker = make_broker(broker_name, cluster, seed=13)
+            return simulator_cls(cluster, broker).run(jobs)
+
+        seed_result = run(SeedGridSimulator)
+        opt_result = run(GridSimulator)
+        assert seed_result.n_completed == opt_result.n_completed == len(jobs)
+        assert seed_result.makespan_days == opt_result.makespan_days
+        np.testing.assert_array_equal(seed_result.wait_times_hours, opt_result.wait_times_hours)
+        assert seed_result.utilization_by_site == opt_result.utilization_by_site
+        return opt_result
+
+    @pytest.mark.parametrize("broker_name", ["least_loaded", "random", "data_locality"])
+    def test_identical_completions_5k_jobs(self, workload_5k, broker_name):
+        generator, raw = workload_5k
+        table, _ = FilteringPipeline(generator.sites).run(raw)
+        jobs = jobs_from_table(table)
+        assert len(jobs) >= 5_000
+        self._assert_same(generator, jobs, broker_name, capacity_scale=0.002)
+
+    @pytest.mark.parametrize("broker_name", ["least_loaded", "random", "data_locality"])
+    def test_identical_completions_saturated_backlog(self, workload_5k, broker_name):
+        # A 40-core cluster under an 800-job burst: the fast-path accounting
+        # (free-slot watermark, early pass cut-off) is exercised hard here.
+        generator, raw = workload_5k
+        table, _ = FilteringPipeline(generator.sites).run(raw)
+        jobs = jobs_from_table(table)[:800]
+        result = self._assert_same(generator, jobs, broker_name, capacity_scale=1e-9)
+        assert result.mean_wait_hours > 0.0  # genuinely contended
+
+
+class TestPrivacyChunking:
+    def test_chunked_matches_unchunked(self, tiny_table):
+        train = tiny_table.take(np.arange(0, 150))
+        synth = tiny_table.take(np.arange(150, 200))
+        full = nearest_record_distances(train, synth)
+        chunked = nearest_record_distances(train, synth, chunk_size=7)
+        np.testing.assert_array_equal(full, chunked)
