@@ -1,12 +1,20 @@
 #!/usr/bin/env python
-"""Time the four optimized hot-path kernels against their seed baselines.
+"""Time the optimized hot-path kernels against their seed baselines.
 
 Each kernel — GBDT fit, association matrix, filtering-pipeline funnel, grid
-simulator — is timed at two problem sizes in both the seed implementation
-(``seed_baselines.py``) and the optimized one shipped in ``src/repro``, and
-the results (plus per-kernel speedups) are written to ``BENCH_hotpaths.json``.
-The committed copy of that file is the perf baseline that
-``check_regression.py`` guards.
+simulator, the three deep-model training stacks (TVAE, CTABGAN+, TabDDPM)
+and the broker dispatch path — is timed at two problem sizes in both the
+seed implementation (``seed_baselines.py``) and the optimized one shipped in
+``src/repro``, and the results (plus per-kernel speedups) are written to
+``BENCH_hotpaths.json``.  The committed copy of that file is the perf
+baseline that ``check_regression.py`` guards.
+
+The training benchmarks run on a wide mixed table (2 numerical + 96
+low-cardinality categorical columns): that shape stresses exactly what the
+fused training stack removes — per-block autograd slices, per-feature
+diffusion loops and per-row condition sampling — while the trained
+parameters stay bit-identical to the seed implementation
+(``tests/test_train_equivalence.py`` proves it).
 
 Run with::
 
@@ -24,20 +32,31 @@ import numpy as np
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from seed_baselines import (  # noqa: E402
+    SeedCTABGANSurrogate,
     SeedFilteringPipeline,
     SeedGradientBoostingRegressor,
     SeedGridSimulator,
+    SeedScanLeastLoadedBroker,
+    SeedTVAESurrogate,
+    SeedTabDDPMSurrogate,
+    SeedWatermarkGridSimulator,
     seed_association_matrix,
 )
 
 from repro.boosting.gbdt import GradientBoostingRegressor  # noqa: E402
 from repro.metrics.correlation import association_matrix  # noqa: E402
+from repro.models.ctabgan import CTABGANConfig, CTABGANPlusSurrogate  # noqa: E402
+from repro.models.tabddpm.model import TabDDPMConfig, TabDDPMSurrogate  # noqa: E402
+from repro.models.tvae import TVAEConfig, TVAESurrogate  # noqa: E402
 from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator  # noqa: E402
 from repro.panda.pipeline import FilteringPipeline  # noqa: E402
+from repro.panda.sites import SiteCatalog  # noqa: E402
 from repro.scheduler.broker import LeastLoadedBroker  # noqa: E402
 from repro.scheduler.cluster import GridCluster  # noqa: E402
-from repro.scheduler.jobs import jobs_from_table  # noqa: E402
+from repro.scheduler.jobs import SimulatedJob, jobs_from_table  # noqa: E402
 from repro.scheduler.simulator import GridSimulator  # noqa: E402
+from repro.tabular.schema import TableSchema  # noqa: E402
+from repro.tabular.table import Table  # noqa: E402
 from repro.utils.profiling import BenchmarkRegistry  # noqa: E402
 
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_hotpaths.json")
@@ -137,6 +156,96 @@ def bench_simulator(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
         registry.measure("simulator", "optimized", size, run_optimized, repeats=repeats)
 
 
+def wide_mixed_table(n_rows: int, *, n_numerical: int = 2, n_categorical: int = 96, seed: int = 11) -> Table:
+    """A wide mixed-type table: the shape the fused training stack targets."""
+    rng = np.random.default_rng(seed)
+    data = {}
+    numerical = [f"x{j}" for j in range(n_numerical)]
+    categorical = [f"c{j}" for j in range(n_categorical)]
+    for name in numerical:
+        data[name] = rng.normal(size=n_rows) * rng.uniform(0.5, 20)
+    for name in categorical:
+        k = int(rng.integers(2, 5))
+        data[name] = rng.choice([f"v{i}" for i in range(k)], size=n_rows)
+    return Table(data, TableSchema.from_columns(numerical=numerical, categorical=categorical))
+
+
+_TRAIN_CASES = {
+    "train_tvae": (
+        SeedTVAESurrogate,
+        TVAESurrogate,
+        lambda: TVAEConfig(latent_dim=16, hidden_dims=(64,), epochs=3, batch_size=256),
+    ),
+    "train_ctabgan": (
+        SeedCTABGANSurrogate,
+        CTABGANPlusSurrogate,
+        lambda: CTABGANConfig(
+            noise_dim=8, generator_dims=(32,), discriminator_dims=(32,),
+            gmm_components=3, epochs=2, batch_size=128, discriminator_steps=1,
+        ),
+    ),
+    "train_tabddpm": (
+        SeedTabDDPMSurrogate,
+        TabDDPMSurrogate,
+        lambda: TabDDPMConfig(
+            n_timesteps=50, hidden_dims=(48,), time_embedding_dim=16, epochs=3, batch_size=256,
+        ),
+    ),
+}
+
+
+def bench_training(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    for n_rows in sizes:
+        table = wide_mixed_table(n_rows)
+        size = f"n={n_rows}"
+        for kernel, (seed_cls, opt_cls, config_factory) in _TRAIN_CASES.items():
+            registry.measure(
+                kernel, "seed", size, lambda: seed_cls(config_factory(), seed=0).fit(table)
+            )
+            registry.measure(
+                kernel,
+                "optimized",
+                size,
+                lambda: opt_cls(config_factory(), seed=0).fit(table),
+                repeats=repeats,
+            )
+
+
+def _broker_jobs(n_jobs: int = 3000) -> list:
+    rng = np.random.default_rng(7)
+    arrivals = np.sort(rng.uniform(0.0, 2.0, n_jobs))
+    workloads = rng.lognormal(4.0, 1.0, n_jobs)
+    return [
+        SimulatedJob(
+            job_id=i, arrival_time=float(arrivals[i]), cores=1,
+            workload=float(workloads[i]), project=f"p{i % 20}",
+        )
+        for i in range(n_jobs)
+    ]
+
+
+def bench_broker(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    # One-core-per-site clusters keep every site near saturation, so the
+    # dispatch path (broker selection + free-core bookkeeping per placement)
+    # dominates; the O(sites) seed scan then separates cleanly from the
+    # O(log sites) indexed broker.
+    jobs = _broker_jobs()
+    for n_sites in sizes:
+        catalog = SiteCatalog.default(n_sites, seed=3)
+        size = f"sites={n_sites}"
+
+        def run_seed():
+            cluster = GridCluster(catalog, capacity_scale=1e-9, min_capacity=1)
+            return SeedWatermarkGridSimulator(cluster, SeedScanLeastLoadedBroker()).run(jobs)
+
+        def run_optimized():
+            cluster = GridCluster(catalog, capacity_scale=1e-9, min_capacity=1)
+            return GridSimulator(cluster, LeastLoadedBroker()).run(jobs)
+
+        registry.measure("broker_dispatch", "seed", size, run_seed)
+        registry.measure("broker_dispatch", "optimized", size, run_optimized, repeats=repeats)
+
+
 def run_benchmarks(*, quick: bool = False, repeats: int = 3) -> BenchmarkRegistry:
     registry = BenchmarkRegistry()
     # Quick mode keeps only the smaller size of each kernel so its size labels
@@ -145,17 +254,23 @@ def run_benchmarks(*, quick: bool = False, repeats: int = 3) -> BenchmarkRegistr
     table_sizes = [5_000, 40_000]
     pipe_sizes = [20_000, 150_000]
     sim_sizes = [1_000, 4_000]
+    train_sizes = [2_000, 8_000]
+    broker_sizes = [64, 512]
     if quick:
-        gbdt_sizes, table_sizes, pipe_sizes, sim_sizes = (
+        gbdt_sizes, table_sizes, pipe_sizes, sim_sizes, train_sizes, broker_sizes = (
             gbdt_sizes[:1],
             table_sizes[:1],
             pipe_sizes[:1],
             sim_sizes[:1],
+            train_sizes[:1],
+            broker_sizes[:1],
         )
     bench_gbdt(registry, gbdt_sizes, repeats)
     bench_association(registry, table_sizes, repeats)
     bench_pipeline(registry, pipe_sizes, repeats)
     bench_simulator(registry, sim_sizes, repeats)
+    bench_training(registry, train_sizes, repeats)
+    bench_broker(registry, broker_sizes, repeats)
     return registry
 
 

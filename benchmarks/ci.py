@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Single CI entry point: tier-1 tests, then the perf-regression gate.
+
+Runs, in order::
+
+    python -m pytest -x -q           # tier-1 (functional) suite
+    benchmarks/check_regression.py   # tier-2 perf gate vs BENCH_hotpaths.json
+
+and exits non-zero if either step fails.  Use from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.ci [--skip-tests|--skip-perf] [--full]
+
+``--full`` runs the perf gate on the full benchmark sizes instead of the
+quick (small-size) smoke mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true", help="skip the pytest step")
+    parser.add_argument("--skip-perf", action="store_true", help="skip the perf gate")
+    parser.add_argument(
+        "--full", action="store_true", help="run the perf gate on full benchmark sizes"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="perf-gate slowdown threshold (forwarded to check_regression)",
+    )
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    if not args.skip_tests:
+        print("== tier 1: pytest ==")
+        code = subprocess.call(
+            [sys.executable, "-m", "pytest", "-x", "-q"], cwd=REPO_ROOT, env=env
+        )
+        if code:
+            print("tier-1 tests FAILED")
+            return code
+
+    if not args.skip_perf:
+        print("== tier 2: perf gate ==")
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        import check_regression
+
+        gate_args = ["--threshold", str(args.threshold)]
+        if args.full:
+            gate_args.append("--full")
+        code = check_regression.main(gate_args)
+        if code:
+            return code
+
+    print("CI passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

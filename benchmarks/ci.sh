@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Tier-1 tests + tier-2 perf gate, from the repository root:
+#   benchmarks/ci.sh [--full] [--skip-tests] [--skip-perf]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m benchmarks.ci "$@"

@@ -1,15 +1,19 @@
-"""Seed (pre-optimization) implementations of the four hot-path kernels.
+"""Seed (pre-optimization) implementations of the hot-path kernels.
 
 These are verbatim ports of the implementations the repository shipped with
-before the vectorized hot-path engine: the per-feature histogram loop of the
-GBDT tree, the O(d^2) per-pair association matrix, the row-by-row dataset-name
-parse of the filtering pipeline and the per-event backlog rescan of the grid
-simulator.  They exist for two reasons:
+before the perf PRs: the per-feature histogram loop of the GBDT tree, the
+O(d^2) per-pair association matrix, the row-by-row dataset-name parse of the
+filtering pipeline, the per-event backlog rescan of the grid simulator, the
+unfused per-block deep-model training loops (TVAE / CTABGAN+ / TabDDPM with
+allocation-per-parameter Adam/SGD steps), the O(sites) linear-scan brokers
+and the watermark simulator that recomputed its free-core maximum with a
+full pass per allocation.  They exist for two reasons:
 
 * ``bench_hotpaths.py`` times them against the optimized kernels so the
   speedup is a measured number rather than a claim, and
-* ``tests/test_perf_equivalence.py`` checks the optimized kernels produce the
-  same outputs.
+* ``tests/test_perf_equivalence.py`` / ``tests/test_train_equivalence.py``
+  check the optimized kernels produce the same outputs (bit-identical
+  losses, parameters and samples for the training stacks).
 
 They are *not* part of the library API and should never be imported from
 ``src/``.
@@ -355,6 +359,568 @@ class SeedGridSimulator:
                 state = self.cluster[site_name]
                 state.release(job.cores, now)
                 state.completed_jobs += 1
+                finish_times[job.job_id] = now
+                try_dispatch(now)
+
+        horizon = max(now, 1e-9)
+        for state in self.cluster.sites.values():
+            state.advance_to(horizon)
+        completed = sorted(finish_times.keys())
+        jobs_by_id = {job.job_id: job for job in jobs}
+        wait_hours = np.array(
+            [(start_times[j] - jobs_by_id[j].arrival_time) * _HOURS_PER_DAY for j in completed]
+        )
+        runtime_hours = np.array([runtimes[j] for j in completed]) if completed else np.empty(0)
+        return SimulationResult(
+            broker=self.broker.name,
+            n_jobs=len(jobs),
+            n_completed=len(completed),
+            makespan_days=float(horizon - min((j.arrival_time for j in jobs), default=0.0)),
+            mean_wait_hours=float(wait_hours.mean()) if wait_hours.size else 0.0,
+            p95_wait_hours=float(np.percentile(wait_hours, 95)) if wait_hours.size else 0.0,
+            mean_runtime_hours=float(runtime_hours.mean()) if runtime_hours.size else 0.0,
+            utilization_by_site=self.cluster.utilization_by_site(horizon),
+            wait_times_hours=wait_hours,
+        )
+
+
+# ---------------------------------------------------------------------------
+# 5. NN: the pre-fusion optimisers (fresh arrays per parameter per step).
+# ---------------------------------------------------------------------------
+
+from repro.models.ctabgan import CTABGANPlusSurrogate  # noqa: E402
+from repro.models.tabddpm.denoiser import MLPDenoiser  # noqa: E402
+from repro.models.tabddpm.gaussian import GaussianDiffusion  # noqa: E402
+from repro.models.tabddpm.model import TabDDPMSurrogate  # noqa: E402
+from repro.models.tabddpm.multinomial import MultinomialDiffusion  # noqa: E402
+from repro.models.tabddpm.schedule import DiffusionSchedule  # noqa: E402
+from repro.models.tvae import TVAESurrogate  # noqa: E402
+from repro.nn import (  # noqa: E402
+    MLP,
+    Tensor,
+    bce_with_logits,
+    clip_grad_norm,
+    cross_entropy_logits,
+    gaussian_kl,
+    mse_loss,
+    no_grad,
+)
+from repro.nn.optim import CosineSchedule, Optimizer  # noqa: E402
+from repro.tabular.mixed import MixedEncoder  # noqa: E402
+from repro.tabular.schema import ColumnKind  # noqa: E402
+from repro.utils.rng import derive_seed  # noqa: E402
+
+
+class SeedSGD(Optimizer):
+    """The seed SGD step: a fresh velocity/update array per parameter."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                self._velocity[i] = self.momentum * self._velocity[i] + p.grad
+                update = self._velocity[i]
+            else:
+                update = p.grad
+            p.data -= self.lr * update
+
+
+class SeedAdam(Optimizer):
+    """The seed Adam step: ~7 temporary arrays per parameter per step."""
+
+    def __init__(self, parameters, lr: float = 2e-4, betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [None] * len(self.parameters)
+        self._v = [None] * len(self.parameters)
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self._m[i] is None:
+                self._m[i] = np.zeros_like(p.data)
+                self._v[i] = np.zeros_like(p.data)
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            if self.weight_decay > 0:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+# ---------------------------------------------------------------------------
+# 6. Models: the seed training loops — unfused Linear+activation autograd,
+#    per-block Tensor losses, per-block diffusion sampling, SeedAdam steps.
+#    Each subclass overrides only fit()/network construction, so sampling and
+#    the public API stay those of the live models.
+# ---------------------------------------------------------------------------
+
+
+class SeedTVAESurrogate(TVAESurrogate):
+    """TVAE trained through the seed (unfused, per-block) step."""
+
+    def _build(self, n_features: int) -> None:
+        cfg = self.config
+        net_seed = derive_seed(self._seed if isinstance(self._seed, int) else None, "tvae")
+        self._encoder_net = MLP(
+            n_features, list(cfg.hidden_dims), 2 * cfg.latent_dim,
+            activation="relu", fused=False, seed=net_seed,
+        )
+        self._decoder_net = MLP(
+            cfg.latent_dim, list(cfg.hidden_dims), n_features,
+            activation="relu", fused=False, seed=net_seed + 1,
+        )
+
+    def _reconstruction_loss(self, decoded: Tensor, batch: np.ndarray) -> Tensor:
+        encoded = self._encoder_data
+        num_idx = self._numerical_indices
+        loss = Tensor(0.0)
+        if num_idx.size:
+            loss = loss + mse_loss(decoded[:, num_idx], batch[:, num_idx]) * float(num_idx.size)
+        for block in encoded.blocks_:
+            if block.kind.value != "categorical":
+                continue
+            logits = decoded[:, block.start : block.stop]
+            target = batch[:, block.start : block.stop]
+            loss = loss + cross_entropy_logits(logits, target)
+        return loss
+
+    def fit(self, table) -> "SeedTVAESurrogate":
+        self._mark_fitted(table)
+        cfg = self.config
+        rng = as_rng(derive_seed(self._seed if isinstance(self._seed, int) else None, "fit"))
+
+        self._encoder_data = MixedEncoder(
+            numerical_transform_factory=self._numerical_transform_factory
+        )
+        encoded = self._encoder_data.fit_transform(table)
+        X = encoded.values
+        self._numerical_indices = encoded.numerical_indices
+        self._categorical_spans = [
+            (b.start, b.stop) for b in self._encoder_data.blocks_
+            if b.kind.value == "categorical"
+        ]
+        self._build(X.shape[1])
+
+        params = self._encoder_net.parameters() + self._decoder_net.parameters()
+        optimizer = SeedAdam(params, lr=cfg.learning_rate)
+        n_batches_per_epoch = max(1, X.shape[0] // cfg.batch_size)
+        schedule = CosineSchedule(optimizer, total_steps=cfg.epochs * n_batches_per_epoch)
+
+        losses = []
+        for epoch in range(cfg.epochs):
+            permutation = rng.permutation(X.shape[0])
+            epoch_loss = 0.0
+            for b in range(n_batches_per_epoch):
+                idx = permutation[b * cfg.batch_size : (b + 1) * cfg.batch_size]
+                if idx.size < 2:
+                    continue
+                batch = X[idx]
+                batch_t = Tensor(batch)
+
+                stats = self._encoder_net(batch_t)
+                mu = stats[:, : cfg.latent_dim]
+                logvar = stats[:, cfg.latent_dim :].clip(-8.0, 8.0)
+                noise = Tensor(rng.standard_normal((idx.size, cfg.latent_dim)))
+                z = mu + (logvar * 0.5).exp() * noise
+                decoded = self._decoder_net(z)
+
+                recon = self._reconstruction_loss(decoded, batch)
+                kl = gaussian_kl(mu, logvar)
+                loss = recon + cfg.kl_weight * kl
+
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(params, cfg.grad_clip)
+                optimizer.step()
+                schedule.step()
+                epoch_loss += loss.item()
+            losses.append(epoch_loss / n_batches_per_epoch)
+        self.loss_history_ = losses
+        return self
+
+
+class SeedConditionSampler:
+    """The seed training-by-sampling loop: ``rng.choice`` per column plus a
+    Python loop drawing one matching real row per batch element."""
+
+    def __init__(self, table, layout, encoders):
+        self.layout = layout
+        self.total_width = sum(width for _, _, width in layout)
+        self.offsets = np.cumsum([0] + [width for _, _, width in layout])[:-1]
+        self.category_probs: List[np.ndarray] = []
+        self.category_rows: List[List[np.ndarray]] = []
+        for (name, _start, width) in layout:
+            codes = encoders[name].transform_codes(table[name])
+            counts = np.bincount(codes, minlength=width).astype(np.float64)
+            logfreq = np.log1p(counts)
+            probs = logfreq / logfreq.sum() if logfreq.sum() > 0 else np.full(width, 1.0 / width)
+            self.category_probs.append(probs)
+            self.category_rows.append([np.nonzero(codes == c)[0] for c in range(width)])
+
+    def sample(self, batch_size: int, rng: np.random.Generator):
+        n_columns = len(self.layout)
+        cond = np.zeros((batch_size, self.total_width))
+        col_choice = rng.integers(0, n_columns, size=batch_size)
+        cat_choice = np.empty(batch_size, dtype=np.int64)
+        row_choice = np.empty(batch_size, dtype=np.int64)
+        for j in range(n_columns):
+            mask = col_choice == j
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            cats = rng.choice(self.category_probs[j].size, size=count, p=self.category_probs[j])
+            cat_choice[mask] = cats
+            cond[np.nonzero(mask)[0], self.offsets[j] + cats] = 1.0
+            rows = np.empty(count, dtype=np.int64)
+            for i, cat in enumerate(cats):
+                pool = self.category_rows[j][cat]
+                rows[i] = pool[rng.integers(0, pool.size)] if pool.size else rng.integers(0, 1)
+            row_choice[mask] = rows
+        return cond, col_choice, cat_choice, row_choice
+
+
+class SeedCTABGANSurrogate(CTABGANPlusSurrogate):
+    """CTABGAN+ trained through the seed (unfused, per-block) step."""
+
+    def _activate_generator_output(self, raw: Tensor) -> Tensor:
+        parts = []
+        for name, kind, start, width in self._encoder.layout:
+            if kind == ColumnKind.NUMERICAL.value:
+                parts.append(raw[:, start : start + 1].tanh())
+                parts.append(raw[:, start + 1 : start + width].softmax(axis=-1))
+            else:
+                parts.append(raw[:, start : start + width].softmax(axis=-1))
+        return Tensor.concat(parts, axis=1)
+
+    def _condition_loss(self, raw: Tensor, col_choice: np.ndarray, cat_choice: np.ndarray) -> Tensor:
+        layout = self._encoder.categorical_layout
+        loss = Tensor(0.0)
+        n_terms = 0
+        for j, (name, start, width) in enumerate(layout):
+            mask = col_choice == j
+            if not mask.any():
+                continue
+            rows = np.nonzero(mask)[0]
+            logits = raw[rows][:, start : start + width]
+            loss = loss + cross_entropy_logits(logits, cat_choice[mask])
+            n_terms += 1
+        return loss * (1.0 / max(n_terms, 1))
+
+    def fit(self, table) -> "SeedCTABGANSurrogate":
+        from repro.models.ctabgan import _ModeSpecificEncoder
+
+        self._mark_fitted(table)
+        cfg = self.config
+        seed_int = self._seed if isinstance(self._seed, int) else None
+        rng = as_rng(derive_seed(seed_int, "fit"))
+
+        self._encoder = _ModeSpecificEncoder(cfg.gmm_components, seed_int).fit(table)
+        encoded = self._encoder.transform(table, rng)
+        self._activation_layout = self._output_layout()
+        cat_layout = self._encoder.categorical_layout
+        self._condition = SeedConditionSampler(table, cat_layout, self._encoder.categorical_encoders)
+
+        data_dim = self._encoder.n_features
+        cond_dim = self._condition.total_width
+        self._generator = MLP(
+            cfg.noise_dim + cond_dim, list(cfg.generator_dims), data_dim,
+            activation="relu", fused=False, seed=derive_seed(seed_int, "generator"),
+        )
+        self._discriminator = MLP(
+            data_dim + cond_dim, list(cfg.discriminator_dims), 1,
+            activation="leaky_relu", dropout=0.25, fused=False,
+            seed=derive_seed(seed_int, "discriminator"),
+        )
+
+        g_params = self._generator.parameters()
+        d_params = self._discriminator.parameters()
+        g_optimizer = SeedAdam(g_params, lr=cfg.learning_rate, betas=(0.5, 0.9))
+        d_optimizer = SeedAdam(d_params, lr=cfg.learning_rate, betas=(0.5, 0.9))
+
+        n = encoded.shape[0]
+        steps_per_epoch = max(1, n // cfg.batch_size)
+        history = []
+        ones = None
+        zeros = None
+        for epoch in range(cfg.epochs):
+            d_loss_value = 0.0
+            g_loss_value = 0.0
+            for _ in range(steps_per_epoch):
+                for _ in range(cfg.discriminator_steps):
+                    cond, col_c, cat_c, row_c = self._condition.sample(cfg.batch_size, rng)
+                    real = encoded[row_c]
+                    noise = rng.standard_normal((cfg.batch_size, cfg.noise_dim))
+                    with no_grad():
+                        fake_raw = self._generator(Tensor(np.concatenate([noise, cond], axis=1)))
+                        fake = self._activate_generator_output(fake_raw).numpy()
+                    real_in = Tensor(np.concatenate([real, cond], axis=1))
+                    fake_in = Tensor(np.concatenate([fake, cond], axis=1))
+                    real_logit = self._discriminator(real_in)
+                    fake_logit = self._discriminator(fake_in)
+                    if ones is None or ones.shape[0] != cfg.batch_size:
+                        ones = np.ones((cfg.batch_size, 1))
+                        zeros = np.zeros((cfg.batch_size, 1))
+                    d_loss = bce_with_logits(real_logit, ones) + bce_with_logits(fake_logit, zeros)
+                    d_optimizer.zero_grad()
+                    d_loss.backward()
+                    clip_grad_norm(d_params, cfg.grad_clip)
+                    d_optimizer.step()
+                    d_loss_value += d_loss.item()
+
+                cond, col_c, cat_c, _rows = self._condition.sample(cfg.batch_size, rng)
+                noise = rng.standard_normal((cfg.batch_size, cfg.noise_dim))
+                fake_raw = self._generator(Tensor(np.concatenate([noise, cond], axis=1)))
+                fake = self._activate_generator_output(fake_raw)
+                fake_logit = self._discriminator(Tensor.concat([fake, Tensor(cond)], axis=1))
+                adv_loss = bce_with_logits(fake_logit, np.ones((cfg.batch_size, 1)))
+                cond_loss = self._condition_loss(fake_raw, col_c, cat_c)
+                g_loss = adv_loss + cond_loss
+                g_optimizer.zero_grad()
+                g_loss.backward()
+                clip_grad_norm(g_params, cfg.grad_clip)
+                g_optimizer.step()
+                g_loss_value += g_loss.item()
+
+            history.append(
+                {
+                    "epoch": epoch + 1,
+                    "d_loss": d_loss_value / (steps_per_epoch * cfg.discriminator_steps),
+                    "g_loss": g_loss_value / steps_per_epoch,
+                }
+            )
+        self.loss_history_ = history
+        return self
+
+
+class SeedTabDDPMSurrogate(TabDDPMSurrogate):
+    """TabDDPM trained through the seed (per-block diffusion/loss) step."""
+
+    def _build(self, n_features: int) -> None:
+        cfg = self.config
+        if cfg.schedule == "cosine":
+            schedule = DiffusionSchedule.cosine(cfg.n_timesteps)
+        else:
+            schedule = DiffusionSchedule.linear(cfg.n_timesteps)
+        self._gaussian = GaussianDiffusion(schedule)
+        self._multinomials = [
+            (block, MultinomialDiffusion(block.width, schedule))
+            for block in self._encoder.blocks_
+            if block.kind.value == "categorical"
+        ]
+        self._categorical_spans = [(b.start, b.stop) for b, _ in self._multinomials]
+        self._denoiser = MLPDenoiser(
+            n_features,
+            hidden_dims=list(cfg.hidden_dims),
+            time_embedding_dim=cfg.time_embedding_dim,
+            fused=False,
+            seed=derive_seed(self._seed if isinstance(self._seed, int) else None, "denoiser"),
+        )
+
+    def fit(self, table) -> "SeedTabDDPMSurrogate":
+        self._mark_fitted(table)
+        cfg = self.config
+        rng = as_rng(derive_seed(self._seed if isinstance(self._seed, int) else None, "fit"))
+
+        self._encoder = MixedEncoder()
+        encoded = self._encoder.fit_transform(table)
+        X = encoded.values
+        self._numerical_indices = encoded.numerical_indices
+        self._build(X.shape[1])
+
+        params = self._denoiser.parameters()
+        optimizer = SeedAdam(params, lr=cfg.learning_rate)
+        steps_per_epoch = max(1, X.shape[0] // cfg.batch_size)
+        lr_schedule = CosineSchedule(optimizer, total_steps=cfg.epochs * steps_per_epoch)
+
+        num_idx = self._numerical_indices
+        losses = []
+        for epoch in range(cfg.epochs):
+            permutation = rng.permutation(X.shape[0])
+            epoch_loss = 0.0
+            for b in range(steps_per_epoch):
+                idx = permutation[b * cfg.batch_size : (b + 1) * cfg.batch_size]
+                if idx.size < 2:
+                    continue
+                batch = X[idx]
+                t = rng.integers(0, cfg.n_timesteps, size=idx.size)
+
+                noisy = np.empty_like(batch)
+                noise = rng.standard_normal((idx.size, num_idx.size)) if num_idx.size else None
+                if num_idx.size:
+                    noisy[:, num_idx] = self._gaussian.q_sample(batch[:, num_idx], t, noise)
+                for block, diffusion in self._multinomials:
+                    noisy[:, block.slice] = diffusion.q_sample(batch[:, block.slice], t, rng)
+
+                prediction = self._denoiser(Tensor(noisy), t)
+
+                loss = Tensor(0.0)
+                if num_idx.size:
+                    loss = loss + mse_loss(prediction[:, num_idx], noise) * float(num_idx.size)
+                for block, _diffusion in self._multinomials:
+                    logits = prediction[:, block.start : block.stop]
+                    loss = loss + cross_entropy_logits(logits, batch[:, block.slice])
+
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(params, cfg.grad_clip)
+                optimizer.step()
+                lr_schedule.step()
+                epoch_loss += loss.item()
+            losses.append(epoch_loss / steps_per_epoch)
+        self.loss_history_ = losses
+        return self
+
+
+# ---------------------------------------------------------------------------
+# 7. Scheduler: the seed O(sites) brokerage — a Python scan over every site
+#    per placement — and the watermark simulator that recomputed its
+#    free-core maximum with a full pass after every allocation.
+# ---------------------------------------------------------------------------
+
+
+class SeedScanLeastLoadedBroker:
+    """The seed least-loaded policy: linear scan of all sites per call."""
+
+    name = "least_loaded"
+
+    def select_site(self, job, cluster):
+        best_name = None
+        best_key = (-1.0, -1.0)
+        for state in cluster.sites.values():
+            if state.free_cores < job.cores:
+                continue
+            key = (float(state.free_cores), state.site.hs23_per_core)
+            if key > best_key:
+                best_key = key
+                best_name = state.site.name
+        return best_name
+
+
+class SeedScanDataLocalityBroker:
+    """The seed data-locality policy with the linear-scan fallback.
+
+    Replica placement reuses the live stable per-project hash so that the
+    comparison against the indexed broker isolates the scan strategy.
+    """
+
+    name = "data_locality"
+
+    def __init__(self, cluster, *, replicas_per_project: int = 3, seed: SeedLike = None):
+        self._rng = as_rng(seed)
+        self._fallback = SeedScanLeastLoadedBroker()
+        self.replicas_per_project = int(replicas_per_project)
+        self._hosting = {}
+        self._site_names = list(cluster.sites.keys())
+
+    def _hosts_of(self, project: str):
+        if project not in self._hosting:
+            rng = np.random.default_rng(derive_seed(None, "replica", project))
+            k = min(self.replicas_per_project, len(self._site_names))
+            chosen = rng.choice(len(self._site_names), size=k, replace=False)
+            self._hosting[project] = [self._site_names[i] for i in chosen]
+        return self._hosting[project]
+
+    def select_site(self, job, cluster):
+        hosts = self._hosts_of(job.project)
+        candidates = [cluster[name] for name in hosts if cluster[name].free_cores >= job.cores]
+        if candidates:
+            best = max(candidates, key=lambda s: (s.free_cores, s.site.hs23_per_core))
+            return best.site.name
+        return self._fallback.select_site(job, cluster)
+
+
+class SeedWatermarkGridSimulator:
+    """The seed watermark event loop: free_max recomputed by an O(sites) pass."""
+
+    def __init__(self, cluster, broker) -> None:
+        self.cluster = cluster
+        self.broker = broker
+
+    def run(self, jobs: Sequence[SimulatedJob], *, max_backlog: Optional[int] = None):
+        from repro.scheduler.simulator import SimulationResult
+
+        jobs = list(jobs)
+        queue = EventQueue()
+        for job in jobs:
+            queue.push(Event(job.arrival_time, EventType.JOB_ARRIVAL, job))
+
+        backlog: List[SimulatedJob] = []
+        start_times: Dict[int, float] = {}
+        finish_times: Dict[int, float] = {}
+        runtimes: Dict[int, float] = {}
+        site_of_job: Dict[int, str] = {}
+        now = 0.0
+        site_states = list(self.cluster.sites.values())
+        free_max = max((s.free_cores for s in site_states), default=0)
+        backlog_min_cores = float("inf")
+
+        def try_dispatch(time: float) -> None:
+            nonlocal free_max, backlog_min_cores
+            if free_max < backlog_min_cores:
+                return
+            still_waiting: List[SimulatedJob] = []
+            for pos, job in enumerate(backlog):
+                if free_max < backlog_min_cores:
+                    still_waiting.extend(backlog[pos:])
+                    break
+                if job.cores > free_max:
+                    still_waiting.append(job)
+                    continue
+                site_name = self.broker.select_site(job, self.cluster)
+                if site_name is None:
+                    still_waiting.append(job)
+                    continue
+                state = self.cluster[site_name]
+                state.allocate(job.cores, time)
+                free_max = max(s.free_cores for s in site_states)
+                runtime_hours = job.runtime_at(state.site.hs23_per_core)
+                start_times[job.job_id] = time
+                runtimes[job.job_id] = runtime_hours
+                site_of_job[job.job_id] = site_name
+                queue.push(
+                    Event(time + runtime_hours / _HOURS_PER_DAY, EventType.JOB_FINISH, job)
+                )
+            backlog[:] = still_waiting
+            if not backlog:
+                backlog_min_cores = float("inf")
+
+        while queue:
+            event = queue.pop()
+            now = event.time
+            job = event.payload
+            if event.kind is EventType.JOB_ARRIVAL:
+                backlog.append(job)
+                backlog_min_cores = min(backlog_min_cores, job.cores)
+                if max_backlog is not None and len(backlog) > max_backlog:
+                    raise RuntimeError(
+                        f"backlog exceeded {max_backlog} jobs; the cluster is undersized"
+                    )
+                try_dispatch(now)
+            elif event.kind is EventType.JOB_FINISH:
+                site_name = site_of_job[job.job_id]
+                state = self.cluster[site_name]
+                state.release(job.cores, now)
+                state.completed_jobs += 1
+                free_max = max(free_max, state.free_cores)
                 finish_times[job.job_id] = now
                 try_dispatch(now)
 

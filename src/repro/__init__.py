@@ -27,12 +27,14 @@ Quickstart
 
 Performance
 -----------
-The four hottest loops run through a vectorized engine:
+The hottest loops run through a vectorized engine:
 
 * **boosting** — the histogram tree builds all per-feature histograms with a
   single flattened ``np.bincount`` per node, derives each sibling histogram
   as parent-minus-scanned-child, and routes predictions through packed node
-  arrays instead of Python node objects (:mod:`repro.boosting.tree`);
+  arrays instead of Python node objects; feature binning is one stacked
+  ``np.searchsorted`` plus a rank table, with no per-feature loop
+  (:mod:`repro.boosting.tree`);
 * **metrics** — the association matrix integer-codes every column once and
   fills both Theil directions of a categorical pair from one contingency
   table, with the numerical block as a single BLAS Gram product
@@ -42,13 +44,28 @@ The four hottest loops run through a vectorized engine:
   the workload generator scale with the number of datasets, not rows;
 * **scheduler** — the grid simulator keeps free-slot watermarks next to its
   event heap so a saturated backlog is never rescanned with brokerage calls
-  (:mod:`repro.scheduler.simulator`).
+  (:mod:`repro.scheduler.simulator`), and the cluster maintains a
+  lazily-invalidated free-core heap so least-loaded brokerage is O(log
+  sites) per placement with stable, dict-order-independent tie-breaking
+  (:mod:`repro.scheduler.cluster`, :mod:`repro.scheduler.broker`);
+* **nn / models** — the deep surrogates (TVAE, CTABGAN+, TabDDPM) train
+  through fused autograd: one graph node per Linear+activation pair with
+  pre-allocated gradient buffers (:class:`repro.nn.layers.FusedLinear`),
+  fused mixed losses / block activations / VAE heads that replace the
+  per-encoded-column slice nodes (:mod:`repro.nn.fused`), flat-buffer
+  in-place Adam/SGD steps (:mod:`repro.nn.optim`), encode-once minibatching
+  and a fully vectorised multinomial diffusion step
+  (:mod:`repro.models.tabddpm.multinomial`).  Every fused path is
+  bit-identical to the unfused composition — same losses, parameters and
+  samples for a fixed seed (``tests/test_train_equivalence.py``).
 
 ``benchmarks/bench_hotpaths.py`` times every kernel against the seed
 implementation at two problem sizes and writes ``BENCH_hotpaths.json``;
 ``benchmarks/check_regression.py`` fails when a kernel regresses more than 2x
-against the committed baseline, and ``tests/test_perf_equivalence.py`` proves
-the optimized kernels reproduce the seed outputs.  Timing helpers live in
+against the committed baseline (``python -m benchmarks.ci`` chains it after
+the test suite), and ``tests/test_perf_equivalence.py`` proves the optimized
+kernels reproduce the seed outputs.  See ``benchmarks/README.md`` for the
+harness, baseline and re-baselining policy.  Timing helpers live in
 :mod:`repro.utils.profiling`.
 """
 

@@ -27,13 +27,30 @@ from repro.utils.validation import check_array, check_fitted
 
 
 class FeatureBinner:
-    """Quantile binning of a float feature matrix into small integer codes."""
+    """Quantile binning of a float feature matrix into small integer codes.
+
+    ``transform`` is a single ``np.searchsorted`` over the stacked (globally
+    sorted) bin edges of *all* features: the global insertion rank of a value
+    counts every edge below it, and a per-feature cumulative count table
+    fitted alongside the edges converts that rank back to "number of
+    feature-j edges <= value" — exactly the per-feature ``searchsorted``
+    result — without a Python loop over features.
+
+    The rank table is ``(n_features, total_edges + 1)``, i.e. quadratic in
+    the feature count, so very wide matrices fall back to the per-feature
+    loop instead of allocating it (``_MAX_RANK_TABLE_BYTES``).
+    """
+
+    #: rank-table size cap (uint8 bytes) above which fit() skips building it
+    _MAX_RANK_TABLE_BYTES = 8_000_000
 
     def __init__(self, max_bins: int = 64) -> None:
         if not 2 <= max_bins <= 256:
             raise ValueError("max_bins must be in [2, 256]")
         self.max_bins = int(max_bins)
         self.bin_edges_: Optional[List[np.ndarray]] = None
+        self._stacked_edges_: Optional[np.ndarray] = None
+        self._rank_to_bin_: Optional[np.ndarray] = None
 
     def fit(self, X: np.ndarray) -> "FeatureBinner":
         X = check_array(X, ndim=2, dtype=np.float64, name="X")
@@ -43,6 +60,23 @@ class FeatureBinner:
             qs = np.quantile(col, np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1])
             edges.append(np.unique(qs))
         self.bin_edges_ = edges
+        # Stack all per-feature edges into one sorted array and record, for
+        # every global rank r, how many of the first r edges belong to each
+        # feature.  Per-feature bins never exceed max_bins - 1 < 256, so the
+        # table fits in uint8 and the gathered codes need no cast.
+        counts = np.array([e.size for e in edges], dtype=np.intp)
+        stacked = np.concatenate(edges) if edges else np.empty(0)
+        if len(edges) * (stacked.size + 1) > self._MAX_RANK_TABLE_BYTES:
+            self._stacked_edges_ = None
+            self._rank_to_bin_ = None
+            return self
+        order = np.argsort(stacked, kind="stable")
+        self._stacked_edges_ = stacked[order]
+        feature_of = np.repeat(np.arange(len(edges), dtype=np.intp), counts)[order]
+        table = np.zeros((len(edges), stacked.size + 1), dtype=np.uint8)
+        table[feature_of, np.arange(stacked.size) + 1] = 1
+        np.cumsum(table, axis=1, out=table)
+        self._rank_to_bin_ = table
         return self
 
     def transform(self, X: np.ndarray) -> np.ndarray:
@@ -52,10 +86,15 @@ class FeatureBinner:
             raise ValueError(
                 f"expected {len(self.bin_edges_)} features, got {X.shape[1]}"
             )
-        binned = np.empty(X.shape, dtype=np.uint8)
-        for j, edges in enumerate(self.bin_edges_):
-            binned[:, j] = np.searchsorted(edges, X[:, j], side="right")
-        return binned
+        if self._rank_to_bin_ is None:
+            binned = np.empty(X.shape, dtype=np.uint8)
+            for j, edges in enumerate(self.bin_edges_):
+                binned[:, j] = np.searchsorted(edges, X[:, j], side="right")
+            return binned
+        ranks = np.searchsorted(self._stacked_edges_, X, side="right")
+        return self._rank_to_bin_[
+            np.arange(X.shape[1], dtype=np.intp)[None, :], ranks
+        ]
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)

@@ -32,12 +32,14 @@ from repro.mixture.gmm import GaussianMixture
 from repro.models.base import Surrogate
 from repro.nn import (
     Adam,
+    BlockLayout,
     MLP,
     Tensor,
     bce_with_logits,
     clip_grad_norm,
-    cross_entropy_logits,
+    conditional_blocks_loss,
     no_grad,
+    tanh_softmax_blocks,
 )
 from repro.tabular.encoding import OneHotEncoder
 from repro.tabular.schema import ColumnKind
@@ -139,23 +141,63 @@ class _ModeSpecificEncoder:
 
 
 class _ConditionSampler:
-    """Training-by-sampling condition vectors over categorical columns."""
+    """Training-by-sampling condition vectors over categorical columns.
+
+    ``sample`` is fully vectorised per conditioned column while drawing the
+    exact RNG stream of the historical per-row loop:
+
+    * ``rng.choice(k, size, p=probs)`` consumes one uniform per draw and maps
+      it through the probability CDF, so a pre-computed
+      ``cdf.searchsorted(rng.random(count), side="right")`` is stream- and
+      value-identical;
+    * a scalar ``rng.integers(0, high)`` loop consumes the stream exactly
+      like one vectorised ``rng.integers(0, highs)`` call over the same
+      bounds (numpy applies the bounded-integer rejection per element in
+      order).
+    """
 
     def __init__(self, table: Table, layout: List[Tuple[str, int, int]], encoders: Dict[str, OneHotEncoder]):
         self.layout = layout
         self.total_width = sum(width for _, _, width in layout)
         self.offsets = np.cumsum([0] + [width for _, _, width in layout])[:-1]
-        # Log-frequency weighting per column, plus the row indices per category
-        # so the discriminator sees real rows consistent with the condition.
-        self.category_probs: List[np.ndarray] = []
-        self.category_rows: List[List[np.ndarray]] = []
+        # Log-frequency weighting per column (as a sampling CDF), plus flat
+        # per-category row pools so the discriminator sees real rows
+        # consistent with the condition.
+        self._cdfs: List[np.ndarray] = []
+        self._pools: List[np.ndarray] = []
+        self._pool_starts: List[np.ndarray] = []
+        self._pool_sizes: List[np.ndarray] = []
+        self._pool_highs: List[np.ndarray] = []
+        #: condition-vector column -> offset of its column block (to map a
+        #: flat condition column back to the in-column category index)
+        self._cond_col_offset = np.repeat(
+            self.offsets, [width for _, _, width in layout]
+        ).astype(np.int64) if layout else np.empty(0, dtype=np.int64)
         for (name, _start, width) in layout:
             codes = encoders[name].transform_codes(table[name])
             counts = np.bincount(codes, minlength=width).astype(np.float64)
             logfreq = np.log1p(counts)
             probs = logfreq / logfreq.sum() if logfreq.sum() > 0 else np.full(width, 1.0 / width)
-            self.category_probs.append(probs)
-            self.category_rows.append([np.nonzero(codes == c)[0] for c in range(width)])
+            # Rows grouped by category: a stable argsort keeps the ascending
+            # row order np.nonzero would produce per category.
+            pool = np.argsort(codes, kind="stable")
+            sizes = np.bincount(codes, minlength=width)
+            starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.intp)
+            cdf = probs.cumsum()
+            cdf /= cdf[-1]
+            self._cdfs.append(cdf)
+            self._pools.append(pool)
+            self._pool_starts.append(starts)
+            self._pool_sizes.append(sizes)
+            self._pool_highs.append(np.maximum(sizes, 1))
+        # All per-column row pools concatenated, so the matching-row lookup
+        # after the RNG loop is one gather over a single flat array.
+        self._pool_offsets = np.concatenate(
+            [[0], np.cumsum([p.size for p in self._pools])[:-1]]
+        ).astype(np.intp) if self._pools else np.empty(0, dtype=np.intp)
+        self._all_pools = (
+            np.concatenate(self._pools) if self._pools else np.empty(0, dtype=np.int64)
+        )
 
     def sample(
         self, batch_size: int, rng: np.random.Generator
@@ -164,21 +206,41 @@ class _ConditionSampler:
         n_columns = len(self.layout)
         cond = np.zeros((batch_size, self.total_width))
         col_choice = rng.integers(0, n_columns, size=batch_size)
-        cat_choice = np.empty(batch_size, dtype=np.int64)
-        row_choice = np.empty(batch_size, dtype=np.int64)
+        # Group the batch rows by conditioned column once (stable sort keeps
+        # the ascending row order of the historical per-column masks); the
+        # per-column loop below then only performs the RNG draws — which must
+        # stay interleaved per column to preserve the seed stream — plus one
+        # CDF lookup, with all gather/scatter work batched afterwards.
+        rows_by_col = np.argsort(col_choice, kind="stable")
+        counts = np.bincount(col_choice, minlength=n_columns)
+        cats_parts: List[np.ndarray] = []
+        draws_parts: List[np.ndarray] = []
+        sizes_parts: List[np.ndarray] = []
+        starts_parts: List[np.ndarray] = []
         for j in range(n_columns):
-            mask = col_choice == j
-            count = int(mask.sum())
+            count = counts[j]
             if count == 0:
                 continue
-            cats = rng.choice(self.category_probs[j].size, size=count, p=self.category_probs[j])
-            cat_choice[mask] = cats
-            cond[np.nonzero(mask)[0], self.offsets[j] + cats] = 1.0
-            rows = np.empty(count, dtype=np.int64)
-            for i, cat in enumerate(cats):
-                pool = self.category_rows[j][cat]
-                rows[i] = pool[rng.integers(0, pool.size)] if pool.size else rng.integers(0, 1)
-            row_choice[mask] = rows
+            cats = self._cdfs[j].searchsorted(rng.random(count), side="right")
+            sizes = self._pool_sizes[j][cats]
+            draws = rng.integers(0, self._pool_highs[j][cats])
+            cats_parts.append(self.offsets[j] + cats)
+            sizes_parts.append(sizes)
+            draws_parts.append(draws)
+            starts_parts.append(self._pool_starts[j][cats] + self._pool_offsets[j])
+        cat_cols = np.concatenate(cats_parts) if cats_parts else np.empty(0, dtype=np.int64)
+        sizes = np.concatenate(sizes_parts) if sizes_parts else np.empty(0, dtype=np.int64)
+        draws = np.concatenate(draws_parts) if draws_parts else np.empty(0, dtype=np.int64)
+        starts = np.concatenate(starts_parts) if starts_parts else np.empty(0, dtype=np.intp)
+        cond[rows_by_col, cat_cols] = 1.0
+        cat_choice = np.empty(batch_size, dtype=np.int64)
+        cat_choice[rows_by_col] = cat_cols - self._cond_col_offset[cat_cols]
+        row_choice = np.empty(batch_size, dtype=np.int64)
+        if self._all_pools.size:
+            picks = self._all_pools[np.minimum(starts + draws, self._all_pools.size - 1)]
+            row_choice[rows_by_col] = np.where(sizes > 0, picks, draws)
+        else:
+            row_choice[rows_by_col] = draws
         return cond, col_choice, cat_choice, row_choice
 
 
@@ -198,33 +260,30 @@ class CTABGANPlusSurrogate(Surrogate):
         self.loss_history_: Optional[List[Dict[str, float]]] = None
 
     # -- output shaping ------------------------------------------------------------
-    def _activate_generator_output(self, raw: Tensor) -> Tensor:
-        """Apply per-block activations: tanh for alphas, softmax for one-hot blocks."""
-        parts: List[Tensor] = []
-        for name, kind, start, width in self._encoder.layout:
+    def _output_layout(self) -> Tuple[np.ndarray, BlockLayout]:
+        """``(tanh columns, softmax block layout)`` covering the generator output."""
+        tanh_cols: List[int] = []
+        softmax_spans: List[Tuple[int, int]] = []
+        for _name, kind, start, width in self._encoder.layout:
             if kind == ColumnKind.NUMERICAL.value:
-                alpha = raw[:, start : start + 1].tanh()
-                modes = raw[:, start + 1 : start + width].softmax(axis=-1)
-                parts.append(alpha)
-                parts.append(modes)
+                tanh_cols.append(start)
+                softmax_spans.append((start + 1, start + width))
             else:
-                parts.append(raw[:, start : start + width].softmax(axis=-1))
-        return Tensor.concat(parts, axis=1)
+                softmax_spans.append((start, start + width))
+        return np.asarray(tanh_cols, dtype=np.intp), BlockLayout(softmax_spans)
+
+    def _activate_generator_output(self, raw: Tensor) -> Tensor:
+        """Apply per-block activations: tanh for alphas, softmax for one-hot blocks.
+
+        One fused graph node (bit-identical to the slice/tanh/softmax/concat
+        composition) instead of four nodes per encoded column.
+        """
+        tanh_cols, softmax_spans = self._activation_layout
+        return tanh_softmax_blocks(raw, tanh_cols, softmax_spans)
 
     def _condition_loss(self, raw: Tensor, col_choice: np.ndarray, cat_choice: np.ndarray) -> Tensor:
         """Cross entropy forcing the generated conditioned column to match the condition."""
-        layout = self._encoder.categorical_layout
-        loss = Tensor(0.0)
-        n_terms = 0
-        for j, (name, start, width) in enumerate(layout):
-            mask = col_choice == j
-            if not mask.any():
-                continue
-            rows = np.nonzero(mask)[0]
-            logits = raw[rows][:, start : start + width]
-            loss = loss + cross_entropy_logits(logits, cat_choice[mask])
-            n_terms += 1
-        return loss * (1.0 / max(n_terms, 1))
+        return conditional_blocks_loss(raw, self._condition_layout, col_choice, cat_choice)
 
     # -- fitting ----------------------------------------------------------------------
     def fit(self, table: Table) -> "CTABGANPlusSurrogate":
@@ -233,9 +292,16 @@ class CTABGANPlusSurrogate(Surrogate):
         seed_int = self._seed if isinstance(self._seed, int) else None
         rng = as_rng(derive_seed(seed_int, "fit"))
 
+        # Encode once: mode-specific normalisation runs over the full table a
+        # single time, and each discriminator step below only gathers rows
+        # (``encoded[row_c]``) from the resulting dense matrix.
         self._encoder = _ModeSpecificEncoder(cfg.gmm_components, seed_int).fit(table)
         encoded = self._encoder.transform(table, rng)
+        self._activation_layout = self._output_layout()
         cat_layout = self._encoder.categorical_layout
+        self._condition_layout = BlockLayout(
+            [(start, start + width) for _name, start, width in cat_layout]
+        )
         self._condition = _ConditionSampler(table, cat_layout, self._encoder.categorical_encoders)
 
         data_dim = self._encoder.n_features

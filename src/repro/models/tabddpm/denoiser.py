@@ -45,6 +45,7 @@ class MLPDenoiser(Module):
         hidden_dims: Sequence[int] = (256, 256),
         time_embedding_dim: int = 64,
         *,
+        fused: bool = True,
         seed: SeedLike = None,
     ) -> None:
         super().__init__()
@@ -57,6 +58,7 @@ class MLPDenoiser(Module):
             list(hidden_dims),
             n_features,
             activation="relu",
+            fused=fused,
             seed=seed,
         )
 

@@ -47,15 +47,11 @@ class GaussianDiffusion:
         return (x_t - sqrt_1m * eps) / np.maximum(sqrt_ab, 1e-12)
 
     def posterior_mean(self, x0: np.ndarray, x_t: np.ndarray, t: np.ndarray) -> np.ndarray:
-        """Mean of ``q(x_{t-1} | x_t, x_0)``."""
+        """Mean of ``q(x_{t-1} | x_t, x_0)`` (coefficients pre-computed per step)."""
         t = np.asarray(t, dtype=np.int64)
         sched = self.schedule
-        coef_x0 = (
-            sched.betas[t] * np.sqrt(sched.alphas_bar_prev[t]) / (1.0 - sched.alphas_bar[t])
-        )[:, None]
-        coef_xt = (
-            (1.0 - sched.alphas_bar_prev[t]) * np.sqrt(sched.alphas[t]) / (1.0 - sched.alphas_bar[t])
-        )[:, None]
+        coef_x0 = sched.posterior_mean_coef_x0[t][:, None]
+        coef_xt = sched.posterior_mean_coef_xt[t][:, None]
         return coef_x0 * x0 + coef_xt * x_t
 
     def p_sample_step(

@@ -20,9 +20,17 @@ import numpy as np
 from repro.models.base import Surrogate
 from repro.models.tabddpm.denoiser import MLPDenoiser
 from repro.models.tabddpm.gaussian import GaussianDiffusion
-from repro.models.tabddpm.multinomial import MultinomialDiffusion
+from repro.models.tabddpm.multinomial import MultinomialBlockDiffusion, MultinomialDiffusion
 from repro.models.tabddpm.schedule import DiffusionSchedule
-from repro.nn import Adam, CosineSchedule, Tensor, clip_grad_norm, cross_entropy_logits, mse_loss, no_grad
+from repro.nn import (
+    Adam,
+    BlockLayout,
+    CosineSchedule,
+    Tensor,
+    clip_grad_norm,
+    mixed_reconstruction_loss,
+    no_grad,
+)
 from repro.tabular.mixed import ColumnBlock, MixedEncoder
 from repro.tabular.table import Table
 from repro.utils.logging import get_logger
@@ -81,6 +89,11 @@ class TabDDPMSurrogate(Surrogate):
             for block in self._encoder.blocks_
             if block.kind.value == "categorical"
         ]
+        # Training diffuses every categorical block in one vectorised shot;
+        # the per-block diffusions above drive the (sequential) reverse chain.
+        spans = [(block.start, block.stop) for block, _ in self._multinomials]
+        self._categorical_layout = BlockLayout(spans)
+        self._block_diffusion = MultinomialBlockDiffusion(spans, schedule)
         self._denoiser = MLPDenoiser(
             n_features,
             hidden_dims=list(cfg.hidden_dims),
@@ -94,6 +107,7 @@ class TabDDPMSurrogate(Surrogate):
         cfg = self.config
         rng = as_rng(derive_seed(self._seed if isinstance(self._seed, int) else None, "fit"))
 
+        # Encode once; training steps only slice shuffled index blocks.
         self._encoder = MixedEncoder()
         encoded = self._encoder.fit_transform(table)
         X = encoded.values
@@ -117,22 +131,19 @@ class TabDDPMSurrogate(Surrogate):
                 batch = X[idx]
                 t = rng.integers(0, cfg.n_timesteps, size=idx.size)
 
-                # Build the noisy input block by block.
+                # Diffuse the whole batch in two vectorised shots: the
+                # Gaussian block in one call, every categorical block jointly
+                # through the padded-cube sampler — no per-feature Python loop.
                 noisy = np.empty_like(batch)
                 noise = rng.standard_normal((idx.size, num_idx.size)) if num_idx.size else None
                 if num_idx.size:
                     noisy[:, num_idx] = self._gaussian.q_sample(batch[:, num_idx], t, noise)
-                for block, diffusion in self._multinomials:
-                    noisy[:, block.slice] = diffusion.q_sample(batch[:, block.slice], t, rng)
+                self._block_diffusion.q_sample_into(noisy, batch, t, rng)
 
                 prediction = self._denoiser(Tensor(noisy), t)
-
-                loss = Tensor(0.0)
-                if num_idx.size:
-                    loss = loss + mse_loss(prediction[:, num_idx], noise) * float(num_idx.size)
-                for block, _diffusion in self._multinomials:
-                    logits = prediction[:, block.start : block.stop]
-                    loss = loss + cross_entropy_logits(logits, batch[:, block.slice])
+                loss = mixed_reconstruction_loss(
+                    prediction, num_idx, noise, self._categorical_layout, batch
+                )
 
                 optimizer.zero_grad()
                 loss.backward()

@@ -48,6 +48,17 @@ class DiffusionSchedule:
         self.posterior_variance = (
             betas * (1.0 - self.alphas_bar_prev) / (1.0 - self.alphas_bar)
         )
+        # Posterior mean coefficients, precomputed for every timestep so the
+        # reverse process is a pure gather instead of per-step arithmetic.
+        # The expressions (and their evaluation order) match the per-call
+        # formulas previously computed in GaussianDiffusion.posterior_mean,
+        # so gathered values are bit-identical.
+        self.posterior_mean_coef_x0 = (
+            betas * np.sqrt(self.alphas_bar_prev) / (1.0 - self.alphas_bar)
+        )
+        self.posterior_mean_coef_xt = (
+            (1.0 - self.alphas_bar_prev) * np.sqrt(self.alphas) / (1.0 - self.alphas_bar)
+        )
 
     @property
     def n_steps(self) -> int:

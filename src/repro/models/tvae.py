@@ -23,13 +23,14 @@ import numpy as np
 from repro.models.base import Surrogate
 from repro.nn import (
     Adam,
+    BlockLayout,
     CosineSchedule,
     MLP,
     Tensor,
     clip_grad_norm,
-    cross_entropy_logits,
-    gaussian_kl,
-    mse_loss,
+    gaussian_kl_from_stats,
+    gaussian_reparameterize,
+    mixed_reconstruction_loss,
     no_grad,
 )
 from repro.tabular.mixed import MixedEncoder
@@ -96,19 +97,16 @@ class TVAESurrogate(Surrogate):
         )
 
     def _reconstruction_loss(self, decoded: Tensor, batch: np.ndarray) -> Tensor:
-        """Mixed reconstruction loss: MSE on numerical dims, CE per categorical block."""
-        encoded = self._encoder_data
+        """Mixed reconstruction loss: MSE on numerical dims, CE per categorical block.
+
+        Computed through the fused :func:`mixed_reconstruction_loss` op — one
+        graph node and one gradient matrix instead of per-block slice nodes —
+        with bit-identical values to the per-block composition.
+        """
         num_idx = self._numerical_indices
-        loss = Tensor(0.0)
-        if num_idx.size:
-            loss = loss + mse_loss(decoded[:, num_idx], batch[:, num_idx]) * float(num_idx.size)
-        for block in encoded.blocks_:
-            if block.kind.value != "categorical":
-                continue
-            logits = decoded[:, block.start : block.stop]
-            target = batch[:, block.start : block.stop]
-            loss = loss + cross_entropy_logits(logits, target)
-        return loss
+        return mixed_reconstruction_loss(
+            decoded, num_idx, batch[:, num_idx], self._categorical_layout, batch
+        )
 
     # -- fitting -------------------------------------------------------------------
     def fit(self, table: Table) -> "TVAESurrogate":
@@ -119,9 +117,16 @@ class TVAESurrogate(Surrogate):
         self._encoder_data = MixedEncoder(
             numerical_transform_factory=self._numerical_transform_factory
         )
+        # Encode once: the whole table becomes one dense float matrix up
+        # front, and every training step below only slices shuffled index
+        # blocks out of it.
         encoded = self._encoder_data.fit_transform(table)
         X = encoded.values
         self._numerical_indices = encoded.numerical_indices
+        self._categorical_layout = BlockLayout(
+            (b.start, b.stop) for b in self._encoder_data.blocks_
+            if b.kind.value == "categorical"
+        )
         self._build(X.shape[1])
 
         params = self._encoder_net.parameters() + self._decoder_net.parameters()
@@ -140,15 +145,16 @@ class TVAESurrogate(Surrogate):
                 batch = X[idx]
                 batch_t = Tensor(batch)
 
+                # Fused VAE head: one reparameterisation node and one KL node
+                # over the packed [mu | logvar] stats (bit-identical to the
+                # slice/clip/exp composition).
                 stats = self._encoder_net(batch_t)
-                mu = stats[:, : cfg.latent_dim]
-                logvar = stats[:, cfg.latent_dim :].clip(-8.0, 8.0)
-                noise = Tensor(rng.standard_normal((idx.size, cfg.latent_dim)))
-                z = mu + (logvar * 0.5).exp() * noise
+                noise = rng.standard_normal((idx.size, cfg.latent_dim))
+                z = gaussian_reparameterize(stats, noise, cfg.latent_dim)
                 decoded = self._decoder_net(z)
 
                 recon = self._reconstruction_loss(decoded, batch)
-                kl = gaussian_kl(mu, logvar)
+                kl = gaussian_kl_from_stats(stats, cfg.latent_dim)
                 loss = recon + cfg.kl_weight * kl
 
                 optimizer.zero_grad()

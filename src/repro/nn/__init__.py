@@ -17,6 +17,7 @@ from repro.nn.module import Module, Parameter
 from repro.nn.layers import (
     Dropout,
     Embedding,
+    FusedLinear,
     LayerNorm,
     LeakyReLU,
     Linear,
@@ -26,6 +27,14 @@ from repro.nn.layers import (
     Sequential,
     Sigmoid,
     Tanh,
+)
+from repro.nn.fused import (
+    BlockLayout,
+    conditional_blocks_loss,
+    gaussian_kl_from_stats,
+    gaussian_reparameterize,
+    mixed_reconstruction_loss,
+    tanh_softmax_blocks,
 )
 from repro.nn.losses import (
     bce_with_logits,
@@ -43,6 +52,7 @@ __all__ = [
     "Module",
     "Parameter",
     "Linear",
+    "FusedLinear",
     "Sequential",
     "MLP",
     "ReLU",
@@ -62,5 +72,11 @@ __all__ = [
     "Adam",
     "CosineSchedule",
     "clip_grad_norm",
+    "BlockLayout",
+    "gaussian_reparameterize",
+    "gaussian_kl_from_stats",
+    "mixed_reconstruction_loss",
+    "tanh_softmax_blocks",
+    "conditional_blocks_loss",
     "init",
 ]

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -34,6 +34,123 @@ class Linear(Module):
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
+        return out
+
+
+class FusedLinear(Module):
+    """``y = act(x W + b)`` as a single autograd node.
+
+    The unfused path builds three graph nodes (matmul, bias add, activation)
+    per layer, each allocating fresh gradient arrays on the way back.  This
+    layer runs the identical float operations in the identical order — so the
+    results (forward values *and* accumulated gradients) are bit-for-bit equal
+    to ``Linear`` + activation — but records one node and back-propagates into
+    pre-allocated weight/bias gradient buffers that are reused across steps.
+    """
+
+    _ACTIVATIONS = (None, "relu", "leaky_relu", "tanh", "sigmoid")
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Optional[str] = None,
+        *,
+        negative_slope: float = 0.2,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        if activation not in self._ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; options: {self._ACTIVATIONS}"
+            )
+        rng = as_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.negative_slope = float(negative_slope)
+        self.weight = Parameter(init.kaiming_uniform(in_features, out_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        # Gradient buffers, allocated lazily and reused every backward pass.
+        self._grad_w: Optional[np.ndarray] = None
+        self._grad_b: Optional[np.ndarray] = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight, bias = self.weight, self.bias
+        z = x.data @ weight.data
+        if bias is not None:
+            z += bias.data  # z is freshly allocated; in-place add is safe
+        # Forward activation; keep exactly what the backward pass needs.
+        act = self.activation
+        if act == "relu":
+            saved = z > 0
+            data = z * saved
+        elif act == "leaky_relu":
+            saved = np.where(z > 0, 1.0, self.negative_slope)
+            data = z * saved
+        elif act == "tanh":
+            data = np.tanh(z)
+            saved = data
+        elif act == "sigmoid":
+            data = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+            saved = data
+        else:
+            saved = None
+            data = z
+
+        requires = is_grad_enabled() and (
+            x.requires_grad or weight.requires_grad
+            or (bias is not None and bias.requires_grad)
+        )
+        out = Tensor(data, requires_grad=requires)
+        if not requires:
+            return out
+        out._prev = tuple(
+            p for p in (x, weight, bias) if p is not None and p.requires_grad
+        )
+
+        def _backward() -> None:
+            g = out.grad
+            if act == "relu" or act == "leaky_relu":
+                gz = g * saved
+            elif act == "tanh":
+                gz = g * (1.0 - saved ** 2)
+            elif act == "sigmoid":
+                gz = g * saved * (1.0 - saved)
+            else:
+                gz = g
+            if bias is not None and bias.requires_grad:
+                if bias.grad is None:
+                    buf = bias._grad_buffer
+                    if buf is None:
+                        if self._grad_b is None:
+                            self._grad_b = np.empty_like(bias.data)
+                        buf = self._grad_b
+                    np.sum(gz, axis=0, out=buf)
+                    bias.grad = buf
+                else:
+                    bias.grad += gz.sum(axis=0)
+            if weight.requires_grad:
+                if weight.grad is None:
+                    buf = weight._grad_buffer
+                    if buf is None:
+                        if self._grad_w is None:
+                            self._grad_w = np.empty_like(weight.data)
+                        buf = self._grad_w
+                    np.matmul(x.data.T, gz, out=buf)
+                    weight.grad = buf
+                else:
+                    weight.grad += x.data.T @ gz
+            if x.requires_grad:
+                gx = gz @ weight.data.T
+                if x.grad is None:
+                    x.grad = gx  # freshly allocated and owned: no copy needed
+                else:
+                    x.grad += gx
+        out._backward = _backward
         return out
 
 
@@ -163,6 +280,7 @@ class MLP(Module):
         activation: str = "relu",
         dropout: float = 0.0,
         layer_norm: bool = False,
+        fused: bool = True,
         seed: SeedLike = None,
     ) -> None:
         super().__init__()
@@ -177,15 +295,27 @@ class MLP(Module):
             raise ValueError(f"unknown activation {activation!r}; options: {sorted(acts)}")
         layers: List[Module] = []
         prev = in_features
+        # The fused path collapses each Linear+activation pair into one graph
+        # node (see :class:`FusedLinear`); it is bit-identical to the unfused
+        # composition, including the weight-initialisation RNG draws.  Layer
+        # normalisation sits between the affine map and the activation, so it
+        # forces the unfused composition.
+        use_fused = fused and not layer_norm
         for width in hidden:
-            layers.append(Linear(prev, width, seed=rng))
-            if layer_norm:
-                layers.append(LayerNorm(width))
-            layers.append(acts[activation]())
+            if use_fused:
+                layers.append(FusedLinear(prev, width, activation, seed=rng))
+            else:
+                layers.append(Linear(prev, width, seed=rng))
+                if layer_norm:
+                    layers.append(LayerNorm(width))
+                layers.append(acts[activation]())
             if dropout > 0:
                 layers.append(Dropout(dropout, seed=rng))
             prev = width
-        layers.append(Linear(prev, out_features, seed=rng))
+        if use_fused:
+            layers.append(FusedLinear(prev, out_features, None, seed=rng))
+        else:
+            layers.append(Linear(prev, out_features, seed=rng))
         self.net = Sequential(*layers)
 
     def forward(self, x: Tensor) -> Tensor:

@@ -17,7 +17,18 @@ from repro.nn.module import Parameter
 
 
 class Optimizer:
-    """Base optimiser holding a parameter list."""
+    """Base optimiser holding a parameter list.
+
+    On construction the parameters are *flattened*: their ``.data`` arrays
+    are repacked as views into one contiguous buffer and each parameter is
+    handed a matching pre-allocated gradient buffer (a view into a second
+    contiguous array) that the autograd layer fills in place.  When every
+    gradient of a step landed in its buffer, the subclass update can run as a
+    handful of whole-buffer operations instead of a dozen small numpy calls
+    per parameter.  If a parameter's storage or gradient stops matching its
+    views (e.g. after ``load_state_dict``), the update falls back to the
+    per-parameter path, which shares the same state arrays.
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float):
         self.parameters: List[Parameter] = list(parameters)
@@ -26,6 +37,43 @@ class Optimizer:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = float(lr)
+        self._flatten()
+
+    def _flatten(self) -> None:
+        total = int(sum(p.data.size for p in self.parameters))
+        self._flat_data = np.empty(total)
+        self._flat_grad = np.zeros(total)
+        self._data_views: List[np.ndarray] = []
+        self._grad_views: List[np.ndarray] = []
+        offset = 0
+        for p in self.parameters:
+            size = p.data.size
+            view = self._flat_data[offset : offset + size].reshape(p.data.shape)
+            np.copyto(view, p.data)
+            p.data = view
+            grad_view = self._flat_grad[offset : offset + size].reshape(p.data.shape)
+            p._grad_buffer = grad_view
+            self._data_views.append(view)
+            self._grad_views.append(grad_view)
+            offset += size
+
+    def _flat_state(self, total: int) -> List[np.ndarray]:
+        """Per-parameter views over a fresh zeroed flat state array."""
+        flat = np.zeros(total)
+        views: List[np.ndarray] = []
+        offset = 0
+        for p in self.parameters:
+            views.append(flat[offset : offset + p.data.size].reshape(p.data.shape))
+            offset += p.data.size
+        views.insert(0, flat)
+        return views
+
+    def _flat_ready(self) -> bool:
+        """True when every parameter is still backed by the flat buffers."""
+        for p, data_view, grad_view in zip(self.parameters, self._data_views, self._grad_views):
+            if p.data is not data_view or p.grad is not grad_view:
+                return False
+        return True
 
     def zero_grad(self) -> None:
         for p in self.parameters:
@@ -36,27 +84,49 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with optional classical momentum."""
+    """Stochastic gradient descent with optional classical momentum.
+
+    The step is fully in place: the velocity and a per-parameter scratch
+    buffer are pre-allocated, so no intermediate array is created per
+    parameter per step.  The float operations (and therefore the resulting
+    parameter values) are bit-identical to the textbook out-of-place update
+    ``v = momentum * v + g; p -= lr * v``.
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2, momentum: float = 0.0):
         super().__init__(parameters, lr)
         if not 0.0 <= momentum < 1.0:
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
-        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        total = self._flat_data.size
+        self._flat_velocity, *self._velocity = self._flat_state(total)
+        self._flat_scratch, *self._scratch = self._flat_state(total)
 
     def step(self) -> None:
+        if self._flat_ready():
+            grad = self._flat_grad
+            if self.momentum > 0:
+                velocity = self._flat_velocity
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            np.multiply(update, self.lr, out=self._flat_scratch)
+            self._flat_data -= self._flat_scratch
+            return
         for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
             if self.momentum > 0:
-                if self._velocity[i] is None:
-                    self._velocity[i] = np.zeros_like(p.data)
-                self._velocity[i] = self.momentum * self._velocity[i] + p.grad
-                update = self._velocity[i]
+                velocity = self._velocity[i]
+                velocity *= self.momentum
+                velocity += p.grad
+                update = velocity
             else:
                 update = p.grad
-            p.data -= self.lr * update
+            np.multiply(update, self.lr, out=self._scratch[i])
+            p.data -= self._scratch[i]
 
 
 class Adam(Optimizer):
@@ -77,28 +147,59 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = float(beta1), float(beta2)
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
-        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
-        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        total = self._flat_data.size
+        self._flat_m, *self._m = self._flat_state(total)
+        self._flat_v, *self._v = self._flat_state(total)
+        self._flat_s1, *self._s1 = self._flat_state(total)
+        self._flat_s2, *self._s2 = self._flat_state(total)
         self._t = 0
+
+    def _update(self, data, grad, m, v, s1, s2, bias1: float, bias2: float) -> None:
+        """In-place Adam update over one (flat or per-parameter) buffer set.
+
+        Every elementwise operation mirrors the out-of-place reference update
+        (``m = b1*m + (1-b1)*g``, ``v = b2*v + (1-b2)*g*g``,
+        ``p -= lr*(m/bias1) / (sqrt(v/bias2) + eps)``) in evaluation order, so
+        the produced parameters are bit-identical while no intermediate array
+        is allocated per parameter per step.
+        """
+        m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=s1)
+        m += s1
+        v *= self.beta2
+        np.multiply(grad, 1.0 - self.beta2, out=s1)
+        s1 *= grad
+        v += s1
+        # s1 <- sqrt(v/bias2) + eps ; s2 <- (lr * (m/bias1)) / s1
+        np.divide(v, bias2, out=s1)
+        np.sqrt(s1, out=s1)
+        s1 += self.eps
+        np.divide(m, bias1, out=s2)
+        s2 *= self.lr
+        s2 /= s1
+        if self.weight_decay > 0:
+            np.multiply(data, self.lr * self.weight_decay, out=s1)
+            data -= s1
+        data -= s2
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
+        if self._flat_ready():
+            # One whole-buffer update covering every parameter at once.
+            self._update(
+                self._flat_data, self._flat_grad, self._flat_m, self._flat_v,
+                self._flat_s1, self._flat_s2, bias1, bias2,
+            )
+            return
         for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
-            grad = p.grad
-            if self._m[i] is None:
-                self._m[i] = np.zeros_like(p.data)
-                self._v[i] = np.zeros_like(p.data)
-            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
-            m_hat = self._m[i] / bias1
-            v_hat = self._v[i] / bias2
-            if self.weight_decay > 0:
-                p.data -= self.lr * self.weight_decay * p.data
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._update(
+                p.data, p.grad, self._m[i], self._v[i],
+                self._s1[i], self._s2[i], bias1, bias2,
+            )
 
 
 class CosineSchedule:

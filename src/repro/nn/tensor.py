@@ -59,6 +59,12 @@ def _unbroadcast(grad: Array, shape: Tuple[int, ...]) -> Array:
     return grad.reshape(shape)
 
 
+def _is_basic_index(index) -> bool:
+    """True when ``index`` uses only ints/slices (no fancy/bool indexing)."""
+    items = index if isinstance(index, tuple) else (index,)
+    return all(isinstance(i, (int, np.integer, slice)) or i is Ellipsis for i in items)
+
+
 def _as_array(value: Union["Tensor", Array, Scalar]) -> Array:
     if isinstance(value, Tensor):
         return value.data
@@ -68,7 +74,9 @@ def _as_array(value: Union["Tensor", Array, Scalar]) -> Array:
 class Tensor:
     """A numpy array with an autograd tape."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_prev", "name", "_grad_buffer"
+    )
     __array_priority__ = 100  # make numpy defer to our reflected operators
 
     def __init__(
@@ -84,6 +92,10 @@ class Tensor:
         self._backward: Optional[Callable[[], None]] = None
         self._prev: Tuple["Tensor", ...] = ()
         self.name = name
+        #: Optional pre-allocated gradient storage (set by an optimizer); the
+        #: first accumulation of a backward pass fills it in place instead of
+        #: allocating a fresh array.
+        self._grad_buffer: Optional[Array] = None
 
     # -- construction helpers ----------------------------------------------
     @staticmethod
@@ -138,7 +150,12 @@ class Tensor:
     def _accumulate(self, grad: Array) -> None:
         grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            buffer = self._grad_buffer
+            if buffer is not None and buffer.shape == grad.shape:
+                np.copyto(buffer, grad)
+                self.grad = buffer
+            else:
+                self.grad = grad.copy()
         else:
             self.grad += grad
 
@@ -395,9 +412,16 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out = self._make_result(self.data[index], (self,))
         if out.requires_grad:
+            basic = _is_basic_index(index)
+
             def _backward() -> None:
                 grad = np.zeros_like(self.data)
-                np.add.at(grad, index, out.grad)
+                if basic:
+                    # Basic (slice/int) indices cannot repeat positions, so a
+                    # plain in-place add replaces the much slower np.add.at.
+                    grad[index] += out.grad
+                else:
+                    np.add.at(grad, index, out.grad)
                 self._accumulate(grad)
             out._backward = _backward
         return out

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.scheduler.cluster import GridCluster
 from repro.scheduler.jobs import SimulatedJob
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike, as_rng, derive_seed
 
 
 class Broker:
@@ -58,21 +58,26 @@ class RandomBroker(Broker):
 
 
 class LeastLoadedBroker(Broker):
-    """Send the job to the site with the most free cores (ties: higher HS23)."""
+    """Send the job to the site with the most free cores (ties: higher HS23).
+
+    O(log sites) per placement: the cluster's :class:`~repro.scheduler.cluster.
+    FreeCoreIndex` maintains the running maximum of ``(free_cores, hs23)``, so
+    selection is a heap peek instead of a scan of every site.  The selected
+    site is identical to the historical full scan: the site maximising
+    ``(free_cores, hs23)`` over the eligible subset is exactly the global
+    maximum whenever that maximum has enough free cores, and no site is
+    eligible otherwise.  Free-core ties resolve by HS23 and then by the
+    stable catalog site order — not by dict iteration order — so placements
+    are reproducible.
+    """
 
     name = "least_loaded"
 
     def select_site(self, job: SimulatedJob, cluster: GridCluster) -> Optional[str]:
-        best_name: Optional[str] = None
-        best_key = (-1.0, -1.0)
-        for state in cluster.sites.values():
-            if state.free_cores < job.cores:
-                continue
-            key = (float(state.free_cores), state.site.hs23_per_core)
-            if key > best_key:
-                best_key = key
-                best_name = state.site.name
-        return best_name
+        best = cluster.best_site()
+        if best is None or best.free_cores < job.cores:
+            return None
+        return best.site.name
 
 
 class DataLocalityBroker(Broker):
@@ -89,14 +94,19 @@ class DataLocalityBroker(Broker):
 
     def _hosts_of(self, project: str) -> List[str]:
         if project not in self._hosting:
-            # Deterministic pseudo-random replica placement per project.
-            rng = np.random.default_rng(abs(hash(("replica", project))) % (2**32))
+            # Deterministic pseudo-random replica placement per project.  The
+            # seed derives from a stable content hash (not Python's salted
+            # ``hash``), so the placement is reproducible across processes.
+            rng = np.random.default_rng(derive_seed(None, "replica", project))
             k = min(self.replicas_per_project, len(self._site_names))
             chosen = rng.choice(len(self._site_names), size=k, replace=False)
             self._hosting[project] = [self._site_names[i] for i in chosen]
         return self._hosting[project]
 
     def select_site(self, job: SimulatedJob, cluster: GridCluster) -> Optional[str]:
+        # Only the job's replica subset (O(replicas_per_project) sites) is
+        # scanned; ties break on the fixed replica-list order.  The full-site
+        # fallback goes through the O(log sites) least-loaded index.
         hosts = self._hosts_of(job.project)
         candidates = [cluster[name] for name in hosts if cluster[name].free_cores >= job.cores]
         if candidates:

@@ -1,11 +1,18 @@
-"""Grid cluster state: per-site slot accounting and utilisation tracking."""
+"""Grid cluster state: per-site slot accounting and utilisation tracking.
+
+Besides the raw :class:`SiteState` table, the cluster maintains a
+:class:`FreeCoreIndex` — a lazily-invalidated max-heap over
+``(free_cores, hs23_per_core, site order)`` that is kept in sync by the site
+states themselves.  Brokers and the simulator use it to answer "which site
+has the most free cores?" in O(log sites) amortised instead of scanning every
+site per placement.
+"""
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.panda.sites import ComputingSite, SiteCatalog
 
@@ -23,6 +30,10 @@ class SiteState:
     #: Integral of busy cores over time (for utilisation), updated lazily.
     core_hours_used: float = 0.0
     _last_update: float = 0.0
+    #: Invoked after every busy-core change (used by :class:`FreeCoreIndex`).
+    _on_change: Optional[Callable[["SiteState"], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def free_cores(self) -> int:
@@ -40,18 +51,76 @@ class SiteState:
         if cores > self.free_cores:
             raise RuntimeError(f"site {self.site.name} has no capacity for {cores} cores")
         self.busy_cores += cores
+        if self._on_change is not None:
+            self._on_change(self)
 
     def release(self, cores: int, time: float) -> None:
         self.advance_to(time)
         if cores > self.busy_cores:
             raise RuntimeError(f"site {self.site.name} releasing more cores than busy")
         self.busy_cores -= cores
+        if self._on_change is not None:
+            self._on_change(self)
 
     def utilization(self, horizon: float) -> float:
         """Mean fraction of capacity used over ``[0, horizon]``."""
         if horizon <= 0 or self.capacity <= 0:
             return 0.0
         return min(self.core_hours_used / (self.capacity * horizon), 1.0)
+
+
+class FreeCoreIndex:
+    """Site-indexed free-core structure: max over ``(free, hs23, -order)``.
+
+    A binary heap with lazy deletion: every busy-core change pushes a fresh
+    entry, and stale entries (whose recorded free-core count no longer
+    matches the site) are discarded when they surface at the top.  Each
+    update is O(log sites) and each query O(1) amortised.
+
+    Ties between sites with equal free cores and equal HS23 power resolve to
+    the site that appears *first* in the order captured at construction time
+    (the catalog order) — a stable, dict-order-independent rule that matches
+    the historical first-wins linear scan.
+    """
+
+    def __init__(self, states: Sequence[SiteState]) -> None:
+        self._states: List[SiteState] = list(states)
+        self._heap: List[tuple] = [
+            (-state.free_cores, -state.site.hs23_per_core, order)
+            for order, state in enumerate(self._states)
+        ]
+        heapq.heapify(self._heap)
+        # Compaction threshold: rebuilding once the heap holds several stale
+        # entries per site keeps memory bounded on long simulations.
+        self._max_entries = max(64, 8 * len(self._states))
+
+    def update(self, state: SiteState, order: int) -> None:
+        """Record a changed free-core count for the site at ``order``."""
+        heapq.heappush(self._heap, (-state.free_cores, -state.site.hs23_per_core, order))
+        if len(self._heap) > self._max_entries:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [
+            (-state.free_cores, -state.site.hs23_per_core, order)
+            for order, state in enumerate(self._states)
+        ]
+        heapq.heapify(self._heap)
+
+    def best(self) -> Optional[SiteState]:
+        """The site with the most free cores (ties: HS23, then site order)."""
+        heap = self._heap
+        while heap:
+            neg_free, _neg_power, order = heap[0]
+            state = self._states[order]
+            if -neg_free == state.free_cores:
+                return state
+            heapq.heappop(heap)
+        return None
+
+    def max_free_cores(self) -> int:
+        best = self.best()
+        return best.free_cores if best is not None else 0
 
 
 class GridCluster:
@@ -73,6 +142,15 @@ class GridCluster:
         for site in catalog.sites:
             capacity = max(int(round(site.n_cores * capacity_scale)), int(min_capacity))
             self.sites[site.name] = SiteState(site=site, capacity=capacity)
+        # The free-core index captures the catalog order once; site states
+        # notify it on every allocate/release so brokerage queries never
+        # rescan the site table.
+        states = list(self.sites.values())
+        self.free_index = FreeCoreIndex(states)
+        for order, state in enumerate(states):
+            state._on_change = (
+                lambda s, _order=order, _index=self.free_index: _index.update(s, _order)
+            )
 
     @property
     def names(self) -> List[str]:
@@ -80,6 +158,14 @@ class GridCluster:
 
     def __getitem__(self, name: str) -> SiteState:
         return self.sites[name]
+
+    def best_site(self) -> Optional[SiteState]:
+        """Site with the most free cores (ties: HS23 power, then catalog order)."""
+        return self.free_index.best()
+
+    def max_free_cores(self) -> int:
+        """Largest per-site free-core count, in O(1) amortised."""
+        return self.free_index.max_free_cores()
 
     def total_capacity(self) -> int:
         return int(sum(s.capacity for s in self.sites.values()))

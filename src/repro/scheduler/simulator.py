@@ -69,10 +69,12 @@ class GridSimulator:
         heap so a saturated backlog is *not* rescanned with broker calls on
         every event:
 
-        * ``free_max`` — the largest per-site free-core count, updated on each
-          allocate/release — lets infeasible jobs be skipped with an integer
-          compare (brokers only ever place a job on a site with enough free
-          cores, so no broker can place a job needing more than ``free_max``);
+        * ``free_max`` — the largest per-site free-core count, read from the
+          cluster's O(log sites) free-core index after each allocation and
+          bumped in O(1) on release — lets infeasible jobs be skipped with an
+          integer compare (brokers only ever place a job on a site with
+          enough free cores, so no broker can place a job needing more than
+          ``free_max``);
         * ``backlog_min_cores`` — a lower bound on the smallest core request
           waiting — lets a whole dispatch pass be skipped (or cut short the
           moment the cluster fills up) in O(1).
@@ -92,8 +94,7 @@ class GridSimulator:
         runtimes: Dict[int, float] = {}
         site_of_job: Dict[int, str] = {}
         now = 0.0
-        site_states = list(self.cluster.sites.values())
-        free_max = max((s.free_cores for s in site_states), default=0)
+        free_max = self.cluster.max_free_cores()
         # Lower bound on the smallest core request in the backlog.  It only
         # tightens on arrival and resets when the backlog drains, so it can be
         # stale-low after dispatches — that only costs a redundant pass, never
@@ -120,7 +121,7 @@ class GridSimulator:
                     continue
                 state = self.cluster[site_name]
                 state.allocate(job.cores, time)
-                free_max = max(s.free_cores for s in site_states)
+                free_max = self.cluster.max_free_cores()
                 runtime_hours = job.runtime_at(state.site.hs23_per_core)
                 start_times[job.job_id] = time
                 runtimes[job.job_id] = runtime_hours

@@ -24,6 +24,9 @@ from seed_baselines import (  # noqa: E402
     SeedFilteringPipeline,
     SeedGradientBoostingRegressor,
     SeedGridSimulator,
+    SeedScanDataLocalityBroker,
+    SeedScanLeastLoadedBroker,
+    SeedWatermarkGridSimulator,
     seed_association_matrix,
 )
 
@@ -134,6 +137,48 @@ class TestSimulatorEquivalence:
     def test_identical_completions_saturated_backlog(self, workload_5k, broker_name):
         # A 40-core cluster under an 800-job burst: the fast-path accounting
         # (free-slot watermark, early pass cut-off) is exercised hard here.
+        generator, raw = workload_5k
+        table, _ = FilteringPipeline(generator.sites).run(raw)
+        jobs = jobs_from_table(table)[:800]
+        result = self._assert_same(generator, jobs, broker_name, capacity_scale=1e-9)
+        assert result.mean_wait_hours > 0.0  # genuinely contended
+
+
+class TestBrokerEquivalence:
+    """O(log sites) heap brokers vs the seed O(sites) linear scans.
+
+    Runs the seed scan brokers inside the seed watermark simulator against
+    the indexed brokers inside the live simulator — placements, and therefore
+    every completion time and utilisation number, must be identical.
+    """
+
+    def _seed_broker(self, name, cluster):
+        if name == "least_loaded":
+            return SeedScanLeastLoadedBroker()
+        return SeedScanDataLocalityBroker(cluster, seed=13)
+
+    def _assert_same(self, generator, jobs, broker_name, capacity_scale):
+        cluster_a = GridCluster(generator.sites, capacity_scale=capacity_scale, min_capacity=1)
+        seed_result = SeedWatermarkGridSimulator(
+            cluster_a, self._seed_broker(broker_name, cluster_a)
+        ).run(jobs)
+        cluster_b = GridCluster(generator.sites, capacity_scale=capacity_scale, min_capacity=1)
+        opt_result = GridSimulator(cluster_b, make_broker(broker_name, cluster_b, seed=13)).run(jobs)
+        assert seed_result.n_completed == opt_result.n_completed == len(jobs)
+        assert seed_result.makespan_days == opt_result.makespan_days
+        np.testing.assert_array_equal(seed_result.wait_times_hours, opt_result.wait_times_hours)
+        assert seed_result.utilization_by_site == opt_result.utilization_by_site
+        return opt_result
+
+    @pytest.mark.parametrize("broker_name", ["least_loaded", "data_locality"])
+    def test_identical_completions(self, workload_5k, broker_name):
+        generator, raw = workload_5k
+        table, _ = FilteringPipeline(generator.sites).run(raw)
+        jobs = jobs_from_table(table)[:3_000]
+        self._assert_same(generator, jobs, broker_name, capacity_scale=0.002)
+
+    @pytest.mark.parametrize("broker_name", ["least_loaded", "data_locality"])
+    def test_identical_completions_saturated_backlog(self, workload_5k, broker_name):
         generator, raw = workload_5k
         table, _ = FilteringPipeline(generator.sites).run(raw)
         jobs = jobs_from_table(table)[:800]

@@ -241,3 +241,83 @@ class TestSimulator:
         result = GridSimulator(cluster, LeastLoadedBroker()).run(jobs)
         assert result.n_completed == 400
         assert 0.0 <= result.mean_utilization <= 1.0
+
+
+class TestBrokerDeterminism:
+    """Free-core ties must break on the stable catalog order, not dict order."""
+
+    def _tied_cluster(self):
+        # Identical HS23 and capacity across sites: every site ties.
+        from repro.panda.sites import ComputingSite, SiteCatalog
+
+        sites = [
+            ComputingSite(name=f"SITE_{i}", hs23_per_core=10.0, n_cores=1000, reliability=0.9, region="EU")
+            for i in range(6)
+        ]
+        catalog = SiteCatalog(sites, np.ones(6) / 6.0)
+        return GridCluster(catalog, capacity_scale=0.01, min_capacity=4)
+
+    def test_least_loaded_tie_breaks_on_catalog_order(self):
+        cluster = self._tied_cluster()
+        job = SimulatedJob(0, 0.0, cores=1, workload=10.0)
+        assert LeastLoadedBroker().select_site(job, cluster) == "SITE_0"
+
+    def test_tie_break_survives_dict_reordering(self):
+        cluster = self._tied_cluster()
+        # Simulate a dict-ordering change: rebuild the sites mapping reversed.
+        cluster.sites = dict(reversed(list(cluster.sites.items())))
+        job = SimulatedJob(0, 0.0, cores=1, workload=10.0)
+        assert LeastLoadedBroker().select_site(job, cluster) == "SITE_0"
+
+    def test_tie_break_tracks_allocations(self):
+        cluster = self._tied_cluster()
+        job = SimulatedJob(0, 0.0, cores=1, workload=10.0)
+        first = LeastLoadedBroker().select_site(job, cluster)
+        cluster[first].allocate(1, 0.0)
+        # SITE_0 now has fewer free cores; the next tie group starts at SITE_1.
+        assert LeastLoadedBroker().select_site(job, cluster) == "SITE_1"
+        cluster[first].release(1, 0.0)
+        assert LeastLoadedBroker().select_site(job, cluster) == "SITE_0"
+
+    def test_data_locality_hosts_stable_across_instances(self, cluster):
+        a = DataLocalityBroker(cluster, seed=1)
+        b = DataLocalityBroker(cluster, seed=2)
+        # Replica placement derives from a stable content hash of the project
+        # name (not Python's salted hash), so every broker instance agrees.
+        for project in ("mc23_13p6TeV", "data22_13p6TeV", "user.alice"):
+            assert a._hosts_of(project) == b._hosts_of(project)
+
+
+class TestFreeCoreIndex:
+    def test_max_free_cores_tracks_alloc_release(self, cluster):
+        expected = max(s.free_cores for s in cluster.sites.values())
+        assert cluster.max_free_cores() == expected
+        name = max(cluster.sites, key=lambda n: cluster[n].free_cores)
+        cluster[name].allocate(cluster[name].free_cores, 0.0)
+        expected = max(s.free_cores for s in cluster.sites.values())
+        assert cluster.max_free_cores() == expected
+        cluster[name].release(cluster[name].busy_cores, 0.0)
+        assert cluster.max_free_cores() == max(s.free_cores for s in cluster.sites.values())
+
+    def test_best_site_matches_linear_scan_under_churn(self, cluster):
+        rng = np.random.default_rng(0)
+        names = cluster.names
+        busy = []
+        for step in range(300):
+            if busy and rng.random() < 0.45:
+                name, cores = busy.pop(rng.integers(0, len(busy)))
+                cluster[name].release(cores, 0.0)
+            else:
+                name = names[rng.integers(0, len(names))]
+                free = cluster[name].free_cores
+                if free > 0:
+                    cores = int(rng.integers(1, free + 1))
+                    cluster[name].allocate(cores, 0.0)
+                    busy.append((name, cores))
+            best = cluster.best_site()
+            expected = max(
+                cluster.sites.values(),
+                key=lambda s: (s.free_cores, s.site.hs23_per_core),
+            )
+            assert best.free_cores == expected.free_cores
+            assert cluster.max_free_cores() == expected.free_cores
