@@ -16,8 +16,6 @@ reproduction):
 import dataclasses
 
 import numpy as np
-import pytest
-
 from repro.experiments.ablations import (
     ablate_diffusion_steps,
     ablate_numerical_transform,

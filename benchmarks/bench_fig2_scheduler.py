@@ -12,8 +12,6 @@ TabDDPM-generated workload, checking that
   i.e. the surrogate is good enough to calibrate scheduling studies.
 """
 
-import pytest
-
 from repro.experiments.figures import fig2_scheduler_comparison
 
 BROKERS = ("random", "least_loaded", "data_locality")

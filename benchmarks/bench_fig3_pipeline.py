@@ -10,9 +10,6 @@ removes a substantial share of gross records but keeps the majority of
 user-analysis DAOD jobs).
 """
 
-import numpy as np
-import pytest
-
 from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator
 from repro.panda.pipeline import FilteringPipeline
 from repro.panda.records import CATEGORICAL_FEATURES, JOB_STATUSES, NUMERICAL_FEATURES

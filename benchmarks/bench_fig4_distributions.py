@@ -12,8 +12,6 @@ computation over all models and asserts the paper's qualitative reading:
 """
 
 import numpy as np
-import pytest
-
 from repro.experiments.figures import fig4_distributions
 from repro.metrics.distribution import jensen_shannon_divergence, wasserstein_1d
 

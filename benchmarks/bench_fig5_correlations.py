@@ -10,8 +10,6 @@ baselines show large residuals).
 """
 
 import numpy as np
-import pytest
-
 from repro.experiments.figures import fig5_correlations
 
 

@@ -2,10 +2,12 @@
 """Time the optimized hot-path kernels against their seed baselines.
 
 Each kernel — GBDT fit, association matrix, filtering-pipeline funnel, grid
-simulator, the three deep-model training stacks (TVAE, CTABGAN+, TabDDPM)
-and the broker dispatch path — is timed at two problem sizes in both the
-seed implementation (``seed_baselines.py``) and the optimized one shipped in
-``src/repro``, and the results (plus per-kernel speedups) are written to
+simulator, the three deep-model training stacks (TVAE, CTABGAN+, TabDDPM),
+the broker dispatch path, the per-column Gaussian-mixture fit and the two
+deep-model sampling chains (TabDDPM reverse diffusion, CTABGAN+ generation)
+— is timed at two problem sizes in both the seed implementation
+(``seed_baselines.py``) and the optimized one shipped in ``src/repro``, and
+the results (plus per-kernel speedups) are written to
 ``BENCH_hotpaths.json``.  The committed copy of that file is the perf
 baseline that ``check_regression.py`` guards.
 
@@ -34,6 +36,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from seed_baselines import (  # noqa: E402
     SeedCTABGANSurrogate,
     SeedFilteringPipeline,
+    SeedGaussianMixture,
     SeedGradientBoostingRegressor,
     SeedGridSimulator,
     SeedScanLeastLoadedBroker,
@@ -45,6 +48,7 @@ from seed_baselines import (  # noqa: E402
 
 from repro.boosting.gbdt import GradientBoostingRegressor  # noqa: E402
 from repro.metrics.correlation import association_matrix  # noqa: E402
+from repro.mixture.gmm import GaussianMixture  # noqa: E402
 from repro.models.ctabgan import CTABGANConfig, CTABGANPlusSurrogate  # noqa: E402
 from repro.models.tabddpm.model import TabDDPMConfig, TabDDPMSurrogate  # noqa: E402
 from repro.models.tvae import TVAEConfig, TVAESurrogate  # noqa: E402
@@ -211,6 +215,80 @@ def bench_training(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
             )
 
 
+def gmm_columns(n_rows: int, *, seed: int = 13) -> dict:
+    """Tabular-realistic 1-D columns for the GMM benchmark.
+
+    Real PanDA numerical columns (file counts, rounded byte sizes, discrete
+    workload grids) carry far fewer unique values than rows — the shape the
+    duplicate-compressed EM exploits; one multimodal rounded column keeps the
+    mixture structure non-trivial.
+    """
+    rng = np.random.default_rng(seed)
+    half = n_rows // 2
+    return {
+        "nfiles": rng.poisson(40, n_rows).astype(np.float64),
+        "gigabytes": np.round(rng.lognormal(1.0, 0.8, n_rows), 2),
+        "workload": rng.choice(np.round(np.linspace(0.5, 128.0, 512), 3), n_rows),
+        "wait_hours": np.round(
+            np.concatenate([rng.normal(2.0, 0.5, half), rng.lognormal(2.5, 0.4, n_rows - half)]), 1
+        ),
+    }
+
+
+def bench_gmm(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    for n_rows in sizes:
+        columns = gmm_columns(n_rows)
+        size = f"n={n_rows}"
+
+        def run_seed():
+            return [SeedGaussianMixture(8, seed=0).fit(col) for col in columns.values()]
+
+        def run_optimized():
+            return [GaussianMixture(8, seed=0).fit(col) for col in columns.values()]
+
+        registry.measure("gmm_fit", "seed", size, run_seed)
+        registry.measure("gmm_fit", "optimized", size, run_optimized, repeats=repeats)
+
+
+def bench_sampling(registry: BenchmarkRegistry, tabddpm_sizes, ctabgan_sizes, repeats: int) -> None:
+    """Fixed-seed generation through the fitted deep surrogates.
+
+    Both variants sample from their own (bit-identically trained) model, so
+    the measured gap is purely the sampling chain: the per-block reverse
+    diffusion / per-batch activation+hardening loops of the seed against the
+    width-grouped lane passes of the optimized stack, in the default
+    (bit-exact) condition mode.
+    """
+    table = wide_mixed_table(2000)
+
+    ddpm_config = lambda: TabDDPMConfig(  # noqa: E731
+        n_timesteps=50, hidden_dims=(48,), time_embedding_dim=16, epochs=1, batch_size=256
+    )
+    seed_ddpm = SeedTabDDPMSurrogate(ddpm_config(), seed=0).fit(table)
+    live_ddpm = TabDDPMSurrogate(ddpm_config(), seed=0).fit(table)
+    for n_rows in tabddpm_sizes:
+        size = f"n={n_rows}"
+        registry.measure("sample_tabddpm", "seed", size, lambda: seed_ddpm.sample(n_rows, seed=1))
+        registry.measure(
+            "sample_tabddpm", "optimized", size,
+            lambda: live_ddpm.sample(n_rows, seed=1), repeats=repeats,
+        )
+
+    gan_config = lambda: CTABGANConfig(  # noqa: E731
+        noise_dim=8, generator_dims=(32,), discriminator_dims=(32,),
+        gmm_components=3, epochs=1, batch_size=128, discriminator_steps=1,
+    )
+    seed_gan = SeedCTABGANSurrogate(gan_config(), seed=0).fit(table)
+    live_gan = CTABGANPlusSurrogate(gan_config(), seed=0).fit(table)
+    for n_rows in ctabgan_sizes:
+        size = f"n={n_rows}"
+        registry.measure("sample_ctabgan", "seed", size, lambda: seed_gan.sample(n_rows, seed=1))
+        registry.measure(
+            "sample_ctabgan", "optimized", size,
+            lambda: live_gan.sample(n_rows, seed=1), repeats=repeats,
+        )
+
+
 def _broker_jobs(n_jobs: int = 3000) -> list:
     rng = np.random.default_rng(7)
     arrivals = np.sort(rng.uniform(0.0, 2.0, n_jobs))
@@ -256,14 +334,21 @@ def run_benchmarks(*, quick: bool = False, repeats: int = 3) -> BenchmarkRegistr
     sim_sizes = [1_000, 4_000]
     train_sizes = [2_000, 8_000]
     broker_sizes = [64, 512]
+    gmm_sizes = [20_000, 100_000]
+    ddpm_sample_sizes = [500, 1_000]
+    gan_sample_sizes = [5_000, 20_000]
     if quick:
-        gbdt_sizes, table_sizes, pipe_sizes, sim_sizes, train_sizes, broker_sizes = (
+        (gbdt_sizes, table_sizes, pipe_sizes, sim_sizes, train_sizes, broker_sizes,
+         gmm_sizes, ddpm_sample_sizes, gan_sample_sizes) = (
             gbdt_sizes[:1],
             table_sizes[:1],
             pipe_sizes[:1],
             sim_sizes[:1],
             train_sizes[:1],
             broker_sizes[:1],
+            gmm_sizes[:1],
+            ddpm_sample_sizes[:1],
+            gan_sample_sizes[:1],
         )
     bench_gbdt(registry, gbdt_sizes, repeats)
     bench_association(registry, table_sizes, repeats)
@@ -271,6 +356,8 @@ def run_benchmarks(*, quick: bool = False, repeats: int = 3) -> BenchmarkRegistr
     bench_simulator(registry, sim_sizes, repeats)
     bench_training(registry, train_sizes, repeats)
     bench_broker(registry, broker_sizes, repeats)
+    bench_gmm(registry, gmm_sizes, repeats)
+    bench_sampling(registry, ddpm_sample_sizes, gan_sample_sizes, repeats)
     return registry
 
 

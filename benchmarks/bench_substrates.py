@@ -7,8 +7,6 @@ experiments.
 """
 
 import numpy as np
-import pytest
-
 from repro.boosting.gbdt import GradientBoostingRegressor
 from repro.metrics.correlation import association_matrix
 from repro.metrics.distribution import wasserstein_1d

@@ -9,9 +9,13 @@ Intended as a tier-2 step next to the test suite::
 
 Without ``--fresh``, the benchmarks are (re)run in quick mode and compared
 against the committed ``BENCH_hotpaths.json``.  The gate fails (exit 1) when
-any optimized kernel is more than ``--threshold`` times slower than the
-baseline measurement of the same kernel/size, and warns (but passes) on
-timings for kernel/size pairs missing from the baseline.
+any optimized kernel is more than ``--threshold * --factor`` times slower
+than the baseline measurement of the same kernel/size — naming the offending
+kernel(s) in the failure message — and warns (but passes) on timings for
+kernel/size pairs missing from the baseline.  ``--factor`` exists for noisy
+or slower machines: hosted CI runs use a looser factor (see
+``.github/workflows/ci.yml``) so only gross regressions fail remotely while
+local runs keep the tight default.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ def compare(
     When either side lacks the seed measurement, absolute optimized seconds
     are compared as a fallback.
     """
-    failures = 0
+    failures = []
     checked = 0
     for rec in fresh.records:
         if rec.variant != "optimized":
@@ -61,11 +65,19 @@ def compare(
         status = "ok" if ratio <= threshold else "REGRESSION"
         print(f"  [{status}] {rec.kernel} @ {rec.size}: {detail} ({ratio:.2f}x slowdown)")
         if ratio > threshold:
-            failures += 1
+            failures.append((rec.kernel, rec.size, ratio))
     if checked == 0:
         print("  [error] no comparable measurements found")
         return 1
-    return 1 if failures else 0
+    if failures:
+        worst = max(failures, key=lambda item: item[2])
+        names = ", ".join(f"{kernel} @ {size}" for kernel, size, _ in failures)
+        print(
+            f"perf gate: {len(failures)} kernel(s) regressed beyond {threshold:.2f}x: {names} "
+            f"(worst: {worst[0]} @ {worst[1]}, {worst[2]:.2f}x slowdown)"
+        )
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -84,9 +96,19 @@ def main(argv=None) -> int:
         help="maximum tolerated slowdown factor per kernel/size (default 2x)",
     )
     parser.add_argument(
+        "--factor",
+        type=float,
+        default=1.0,
+        help="multiplier applied to --threshold to absorb machine variance "
+        "(hosted CI runners use a looser factor than local runs)",
+    )
+    parser.add_argument(
         "--full", action="store_true", help="run the full (not quick) benchmark sizes"
     )
     args = parser.parse_args(argv)
+    if args.factor <= 0:
+        parser.error("--factor must be positive")
+    threshold = args.threshold * args.factor
 
     if not os.path.exists(args.baseline):
         print(f"baseline {args.baseline} not found; run bench_hotpaths.py first")
@@ -105,8 +127,11 @@ def main(argv=None) -> int:
               "running hot-path benchmarks (full mode)...")
         fresh = run_benchmarks(quick=not args.full)
 
-    print(f"comparing against {args.baseline} (threshold {args.threshold:.1f}x):")
-    code = compare(fresh, baseline, threshold=args.threshold)
+    print(
+        f"comparing against {args.baseline} "
+        f"(threshold {args.threshold:.1f}x * factor {args.factor:.1f} = {threshold:.1f}x):"
+    )
+    code = compare(fresh, baseline, threshold=threshold)
     print("perf gate " + ("FAILED" if code else "passed"))
     return code
 

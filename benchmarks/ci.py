@@ -35,6 +35,11 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=2.0,
         help="perf-gate slowdown threshold (forwarded to check_regression)",
     )
+    parser.add_argument(
+        "--factor", type=float, default=1.0,
+        help="machine-variance multiplier on the perf-gate threshold "
+        "(forwarded to check_regression; CI uses a looser factor)",
+    )
     args = parser.parse_args(argv)
 
     env = dict(os.environ)
@@ -55,7 +60,7 @@ def main(argv=None) -> int:
         sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
         import check_regression
 
-        gate_args = ["--threshold", str(args.threshold)]
+        gate_args = ["--threshold", str(args.threshold), "--factor", str(args.factor)]
         if args.full:
             gate_args.append("--full")
         code = check_regression.main(gate_args)

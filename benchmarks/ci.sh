@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 tests + tier-2 perf gate, from the repository root:
-#   benchmarks/ci.sh [--full] [--skip-tests] [--skip-perf]
+# Tier-1 tests + tier-2 perf gate, runnable from any working directory:
+#   benchmarks/ci.sh [--full] [--skip-tests] [--skip-perf] [--factor N]
 set -euo pipefail
-cd "$(dirname "$0")/.."
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m benchmarks.ci "$@"
+
+# Resolve the repository root from this script's own (physical) location so
+# invocations via relative paths, $PATH or symlinks all work.
+script_dir="$(cd -- "$(dirname -- "${BASH_SOURCE[0]:-$0}")" >/dev/null 2>&1 && pwd -P)"
+repo_root="$(cd -- "${script_dir}/.." >/dev/null 2>&1 && pwd -P)"
+cd -- "${repo_root}"
+
+PYTHONPATH="${repo_root}/src${PYTHONPATH:+:$PYTHONPATH}" exec python -m benchmarks.ci "$@"

@@ -217,6 +217,133 @@ class SeedGradientBoostingRegressor:
 
 
 # ---------------------------------------------------------------------------
+# 1b. Mixture: the seed per-point GMM — every Lloyd assignment and EM E-step
+#     evaluated on the full column, no duplicate-value compression.
+# ---------------------------------------------------------------------------
+
+from repro.mixture.gmm import MixtureParameters, _LOG_2PI  # noqa: E402
+from repro.utils.validation import check_array  # noqa: E402
+
+
+def seed_kmeans_1d(values, k, *, n_iter=25, seed=None):
+    """The seed ``kmeans_1d``: per-point argmin assignment every iteration."""
+    arr = check_array(values, ndim=1, dtype=np.float64, allow_empty=False, name="values")
+    uniques = np.unique(arr)
+    k = int(min(k, uniques.size))
+    centers = np.quantile(arr, np.linspace(0.0, 1.0, k)) if k > 1 else np.array([arr.mean()])
+    centers = np.unique(centers)
+    for _ in range(n_iter):
+        assign = np.argmin(np.abs(arr[:, None] - centers[None, :]), axis=1)
+        new_centers = np.array(
+            [arr[assign == j].mean() if np.any(assign == j) else centers[j] for j in range(centers.size)]
+        )
+        if np.allclose(new_centers, centers):
+            centers = new_centers
+            break
+        centers = new_centers
+    return np.sort(centers)
+
+
+class SeedGaussianMixture:
+    """The seed EM loop: every E/M pass runs over all ``n`` rows."""
+
+    def __init__(self, n_components=10, *, max_iter=100, tol=1e-4,
+                 weight_threshold=5e-3, reg_var=1e-6, seed=None):
+        self.n_components = int(n_components)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.weight_threshold = float(weight_threshold)
+        self.reg_var = float(reg_var)
+        self._rng = as_rng(seed)
+        self.params_ = None
+        self.log_likelihood_ = None
+        self.n_iter_ = None
+
+    def _log_prob_components(self, x, params):
+        diff = x[:, None] - params.means[None, :]
+        var = params.stds[None, :] ** 2
+        log_pdf = -0.5 * (diff * diff / var + np.log(var) + _LOG_2PI)
+        return log_pdf + np.log(params.weights[None, :])
+
+    @staticmethod
+    def _logsumexp(a, axis=1):
+        amax = a.max(axis=axis, keepdims=True)
+        return (amax + np.log(np.exp(a - amax).sum(axis=axis, keepdims=True))).squeeze(axis)
+
+    def fit(self, values):
+        x = check_array(values, ndim=1, dtype=np.float64, allow_empty=False, name="values")
+        n = x.size
+        k = min(self.n_components, np.unique(x).size)
+        means = seed_kmeans_1d(x, k)
+        k = means.size
+        global_std = max(float(x.std()), np.sqrt(self.reg_var))
+        stds = np.full(k, global_std if k == 1 else max(global_std / k, np.sqrt(self.reg_var)))
+        weights = np.full(k, 1.0 / k)
+        params = MixtureParameters(weights, means, stds)
+
+        prev_ll = -np.inf
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            log_joint = self._log_prob_components(x, params)
+            log_norm = self._logsumexp(log_joint, axis=1)
+            resp = np.exp(log_joint - log_norm[:, None])
+            ll = float(log_norm.mean())
+
+            nk = resp.sum(axis=0) + 1e-12
+            weights = nk / n
+            means = (resp * x[:, None]).sum(axis=0) / nk
+            var = (resp * (x[:, None] - means[None, :]) ** 2).sum(axis=0) / nk + self.reg_var
+            stds = np.sqrt(var)
+            params = MixtureParameters(weights, means, stds)
+
+            if np.isfinite(prev_ll) and abs(ll - prev_ll) < self.tol * max(abs(prev_ll), 1.0):
+                prev_ll = ll
+                break
+            prev_ll = ll
+
+        keep = params.weights >= self.weight_threshold
+        if not keep.any():
+            keep = params.weights == params.weights.max()
+        params = MixtureParameters(
+            params.weights[keep] / params.weights[keep].sum(),
+            params.means[keep],
+            params.stds[keep],
+        )
+        self.params_ = params
+        self.log_likelihood_ = prev_ll
+        self.n_iter_ = n_iter
+        return self
+
+    @property
+    def n_active_components(self):
+        return self.params_.n_components
+
+    def responsibilities(self, values):
+        x = np.asarray(values, dtype=np.float64)
+        log_joint = self._log_prob_components(x, self.params_)
+        log_norm = self._logsumexp(log_joint, axis=1)
+        return np.exp(log_joint - log_norm[:, None])
+
+    def sample_component(self, values, rng=None):
+        rng = rng or self._rng
+        resp = self.responsibilities(values)
+        cum = np.cumsum(resp, axis=1)
+        u = rng.random((resp.shape[0], 1))
+        return (u < cum).argmax(axis=1)
+
+    def normalize(self, values, components):
+        x = np.asarray(values, dtype=np.float64)
+        c = np.asarray(components, dtype=np.int64)
+        alpha = (x - self.params_.means[c]) / (4.0 * self.params_.stds[c])
+        return np.clip(alpha, -1.0, 1.0)
+
+    def denormalize(self, alphas, components):
+        a = np.asarray(alphas, dtype=np.float64)
+        c = np.asarray(components, dtype=np.int64)
+        return a * 4.0 * self.params_.stds[c] + self.params_.means[c]
+
+
+# ---------------------------------------------------------------------------
 # 2. Metrics: per-pair association matrix, re-encoding columns per pair.
 # ---------------------------------------------------------------------------
 
@@ -388,8 +515,8 @@ class SeedGridSimulator:
 # 5. NN: the pre-fusion optimisers (fresh arrays per parameter per step).
 # ---------------------------------------------------------------------------
 
-from repro.models.ctabgan import CTABGANPlusSurrogate  # noqa: E402
-from repro.models.tabddpm.denoiser import MLPDenoiser  # noqa: E402
+from repro.models.ctabgan import CTABGANPlusSurrogate, _ModeSpecificEncoder  # noqa: E402
+from repro.models.tabddpm.denoiser import MLPDenoiser, timestep_embedding  # noqa: E402
 from repro.models.tabddpm.gaussian import GaussianDiffusion  # noqa: E402
 from repro.models.tabddpm.model import TabDDPMSurrogate  # noqa: E402
 from repro.models.tabddpm.multinomial import MultinomialDiffusion  # noqa: E402
@@ -406,6 +533,7 @@ from repro.nn import (  # noqa: E402
     no_grad,
 )
 from repro.nn.optim import CosineSchedule, Optimizer  # noqa: E402
+from repro.tabular.encoding import OneHotEncoder  # noqa: E402
 from repro.tabular.mixed import MixedEncoder  # noqa: E402
 from repro.tabular.schema import ColumnKind  # noqa: E402
 from repro.utils.rng import derive_seed  # noqa: E402
@@ -558,6 +686,61 @@ class SeedTVAESurrogate(TVAESurrogate):
         return self
 
 
+class SeedModeSpecificEncoder(_ModeSpecificEncoder):
+    """The seed mode-specific encoder: a full per-column loop in ``fit``,
+    ``transform`` and ``inverse_transform``, with the seed (uncompressed)
+    Gaussian mixtures underneath."""
+
+    def fit(self, table):
+        cursor = 0
+        for col in table.schema:
+            if col.is_numerical:
+                gmm = SeedGaussianMixture(
+                    n_components=self.gmm_components,
+                    seed=derive_seed(self.seed, "gmm", col.name),
+                )
+                gmm.fit(table[col.name])
+                self.numerical_gmms[col.name] = gmm
+                width = 1 + gmm.n_active_components
+            else:
+                enc = OneHotEncoder()
+                enc.fit(table[col.name])
+                self.categorical_encoders[col.name] = enc
+                width = enc.n_categories
+            self.layout.append((col.name, col.kind.value, cursor, width))
+            cursor += width
+        self.n_features = cursor
+        return self
+
+    def transform(self, table, rng):
+        parts = []
+        for name, kind, _start, _width in self.layout:
+            if kind == ColumnKind.NUMERICAL.value:
+                gmm = self.numerical_gmms[name]
+                values = np.asarray(table[name], dtype=np.float64)
+                comp = gmm.sample_component(values, rng)
+                alpha = gmm.normalize(values, comp)
+                onehot = np.zeros((values.shape[0], gmm.n_active_components))
+                onehot[np.arange(values.shape[0]), comp] = 1.0
+                parts.append(np.concatenate([alpha[:, None], onehot], axis=1))
+            else:
+                parts.append(self.categorical_encoders[name].transform(table[name]))
+        return np.concatenate(parts, axis=1)
+
+    def inverse_transform(self, matrix, schema, rng):
+        data = {}
+        for name, kind, start, width in self.layout:
+            chunk = matrix[:, start : start + width]
+            if kind == ColumnKind.NUMERICAL.value:
+                gmm = self.numerical_gmms[name]
+                alpha = np.clip(chunk[:, 0], -1.0, 1.0)
+                comp = np.argmax(chunk[:, 1:], axis=1)
+                data[name] = gmm.denormalize(alpha, comp)
+            else:
+                data[name] = self.categorical_encoders[name].inverse_transform(chunk)
+        return Table(data, schema)
+
+
 class SeedConditionSampler:
     """The seed training-by-sampling loop: ``rng.choice`` per column plus a
     Python loop drawing one matching real row per batch element."""
@@ -626,14 +809,12 @@ class SeedCTABGANSurrogate(CTABGANPlusSurrogate):
         return loss * (1.0 / max(n_terms, 1))
 
     def fit(self, table) -> "SeedCTABGANSurrogate":
-        from repro.models.ctabgan import _ModeSpecificEncoder
-
         self._mark_fitted(table)
         cfg = self.config
         seed_int = self._seed if isinstance(self._seed, int) else None
         rng = as_rng(derive_seed(seed_int, "fit"))
 
-        self._encoder = _ModeSpecificEncoder(cfg.gmm_components, seed_int).fit(table)
+        self._encoder = SeedModeSpecificEncoder(cfg.gmm_components, seed_int).fit(table)
         encoded = self._encoder.transform(table, rng)
         self._activation_layout = self._output_layout()
         cat_layout = self._encoder.categorical_layout
@@ -710,6 +891,52 @@ class SeedCTABGANSurrogate(CTABGANPlusSurrogate):
         self.loss_history_ = history
         return self
 
+    def sample(self, n, *, seed=None):
+        """The seed sampling loop: per-batch activation, one hardening pass
+        per block, per-column inverse transform."""
+        self._require_fitted()
+        cfg = self.config
+        rng = as_rng(seed)
+        self._generator.eval()
+        outputs = []
+        remaining = n
+        with no_grad():
+            while remaining > 0:
+                batch = min(cfg.batch_size, remaining)
+                cond, _, _, _ = self._condition.sample(batch, rng)
+                noise = rng.standard_normal((batch, cfg.noise_dim))
+                raw = self._generator(Tensor(np.concatenate([noise, cond], axis=1)))
+                activated = self._activate_generator_output(raw).numpy()
+                outputs.append(activated)
+                remaining -= batch
+        self._generator.train()
+        matrix = np.concatenate(outputs, axis=0)
+        hardened = matrix.copy()
+        for name, kind, start, width in self._encoder.layout:
+            block_start = start + 1 if kind == ColumnKind.NUMERICAL.value else start
+            block_width = width - 1 if kind == ColumnKind.NUMERICAL.value else width
+            if block_width <= 0:
+                continue
+            probs = matrix[:, block_start : block_start + block_width]
+            probs = probs / np.maximum(probs.sum(axis=1, keepdims=True), 1e-12)
+            cumulative = np.cumsum(probs, axis=1)
+            draws = rng.random((matrix.shape[0], 1))
+            chosen = (draws < cumulative).argmax(axis=1)
+            onehot = np.zeros_like(probs)
+            onehot[np.arange(matrix.shape[0]), chosen] = 1.0
+            hardened[:, block_start : block_start + block_width] = onehot
+        return self._encoder.inverse_transform(hardened, self.schema_, rng)
+
+
+class SeedMLPDenoiser(MLPDenoiser):
+    """The seed denoiser forward: per-row timestep embedding + concatenation
+    on every call (no shared-timestep inference fast path)."""
+
+    def forward(self, x_t, t):
+        emb = timestep_embedding(t, self.time_embedding_dim)
+        inputs = Tensor.concat([x_t, Tensor(emb)], axis=1)
+        return self.net(inputs)
+
 
 class SeedTabDDPMSurrogate(TabDDPMSurrogate):
     """TabDDPM trained through the seed (per-block diffusion/loss) step."""
@@ -727,7 +954,7 @@ class SeedTabDDPMSurrogate(TabDDPMSurrogate):
             if block.kind.value == "categorical"
         ]
         self._categorical_spans = [(b.start, b.stop) for b, _ in self._multinomials]
-        self._denoiser = MLPDenoiser(
+        self._denoiser = SeedMLPDenoiser(
             n_features,
             hidden_dims=list(cfg.hidden_dims),
             time_embedding_dim=cfg.time_embedding_dim,
@@ -788,6 +1015,38 @@ class SeedTabDDPMSurrogate(TabDDPMSurrogate):
             losses.append(epoch_loss / steps_per_epoch)
         self.loss_history_ = losses
         return self
+
+    def sample(self, n, *, seed=None):
+        """The seed reverse chain: one softmax + posterior draw per block per step."""
+        self._require_fitted()
+        cfg = self.config
+        rng = as_rng(seed)
+        self._denoiser.eval()
+
+        num_idx = self._numerical_indices
+        n_features = self._encoder.n_features
+        state = np.zeros((n, n_features))
+        if num_idx.size:
+            state[:, num_idx] = rng.standard_normal((n, num_idx.size))
+        for block, diffusion in self._multinomials:
+            uniform = np.full((n, block.width), 1.0 / block.width)
+            state[:, block.slice] = MultinomialDiffusion._sample_onehot(uniform, rng)
+
+        for t in reversed(range(cfg.n_timesteps)):
+            t_vector = np.full(n, t, dtype=np.int64)
+            prediction = self._denoise_batch(state, t_vector)
+            if num_idx.size:
+                eps = prediction[:, num_idx]
+                state[:, num_idx] = self._gaussian.p_sample_step(state[:, num_idx], t, eps, rng)
+            for block, diffusion in self._multinomials:
+                logits = prediction[:, block.start : block.stop]
+                logits = logits - logits.max(axis=1, keepdims=True)
+                x0_probs = np.exp(logits)
+                x0_probs /= np.maximum(x0_probs.sum(axis=1, keepdims=True), 1e-12)
+                state[:, block.slice] = diffusion.p_sample_step(state[:, block.slice], t, x0_probs, rng)
+
+        self._denoiser.train()
+        return self._encoder.inverse_transform(state)
 
 
 # ---------------------------------------------------------------------------

@@ -57,7 +57,17 @@ The hottest loops run through a vectorized engine:
   and a fully vectorised multinomial diffusion step
   (:mod:`repro.models.tabddpm.multinomial`).  Every fused path is
   bit-identical to the unfused composition — same losses, parameters and
-  samples for a fixed seed (``tests/test_train_equivalence.py``).
+  samples for a fixed seed (``tests/test_train_equivalence.py``);
+* **sampling / encoding** — mode-specific normalisation fits its per-column
+  Gaussian mixtures through a duplicate-value-compressed Lloyd/EM
+  (:mod:`repro.mixture.gmm`), the TabDDPM reverse chain denoises every
+  same-width categorical block as one lane-grouped plane pass per step
+  (:meth:`repro.models.tabddpm.multinomial.MultinomialBlockDiffusion.p_sample_into`),
+  and CTABGAN+ draws its block categories straight from the stacked raw
+  generator logits (:mod:`repro.models.ctabgan`) — all bit-identical to the
+  per-block chains in the default mode
+  (``tests/test_sampling_equivalence.py``), with a documented relaxed
+  ``condition_mode="fast"`` for pure serving throughput.
 
 ``benchmarks/bench_hotpaths.py`` times every kernel against the seed
 implementation at two problem sizes and writes ``BENCH_hotpaths.json``;
@@ -67,6 +77,14 @@ the test suite), and ``tests/test_perf_equivalence.py`` proves the optimized
 kernels reproduce the seed outputs.  See ``benchmarks/README.md`` for the
 harness, baseline and re-baselining policy.  Timing helpers live in
 :mod:`repro.utils.profiling`.
+
+Continuous integration
+----------------------
+Hosted CI (``.github/workflows/ci.yml`` — badge:
+``https://github.com/<org>/<repo>/actions/workflows/ci.yml/badge.svg``) runs
+three jobs on every push and pull request: ruff lint, the tier-1 pytest
+suite across Python 3.10–3.12, and the hot-path perf gate with a
+CI-loosened threshold (``python -m benchmarks.ci --skip-tests --factor 3``).
 """
 
 from repro.panda import GeneratorConfig, PandaWorkloadGenerator, FilteringPipeline, PANDA_SCHEMA

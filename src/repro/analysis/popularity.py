@@ -11,7 +11,7 @@ a target for downstream predictive models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List
 
 import numpy as np
 

@@ -8,7 +8,7 @@ columns the way CatBoost does.  The latter is what the MLEF metric uses.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -18,7 +18,7 @@ Two classic histogram tricks keep node evaluation off the Python interpreter:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

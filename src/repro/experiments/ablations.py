@@ -21,8 +21,8 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import DatasetBundle, build_dataset
 from repro.metrics.report import evaluate_surrogate_data
 from repro.models.smote import SMOTESurrogate
-from repro.models.tabddpm import TabDDPMConfig, TabDDPMSurrogate
-from repro.models.tvae import TVAEConfig, TVAESurrogate
+from repro.models.tabddpm import TabDDPMSurrogate
+from repro.models.tvae import TVAESurrogate
 from repro.tabular.transforms import StandardScaler
 from repro.utils.rng import derive_seed
 

@@ -16,7 +16,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -53,8 +53,8 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _print_matrix(matrix: np.ndarray, labels: Sequence[str]) -> None:
-    width = max(len(str(l)) for l in labels) + 1
-    header = " " * width + " ".join(f"{l[:7]:>8}" for l in labels)
+    width = max(len(str(label)) for label in labels) + 1
+    header = " " * width + " ".join(f"{label[:7]:>8}" for label in labels)
     print(header)
     for label, row in zip(labels, matrix):
         cells = " ".join(f"{v:>8.3f}" for v in row)

@@ -14,7 +14,7 @@ run, with three presets:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.models.ctabgan import CTABGANConfig
 from repro.models.tabddpm import TabDDPMConfig

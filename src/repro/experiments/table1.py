@@ -8,7 +8,7 @@ diff-MLEF for each — the rows of the paper's Table I.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import DatasetBundle, build_dataset

@@ -5,6 +5,19 @@ GANs: it operates on 1-D columns, initialises means with a deterministic
 k-means pass, prunes components whose responsibility mass collapses (mimicking
 the Bayesian GMM behaviour of the reference CTGAN implementation), and exposes
 responsibilities, sampling and per-component normalisation helpers.
+
+Performance: real tabular columns (counts, rounded measurements, discrete
+grids) carry far fewer *unique* values than rows.  Every per-value quantity in
+Lloyd's algorithm and in the EM E-step — nearest centre, component log
+densities, responsibilities — is a pure function of the value, so both are
+evaluated once per unique value and gathered back to full length with the
+``np.unique`` inverse index.  The M-step sums and the mean log-likelihood are
+taken over the gathered full-length arrays, which keeps every reduction's
+operand sequence — and therefore its floating-point rounding — identical to
+the uncompressed implementation: fitted parameters are bit-for-bit the same
+(``tests/test_perf_equivalence.py`` asserts it against the verbatim seed port
+in ``benchmarks/seed_baselines.py``).  Columns with mostly-distinct values
+fall back to the direct path, so nothing ever gets slower.
 """
 
 from __future__ import annotations
@@ -20,6 +33,15 @@ from repro.utils.validation import check_array, check_fitted
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
 
+#: Columns whose unique-value count is at most this fraction of their length
+#: take the duplicate-compressed path; above it the direct path is cheaper.
+_COMPRESS_MAX_UNIQUE_FRACTION = 0.5
+
+
+def _compressible(n_unique: int, n: int) -> bool:
+    return n_unique <= int(n * _COMPRESS_MAX_UNIQUE_FRACTION)
+
+
 def kmeans_1d(
     values: np.ndarray, k: int, *, n_iter: int = 25, seed: SeedLike = None
 ) -> np.ndarray:
@@ -29,15 +51,40 @@ def kmeans_1d(
     deterministic for a fixed input and well spread for skewed data.
     """
     arr = check_array(values, ndim=1, dtype=np.float64, allow_empty=False, name="values")
-    uniques = np.unique(arr)
+    uniques, inverse = np.unique(arr, return_inverse=True)
     k = int(min(k, uniques.size))
     centers = np.quantile(arr, np.linspace(0.0, 1.0, k)) if k > 1 else np.array([arr.mean()])
     centers = np.unique(centers)
+    return _kmeans_refine(arr, uniques, inverse, centers, n_iter)
+
+
+def _kmeans_refine(
+    arr: np.ndarray,
+    uniques: np.ndarray,
+    inverse: np.ndarray,
+    centers: np.ndarray,
+    n_iter: int,
+) -> np.ndarray:
+    """Lloyd iterations over pre-initialised ``centers``.
+
+    The nearest-centre assignment is a pure per-value function, so on
+    duplicate-heavy columns it is evaluated on the unique values only and
+    gathered back through ``inverse``; cluster means still average the
+    full-length extraction ``arr[assign == j]`` so their summation order (and
+    rounding) matches the per-point implementation exactly.
+    """
+    compressed = _compressible(uniques.size, arr.size)
     for _ in range(n_iter):
         # Assign every point to the closest centre, then recompute centres.
-        assign = np.argmin(np.abs(arr[:, None] - centers[None, :]), axis=1)
+        if compressed:
+            assign_u = np.argmin(np.abs(uniques[:, None] - centers[None, :]), axis=1)
+            assign = assign_u[inverse]
+            occupied = np.bincount(assign_u, minlength=centers.size) > 0
+        else:
+            assign = np.argmin(np.abs(arr[:, None] - centers[None, :]), axis=1)
+            occupied = np.bincount(assign, minlength=centers.size) > 0
         new_centers = np.array(
-            [arr[assign == j].mean() if np.any(assign == j) else centers[j] for j in range(centers.size)]
+            [arr[assign == j].mean() if occupied[j] else centers[j] for j in range(centers.size)]
         )
         if np.allclose(new_centers, centers):
             centers = new_centers
@@ -117,28 +164,44 @@ class GaussianMixture:
     def fit(self, values: np.ndarray) -> "GaussianMixture":
         x = check_array(values, ndim=1, dtype=np.float64, allow_empty=False, name="values")
         n = x.size
-        k = min(self.n_components, np.unique(x).size)
-        means = kmeans_1d(x, k)
+        uniques, inverse = np.unique(x, return_inverse=True)
+        k = min(self.n_components, uniques.size)
+        # Same centres as ``kmeans_1d(x, k)``, sharing the unique decomposition.
+        centers = np.quantile(x, np.linspace(0.0, 1.0, k)) if k > 1 else np.array([x.mean()])
+        means = _kmeans_refine(x, uniques, inverse, np.unique(centers), 25)
         k = means.size
         global_std = max(float(x.std()), np.sqrt(self.reg_var))
         stds = np.full(k, global_std if k == 1 else max(global_std / k, np.sqrt(self.reg_var)))
         weights = np.full(k, 1.0 / k)
         params = MixtureParameters(weights, means, stds)
 
+        # On duplicate-heavy columns the per-value E-step runs on the unique
+        # values; the gathered full-length arrays feed the M-step reductions
+        # so every sum keeps the uncompressed operand order (and bits).
+        compressed = _compressible(uniques.size, n)
+        xe = uniques if compressed else x
         prev_ll = -np.inf
         n_iter = 0
         for n_iter in range(1, self.max_iter + 1):
             # E-step: responsibilities.
-            log_joint = self._log_prob_components(x, params)
+            log_joint = self._log_prob_components(xe, params)
             log_norm = self._logsumexp(log_joint, axis=1)
             resp = np.exp(log_joint - log_norm[:, None])
-            ll = float(log_norm.mean())
 
             # M-step.
-            nk = resp.sum(axis=0) + 1e-12
-            weights = nk / n
-            means = (resp * x[:, None]).sum(axis=0) / nk
-            var = (resp * (x[:, None] - means[None, :]) ** 2).sum(axis=0) / nk + self.reg_var
+            if compressed:
+                ll = float(log_norm[inverse].mean())
+                nk = resp[inverse].sum(axis=0) + 1e-12
+                weights = nk / n
+                means = (resp * xe[:, None])[inverse].sum(axis=0) / nk
+                sq = (xe[:, None] - means[None, :]) ** 2
+                var = (resp * sq)[inverse].sum(axis=0) / nk + self.reg_var
+            else:
+                ll = float(log_norm.mean())
+                nk = resp.sum(axis=0) + 1e-12
+                weights = nk / n
+                means = (resp * xe[:, None]).sum(axis=0) / nk
+                var = (resp * (xe[:, None] - means[None, :]) ** 2).sum(axis=0) / nk + self.reg_var
             stds = np.sqrt(var)
             params = MixtureParameters(weights, means, stds)
 
@@ -167,30 +230,60 @@ class GaussianMixture:
         check_fitted(self, ["params_"])
         return self.params_.n_components
 
-    def responsibilities(self, values: np.ndarray) -> np.ndarray:
-        """Posterior component probabilities for each value, shape ``(n, k)``."""
+    def _responsibilities_compressed(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """``(responsibilities, gather index)`` with the duplicate fast path.
+
+        Responsibilities are a pure per-value function; on duplicate-heavy
+        inputs they are computed on the unique values and the second element
+        is the ``np.unique`` inverse index (``None`` on the direct path).
+        Gathering through it reproduces the direct result bit-for-bit.
+        """
         check_fitted(self, ["params_"])
-        x = np.asarray(values, dtype=np.float64)
+        if x.ndim == 1 and x.size > 64:
+            uniques, inverse = np.unique(x, return_inverse=True)
+            if _compressible(uniques.size, x.size):
+                log_joint = self._log_prob_components(uniques, self.params_)
+                log_norm = self._logsumexp(log_joint, axis=1)
+                return np.exp(log_joint - log_norm[:, None]), inverse
         log_joint = self._log_prob_components(x, self.params_)
         log_norm = self._logsumexp(log_joint, axis=1)
-        return np.exp(log_joint - log_norm[:, None])
+        return np.exp(log_joint - log_norm[:, None]), None
+
+    def responsibilities(self, values: np.ndarray) -> np.ndarray:
+        """Posterior component probabilities for each value, shape ``(n, k)``."""
+        x = np.asarray(values, dtype=np.float64)
+        resp, inverse = self._responsibilities_compressed(x)
+        return resp if inverse is None else resp[inverse]
 
     def predict_component(self, values: np.ndarray) -> np.ndarray:
         """Hard component assignment (argmax responsibility)."""
-        return np.argmax(self.responsibilities(values), axis=1)
+        x = np.asarray(values, dtype=np.float64)
+        resp, inverse = self._responsibilities_compressed(x)
+        comp = np.argmax(resp, axis=1)
+        return comp if inverse is None else comp[inverse]
 
     def sample_component(self, values: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Sample a component per value from its posterior (CTGAN-style encoding)."""
         rng = rng or self._rng
-        resp = self.responsibilities(values)
+        x = np.asarray(values, dtype=np.float64)
+        resp, inverse = self._responsibilities_compressed(x)
         cum = np.cumsum(resp, axis=1)
-        u = rng.random((resp.shape[0], 1))
+        if inverse is not None:
+            cum = cum[inverse]
+        u = rng.random((cum.shape[0], 1))
         return (u < cum).argmax(axis=1)
 
     def log_likelihood(self, values: np.ndarray) -> float:
         """Mean per-sample log likelihood of ``values`` under the mixture."""
         check_fitted(self, ["params_"])
         x = np.asarray(values, dtype=np.float64)
+        if x.ndim == 1 and x.size > 64:
+            uniques, inverse = np.unique(x, return_inverse=True)
+            if _compressible(uniques.size, x.size):
+                log_norm = self._logsumexp(self._log_prob_components(uniques, self.params_), axis=1)
+                return float(log_norm[inverse].mean())
         return float(self._logsumexp(self._log_prob_components(x, self.params_), axis=1).mean())
 
     def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:

@@ -9,7 +9,7 @@ interface: ``fit(table)`` then ``sample(n)`` returns a new
 Use :func:`create_surrogate` to instantiate a model by its paper name.
 """
 
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Type
 
 from repro.models.base import Surrogate
 from repro.models.smote import SMOTESurrogate

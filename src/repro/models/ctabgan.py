@@ -52,7 +52,15 @@ logger = get_logger(__name__)
 
 @dataclass
 class CTABGANConfig:
-    """Hyper-parameters of the CTABGAN+ surrogate."""
+    """Hyper-parameters of the CTABGAN+ surrogate.
+
+    ``condition_mode`` selects how training-by-sampling condition vectors are
+    drawn: ``"exact"`` (default) replays the historical per-column RNG stream
+    draw for draw, keeping training and sampling bit-identical to the seed
+    implementation; ``"fast"`` batches all draws into three RNG calls — the
+    same distribution over (column, category, matching row) but a different
+    stream, so outputs are only statistically (not bitwise) reproducible.
+    """
 
     noise_dim: int = 64
     generator_dims: tuple = (128, 128)
@@ -63,11 +71,155 @@ class CTABGANConfig:
     learning_rate: float = 2e-4
     discriminator_steps: int = 1
     grad_clip: float = 5.0
+    condition_mode: str = "exact"
 
     @classmethod
     def fast(cls) -> "CTABGANConfig":
         """A configuration small enough for unit tests."""
         return cls(noise_dim=16, generator_dims=(32,), discriminator_dims=(32,), gmm_components=3, epochs=3, batch_size=128)
+
+
+def _argmax_codes(matrix: np.ndarray, spans: List[Tuple[int, int]]) -> np.ndarray:
+    """Per-block ``argmax`` codes over column ``spans``, shape ``(n, blocks)``.
+
+    Same-width blocks share one gathered ``(n, blocks, width)`` cube, so wide
+    matrices need a handful of ``argmax`` calls instead of one per block; each
+    lane's argmax (first maximum wins) is identical to the per-block slice.
+    """
+    n = matrix.shape[0]
+    widths = [stop - start for start, stop in spans]
+    codes = np.empty((n, len(spans)), dtype=np.int64)
+    for width in sorted(set(widths)):
+        idx = [i for i, w in enumerate(widths) if w == width]
+        cols = np.concatenate([np.arange(*spans[i], dtype=np.intp) for i in idx])
+        segment = np.take(matrix, cols, axis=1).reshape(n, len(idx), width)
+        codes[:, idx] = np.argmax(segment, axis=2)
+    return codes
+
+
+class _SoftmaxBlockSampler:
+    """Softmax + category draw per output block, straight from raw logits.
+
+    The historical sampling path activated every softmax block, wrote the
+    probabilities into a dense matrix, re-normalised each block, drew one
+    uniform per row against its CDF, scattered a one-hot copy and finally
+    took a per-block ``argmax`` to decode — but the hardened matrix never
+    leaves ``sample``, so only the drawn *codes* matter.  This class computes
+    them directly, bit- and stream-identically to that chain:
+
+    * the blockwise softmax follows the fused activation formula
+      (``exp(shifted - log_sum)``, proven bit-identical to the unfused
+      per-block ``.softmax()`` composition in PR 2) element for element;
+    * ``rng.random((blocks, rows))`` consumes the generator stream in the
+      order of the sequential per-block ``rng.random((rows, 1))`` calls;
+    * same-width narrow blocks are processed as contiguous lane planes —
+      NumPy sums fewer than 8 elements sequentially, so plane accumulation
+      matches the per-block ``sum``/``cumsum`` rounding exactly; maxima are
+      order-insensitive; blocks of 8+ categories keep the per-block path;
+    * softmax outputs are strictly positive, so each block CDF is strictly
+      increasing and "count of CDF entries <= draw" equals the first-True
+      ``argmax`` of the historical comparison, with the all-False case
+      (cumulative mass below the draw) falling back to index 0 the same way;
+    * rows are processed in cache-sized chunks (every stage is a pure
+      per-row function, so chunking changes no value).
+    """
+
+    _LANE_WIDTH_LIMIT = 8
+
+    def __init__(self, spans: List[Tuple[int, int]]):
+        self.spans = [(int(a), int(b)) for a, b in spans]
+        self.n_blocks = len(self.spans)
+        self.widths = np.array([b - a for a, b in self.spans], dtype=np.intp)
+        self.starts = np.array([a for a, _ in self.spans], dtype=np.intp)
+        self.total_width = int(self.widths.sum())
+        self._groups = []
+        for w in sorted({int(v) for v in self.widths if v < self._LANE_WIDTH_LIMIT}):
+            gidx = np.nonzero(self.widths == w)[0]
+            self._groups.append((w, gidx, [self.starts[gidx] + j for j in range(w)]))
+        self._wide = [b for b in range(self.n_blocks) if self.widths[b] >= self._LANE_WIDTH_LIMIT]
+        self._buffers: Dict[Tuple[int, int, int], Dict[str, np.ndarray]] = {}
+
+    def _scratch(self, w: int, m: int, nc: int) -> Dict[str, np.ndarray]:
+        key = (w, m, nc)
+        scratch = self._buffers.get(key)
+        if scratch is None:
+            if len(self._buffers) >= 16:
+                # Bound the cache: serving loops with varying sample sizes
+                # would otherwise accumulate buffers per distinct chunk shape.
+                self._buffers.clear()
+            scratch = {
+                "g": np.empty((w, nc, m)),
+                "ex": np.empty((w, nc, m)),
+                "mx": np.empty((nc, m)),
+                "tot": np.empty((nc, m)),
+                "dg": np.empty((nc, m)),
+                "cnt": np.empty((nc, m), dtype=np.intp),
+            }
+            self._buffers[key] = scratch
+        return scratch
+
+    def sample_codes(self, raw: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw one category per block from the raw logits, shape ``(n, B)``."""
+        n = raw.shape[0]
+        codes = np.empty((n, self.n_blocks), dtype=np.intp)
+        if not self.n_blocks:
+            return codes
+        draws = rng.random((self.n_blocks, n))
+        chunk = max(1, (1 << 22) // max(8 * self.total_width, 1))
+        if n > chunk:
+            chunk = -(-n // (-(-n // chunk)))
+        for r0 in range(0, n, chunk):
+            r1 = min(n, r0 + chunk)
+            self._codes_chunk(raw[r0:r1], draws[:, r0:r1], codes[r0:r1])
+        return codes
+
+    def _codes_chunk(self, raw: np.ndarray, draws: np.ndarray, codes: np.ndarray) -> None:
+        n = raw.shape[0]
+        for w, gidx, lane_cols in self._groups:
+            m = gidx.size
+            s = self._scratch(w, m, n)
+            g, ex, mx, tot, dg, cnt = s["g"], s["ex"], s["mx"], s["tot"], s["dg"], s["cnt"]
+            for j in range(w):
+                np.take(raw, lane_cols[j], axis=1, out=g[j])
+            # Blockwise softmax: exp(shifted - log(sum(exp(shifted)))).
+            np.copyto(mx, g[0])
+            for j in range(1, w):
+                np.maximum(mx, g[j], out=mx)
+            for j in range(w):
+                np.subtract(g[j], mx, out=g[j])
+            np.exp(g, out=ex)
+            np.copyto(tot, ex[0])
+            for j in range(1, w):
+                np.add(tot, ex[j], out=tot)
+            np.log(tot, out=tot)
+            for j in range(w):
+                np.subtract(g[j], tot, out=g[j])
+            np.exp(g, out=g)
+            # Hardening draw: renormalise, build the CDF, count entries <= u.
+            np.copyto(tot, g[0])
+            for j in range(1, w):
+                np.add(tot, g[j], out=tot)
+            np.maximum(tot, 1e-12, out=tot)
+            for j in range(w):
+                np.divide(g[j], tot, out=g[j])
+            for j in range(1, w):
+                np.add(g[j], g[j - 1], out=g[j])
+            np.copyto(dg, draws[gidx].T)
+            np.less_equal(g[0], dg, out=cnt, casting="unsafe")
+            for j in range(1, w - 1):
+                np.add(cnt, g[j] <= dg, out=cnt, casting="unsafe")
+            codes[:, gidx] = np.where(g[w - 1] <= dg, 0, cnt)
+        for b in self._wide:
+            start, stop = self.spans[b]
+            logits = raw[:, start:stop]
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            expv = np.exp(shifted)
+            log_sum = np.log(expv.sum(axis=1, keepdims=True))
+            np.subtract(shifted, log_sum, out=shifted)
+            probs = np.exp(shifted)
+            probs /= np.maximum(probs.sum(axis=1, keepdims=True), 1e-12)
+            cumulative = np.cumsum(probs, axis=1)
+            codes[:, b] = (draws[b][:, None] < cumulative).argmax(axis=1)
 
 
 class _ModeSpecificEncoder:
@@ -102,32 +254,113 @@ class _ModeSpecificEncoder:
         self.n_features = cursor
         return self
 
+    def _numeric_tables(self):
+        """Stacked per-column GMM parameter tables for the numerical blocks.
+
+        Returns ``(blocks, alpha_cols, comp_base, means_pad, stds_pad)`` where
+        the padded ``(n_columns, max_components)`` tables let one gather per
+        batch replace the per-column mean/std lookups.  Built lazily so
+        encoders restored from older fits work unchanged.
+        """
+        cached = getattr(self, "_numeric_tables_", None)
+        if cached is not None:
+            return cached
+        blocks = [
+            (name, start, width)
+            for name, kind, start, width in self.layout
+            if kind == ColumnKind.NUMERICAL.value
+        ]
+        alpha_cols = np.array([start for _name, start, _width in blocks], dtype=np.intp)
+        comp_base = np.array([start + 1 for _name, start, _width in blocks], dtype=np.intp)
+        kmax = max((width - 1 for _name, _start, width in blocks), default=0)
+        means_pad = np.zeros((len(blocks), max(kmax, 1)))
+        stds_pad = np.ones((len(blocks), max(kmax, 1)))
+        for i, (name, _start, _width) in enumerate(blocks):
+            params = self.numerical_gmms[name].params_
+            means_pad[i, : params.n_components] = params.means
+            stds_pad[i, : params.n_components] = params.stds
+        self._numeric_tables_ = (blocks, alpha_cols, comp_base, means_pad, stds_pad)
+        return self._numeric_tables_
+
     def transform(self, table: Table, rng: np.random.Generator) -> np.ndarray:
-        parts: List[np.ndarray] = []
-        for name, kind, _start, _width in self.layout:
-            if kind == ColumnKind.NUMERICAL.value:
-                gmm = self.numerical_gmms[name]
-                values = np.asarray(table[name], dtype=np.float64)
-                comp = gmm.sample_component(values, rng)
-                alpha = gmm.normalize(values, comp)
-                onehot = np.zeros((values.shape[0], gmm.n_active_components))
-                onehot[np.arange(values.shape[0]), comp] = 1.0
-                parts.append(np.concatenate([alpha[:, None], onehot], axis=1))
-            else:
-                parts.append(self.categorical_encoders[name].transform(table[name]))
-        return np.concatenate(parts, axis=1)
+        """Mode-specific encoding with the per-column loop reduced to the RNG
+        draws: components are still sampled column by column (keeping the
+        draw stream of the historical loop), but the normalisation runs once
+        over all continuous columns via stacked mean/std gathers and every
+        one-hot block is written by a single scatter — all bit-identical to
+        the per-column composition."""
+        n = len(table)
+        out = np.zeros((n, self.n_features))
+        rows = np.arange(n)
+        blocks, alpha_cols, comp_base, means_pad, stds_pad = self._numeric_tables()
+        if blocks:
+            values = np.empty((n, len(blocks)))
+            comps = np.empty((n, len(blocks)), dtype=np.int64)
+            for i, (name, _start, _width) in enumerate(blocks):
+                column = np.asarray(table[name], dtype=np.float64)
+                values[:, i] = column
+                comps[:, i] = self.numerical_gmms[name].sample_component(column, rng)
+            cidx = np.arange(len(blocks))[None, :]
+            mu = means_pad[cidx, comps]
+            sd = stds_pad[cidx, comps]
+            out[:, alpha_cols] = np.clip((values - mu) / (4.0 * sd), -1.0, 1.0)
+            out[rows[:, None], comp_base[None, :] + comps] = 1.0
+        for name, kind, start, _width in self.layout:
+            if kind == ColumnKind.CATEGORICAL.value:
+                codes = self.categorical_encoders[name].transform_codes(table[name])
+                out[rows, start + codes] = 1.0
+        return out
 
     def inverse_transform(self, matrix: np.ndarray, schema, rng: np.random.Generator) -> Table:
         data: Dict[str, np.ndarray] = {}
-        for name, kind, start, width in self.layout:
-            chunk = matrix[:, start : start + width]
+        n = matrix.shape[0]
+        blocks, alpha_cols, _comp_base, means_pad, stds_pad = self._numeric_tables()
+        if blocks:
+            comps = _argmax_codes(matrix, [(start + 1, start + width) for _n, start, width in blocks])
+            alpha = np.clip(matrix[:, alpha_cols], -1.0, 1.0)
+            cidx = np.arange(len(blocks))[None, :]
+            recovered = alpha * 4.0 * stds_pad[cidx, comps] + means_pad[cidx, comps]
+            for i, (name, _start, _width) in enumerate(blocks):
+                data[name] = recovered[:, i]
+        cat_blocks = [
+            (name, start, width)
+            for name, kind, start, width in self.layout
+            if kind == ColumnKind.CATEGORICAL.value
+        ]
+        if cat_blocks:
+            codes = _argmax_codes(matrix, [(start, start + width) for _n, start, width in cat_blocks])
+            for i, (name, _start, _width) in enumerate(cat_blocks):
+                encoder = self.categorical_encoders[name]
+                data[name] = encoder.label_encoder.inverse_transform(codes[:, i])
+        return Table(data, schema)
+
+    def decode_sampled(self, alphas: np.ndarray, codes: np.ndarray, schema) -> Table:
+        """Decode drawn samples directly from per-block category codes.
+
+        ``alphas`` are the tanh outputs of the numerical alpha columns (one
+        per continuous column, in layout order); ``codes`` holds one drawn
+        category per layout entry (mixture component for numerical columns,
+        category for categorical ones).  Equivalent to scattering the codes
+        as one-hot blocks and calling :meth:`inverse_transform` — the argmax
+        of a one-hot block is its code — without materialising the matrix.
+        """
+        data: Dict[str, np.ndarray] = {}
+        blocks, _alpha_cols, _comp_base, means_pad, stds_pad = self._numeric_tables()
+        numeric_i = 0
+        if blocks:
+            comp_cols = [i for i, (_n, kind, _s, _w) in enumerate(self.layout)
+                         if kind == ColumnKind.NUMERICAL.value]
+            comps = codes[:, comp_cols]
+            alpha = np.clip(alphas, -1.0, 1.0)
+            cidx = np.arange(len(blocks))[None, :]
+            recovered = alpha * 4.0 * stds_pad[cidx, comps] + means_pad[cidx, comps]
+        for i, (name, kind, _start, _width) in enumerate(self.layout):
             if kind == ColumnKind.NUMERICAL.value:
-                gmm = self.numerical_gmms[name]
-                alpha = np.clip(chunk[:, 0], -1.0, 1.0)
-                comp = np.argmax(chunk[:, 1:], axis=1)
-                data[name] = gmm.denormalize(alpha, comp)
+                data[name] = recovered[:, numeric_i]
+                numeric_i += 1
             else:
-                data[name] = self.categorical_encoders[name].inverse_transform(chunk)
+                encoder = self.categorical_encoders[name]
+                data[name] = encoder.label_encoder.inverse_transform(codes[:, i])
         return Table(data, schema)
 
     @property
@@ -198,14 +431,51 @@ class _ConditionSampler:
         self._all_pools = (
             np.concatenate(self._pools) if self._pools else np.empty(0, dtype=np.int64)
         )
+        # Width-padded per-column tables for the relaxed "fast" mode: one
+        # gather per batch replaces every per-column lookup.  CDF padding is
+        # +inf so padded entries never count as "<= draw".
+        max_width = max((width for _, _, width in layout), default=0)
+        self._cdf_pad = np.full((len(layout), max(max_width, 1)), np.inf)
+        self._sizes_pad = np.zeros((len(layout), max(max_width, 1)), dtype=np.int64)
+        self._highs_pad = np.ones((len(layout), max(max_width, 1)), dtype=np.int64)
+        self._starts_pad = np.zeros((len(layout), max(max_width, 1)), dtype=np.intp)
+        for j, (_name, _start, width) in enumerate(layout):
+            self._cdf_pad[j, :width] = self._cdfs[j]
+            self._sizes_pad[j, :width] = self._pool_sizes[j]
+            self._highs_pad[j, :width] = self._pool_highs[j]
+            self._starts_pad[j, :width] = self._pool_starts[j]
 
     def sample(
-        self, batch_size: int, rng: np.random.Generator
+        self, batch_size: int, rng: np.random.Generator, mode: str = "exact"
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Return (condition matrix, column index, category index, matching row index)."""
+        """Return (condition matrix, column index, category index, matching row index).
+
+        ``mode="exact"`` (default) draws the historical per-column RNG stream;
+        ``mode="fast"`` is the documented relaxed mode: the same distribution
+        from three batched RNG calls (column choice, one uniform per row
+        mapped through the padded per-column CDFs, one bounded integer per
+        row), so streams — and therefore exact outputs — differ from the
+        seed while condition frequencies match (chi-squared-tested in
+        ``tests/test_sampling_equivalence.py``).
+        """
+        if mode not in ("exact", "fast"):
+            raise ValueError(f"unknown condition sampling mode {mode!r}; use 'exact' or 'fast'")
         n_columns = len(self.layout)
         cond = np.zeros((batch_size, self.total_width))
         col_choice = rng.integers(0, n_columns, size=batch_size)
+        if mode == "fast":
+            uniforms = rng.random(batch_size)
+            cats = (self._cdf_pad[col_choice] <= uniforms[:, None]).sum(axis=1)
+            sizes = self._sizes_pad[col_choice, cats]
+            draws = rng.integers(0, self._highs_pad[col_choice, cats])
+            starts = self._starts_pad[col_choice, cats] + self._pool_offsets[col_choice]
+            cond[np.arange(batch_size), self.offsets[col_choice] + cats] = 1.0
+            if self._all_pools.size:
+                picks = self._all_pools[np.minimum(starts + draws, self._all_pools.size - 1)]
+                row_choice = np.where(sizes > 0, picks, draws)
+            else:
+                row_choice = draws
+            return cond, col_choice, cats.astype(np.int64), row_choice
         # Group the batch rows by conditioned column once (stable sort keeps
         # the ascending row order of the historical per-column masks); the
         # per-column loop below then only performs the RNG draws — which must
@@ -298,6 +568,9 @@ class CTABGANPlusSurrogate(Surrogate):
         self._encoder = _ModeSpecificEncoder(cfg.gmm_components, seed_int).fit(table)
         encoded = self._encoder.transform(table, rng)
         self._activation_layout = self._output_layout()
+        # The sampler is derived from the encoder layout; a refit must not
+        # keep one built against the previous table's blocks.
+        self._block_sampler = None
         cat_layout = self._encoder.categorical_layout
         self._condition_layout = BlockLayout(
             [(start, start + width) for _name, start, width in cat_layout]
@@ -329,6 +602,7 @@ class CTABGANPlusSurrogate(Surrogate):
 
         n = encoded.shape[0]
         steps_per_epoch = max(1, n // cfg.batch_size)
+        condition_mode = getattr(cfg, "condition_mode", "exact")
         history: List[Dict[str, float]] = []
         ones = None
         zeros = None
@@ -338,7 +612,9 @@ class CTABGANPlusSurrogate(Surrogate):
             for _ in range(steps_per_epoch):
                 # -- discriminator update(s) -------------------------------------
                 for _ in range(cfg.discriminator_steps):
-                    cond, col_c, cat_c, row_c = self._condition.sample(cfg.batch_size, rng)
+                    cond, col_c, cat_c, row_c = self._condition.sample(
+                        cfg.batch_size, rng, mode=condition_mode
+                    )
                     real = encoded[row_c]
                     noise = rng.standard_normal((cfg.batch_size, cfg.noise_dim))
                     with no_grad():
@@ -359,7 +635,9 @@ class CTABGANPlusSurrogate(Surrogate):
                     d_loss_value += d_loss.item()
 
                 # -- generator update ----------------------------------------------
-                cond, col_c, cat_c, _rows = self._condition.sample(cfg.batch_size, rng)
+                cond, col_c, cat_c, _rows = self._condition.sample(
+                    cfg.batch_size, rng, mode=condition_mode
+                )
                 noise = rng.standard_normal((cfg.batch_size, cfg.noise_dim))
                 fake_raw = self._generator(Tensor(np.concatenate([noise, cond], axis=1)))
                 fake = self._activate_generator_output(fake_raw)
@@ -389,36 +667,60 @@ class CTABGANPlusSurrogate(Surrogate):
 
     # -- sampling -------------------------------------------------------------------------
     def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+        """Generate ``n`` rows, bit-identical to the historical sampling loop.
+
+        In the default (``"exact"``) condition mode the generator still runs
+        per batch — its matmul shapes, and the condition/noise draw stream,
+        define the bits — but everything after the raw logits collapses: the
+        historical activate → harden → argmax-decode chain only ever exposed
+        the drawn categories and the tanh'd alpha columns, so the blocks'
+        category codes are drawn straight from the stacked raw logits
+        (:class:`_SoftmaxBlockSampler`, bit- and stream-identical) and the
+        table is decoded from codes plus alphas without materialising the
+        activated or hardened matrices.  In the relaxed ``"fast"`` mode the
+        stream contract is already waived, so the whole batch additionally
+        runs through one generator forward pass.
+        """
         self._require_fitted()
         cfg = self.config
         rng = as_rng(seed)
         self._generator.eval()
         outputs: List[np.ndarray] = []
         remaining = n
+        condition_mode = getattr(cfg, "condition_mode", "exact")
+        # The relaxed mode has no stream contract, so it generates in a few
+        # maximal forward passes (capped to bound peak activation memory);
+        # the exact mode keeps the per-``batch_size`` loop that defines the
+        # historical bits.
+        fast_batch = 65_536
         with no_grad():
             while remaining > 0:
-                batch = min(cfg.batch_size, remaining)
-                cond, _, _, _ = self._condition.sample(batch, rng)
+                batch = (
+                    min(fast_batch, remaining)
+                    if condition_mode == "fast"
+                    else min(cfg.batch_size, remaining)
+                )
+                cond, _, _, _ = self._condition.sample(batch, rng, mode=condition_mode)
                 noise = rng.standard_normal((batch, cfg.noise_dim))
                 raw = self._generator(Tensor(np.concatenate([noise, cond], axis=1)))
-                activated = self._activate_generator_output(raw).numpy()
-                outputs.append(activated)
+                outputs.append(raw.numpy())
                 remaining -= batch
         self._generator.train()
-        matrix = np.concatenate(outputs, axis=0)
-        # Harden the one-hot blocks by sampling from the softmax probabilities.
-        hardened = matrix.copy()
-        for name, kind, start, width in self._encoder.layout:
-            block_start = start + 1 if kind == ColumnKind.NUMERICAL.value else start
-            block_width = width - 1 if kind == ColumnKind.NUMERICAL.value else width
-            if block_width <= 0:
-                continue
-            probs = matrix[:, block_start : block_start + block_width]
-            probs = probs / np.maximum(probs.sum(axis=1, keepdims=True), 1e-12)
-            cumulative = np.cumsum(probs, axis=1)
-            draws = rng.random((matrix.shape[0], 1))
-            chosen = (draws < cumulative).argmax(axis=1)
-            onehot = np.zeros_like(probs)
-            onehot[np.arange(matrix.shape[0]), chosen] = 1.0
-            hardened[:, block_start : block_start + block_width] = onehot
-        return self._encoder.inverse_transform(hardened, self.schema_, rng)
+        raw_matrix = (
+            outputs[0] if len(outputs) == 1
+            else np.concatenate(outputs, axis=0) if outputs
+            else np.empty((0, self._encoder.n_features))
+        )
+        sampler = getattr(self, "_block_sampler", None)
+        if sampler is None:
+            spans = []
+            for _name, kind, start, width in self._encoder.layout:
+                if kind == ColumnKind.NUMERICAL.value:
+                    spans.append((start + 1, start + width))
+                else:
+                    spans.append((start, start + width))
+            sampler = self._block_sampler = _SoftmaxBlockSampler(spans)
+        codes = sampler.sample_codes(raw_matrix, rng)
+        tanh_cols, _softmax_layout = self._activation_layout
+        alphas = np.tanh(raw_matrix[:, tanh_cols])
+        return self._encoder.decode_sampled(alphas, codes, self.schema_)

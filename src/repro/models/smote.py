@@ -16,7 +16,7 @@ privacy (lowest DCR) — exactly the trade-off the paper reports.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 from scipy.spatial import cKDTree

@@ -8,11 +8,12 @@ block and the per-column x0 logits for the categorical blocks.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.nn import MLP, Module, Tensor
+from repro.nn.tensor import is_grad_enabled
 from repro.utils.rng import SeedLike
 
 
@@ -62,7 +63,44 @@ class MLPDenoiser(Module):
             seed=seed,
         )
 
+    def _ensure_inference_buffer(self, n: int) -> np.ndarray:
+        buffer = getattr(self, "_inference_buffer", None)
+        if buffer is None or buffer.shape[0] != n:
+            buffer = np.empty((n, self.n_features + self.time_embedding_dim))
+            self._inference_buffer = buffer
+        return buffer
+
+    def serving_state(self, n: int) -> np.ndarray:
+        """A zeroed ``(n, n_features)`` state view inside the inference buffer.
+
+        Samplers that write the evolving state directly into this view save
+        one full copy per denoiser call: :meth:`forward` detects the aliasing
+        and skips the staging copy (the input values are identical either
+        way).
+        """
+        view = self._ensure_inference_buffer(n)[:, : self.n_features]
+        view[:] = 0.0
+        return view
+
     def forward(self, x_t: Tensor, t: np.ndarray) -> Tensor:
+        t_arr = np.asarray(t)
+        if (
+            not is_grad_enabled()
+            and t_arr.ndim == 1
+            and t_arr.size > 1
+            and (t_arr == t_arr[0]).all()
+        ):
+            # Ancestral sampling calls the denoiser with one shared timestep:
+            # the sinusoidal embedding is the same row for every sample, so it
+            # is computed once and broadcast into a reused input buffer (the
+            # embedding is a pure per-row function — values are identical to
+            # the full per-row computation and concatenation).
+            n = x_t.data.shape[0]
+            buffer = self._ensure_inference_buffer(n)
+            if x_t.data.base is not buffer:
+                buffer[:, : self.n_features] = x_t.data
+            buffer[:, self.n_features :] = timestep_embedding(t_arr[:1], self.time_embedding_dim)
+            return self.net(Tensor(buffer))
         emb = timestep_embedding(t, self.time_embedding_dim)
         inputs = Tensor.concat([x_t, Tensor(emb)], axis=1)
         return self.net(inputs)

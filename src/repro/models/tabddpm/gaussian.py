@@ -9,7 +9,7 @@ the loss needs gradients, and that is handled by the caller.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ cross-entropy, as in the reference implementation's simplified objective.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -162,19 +162,26 @@ class TabDDPMSurrogate(Surrogate):
             return self._denoiser(Tensor(state), t_vector).numpy()
 
     def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+        """Ancestral sampling with every categorical block denoised in one shot.
+
+        Each reverse step runs one batched cube pass
+        (:meth:`MultinomialBlockDiffusion.p_sample_into`) instead of a
+        per-block Python loop; the draw stream and every floating-point value
+        are bit-identical to the sequential per-block chain
+        (``tests/test_train_equivalence.py`` asserts the samples).
+        """
         self._require_fitted()
         cfg = self.config
         rng = as_rng(seed)
         self._denoiser.eval()
 
         num_idx = self._numerical_indices
-        n_features = self._encoder.n_features
-        state = np.zeros((n, n_features))
+        # The state lives inside the denoiser's inference buffer, so each
+        # denoising call reads it in place instead of staging a copy.
+        state = self._denoiser.serving_state(n)
         if num_idx.size:
             state[:, num_idx] = rng.standard_normal((n, num_idx.size))
-        for block, diffusion in self._multinomials:
-            uniform = np.full((n, block.width), 1.0 / block.width)
-            state[:, block.slice] = MultinomialDiffusion._sample_onehot(uniform, rng)
+        chosen = self._block_diffusion.prior_sample_into(state, rng)
 
         for t in reversed(range(cfg.n_timesteps)):
             t_vector = np.full(n, t, dtype=np.int64)
@@ -182,12 +189,9 @@ class TabDDPMSurrogate(Surrogate):
             if num_idx.size:
                 eps = prediction[:, num_idx]
                 state[:, num_idx] = self._gaussian.p_sample_step(state[:, num_idx], t, eps, rng)
-            for block, diffusion in self._multinomials:
-                logits = prediction[:, block.start : block.stop]
-                logits = logits - logits.max(axis=1, keepdims=True)
-                x0_probs = np.exp(logits)
-                x0_probs /= np.maximum(x0_probs.sum(axis=1, keepdims=True), 1e-12)
-                state[:, block.slice] = diffusion.p_sample_step(state[:, block.slice], t, x0_probs, rng)
+            chosen = self._block_diffusion.p_sample_into(
+                state, prediction, t, rng, prev_chosen=chosen
+            )
 
         self._denoiser.train()
         return self._encoder.inverse_transform(state)

@@ -13,7 +13,7 @@ reverse chain through the posterior evaluated at the predicted ``x_0``.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -134,6 +134,12 @@ class MultinomialBlockDiffusion:
       sequential per-block ``rng.random((rows, 1))`` calls.
     """
 
+    #: Blocks at least this wide take the per-block reverse path: NumPy's
+    #: pairwise summation starts at 8 elements, so only narrower blocks may
+    #: have their softmax/posterior sums re-expressed as sequential lane
+    #: accumulations without changing the rounding.
+    _LANE_WIDTH_LIMIT = 8
+
     def __init__(self, spans: Sequence[Tuple[int, int]], schedule: DiffusionSchedule):
         """``spans`` are the ``(start, stop)`` column ranges of the one-hot
         blocks inside the encoded matrix, in encoding order."""
@@ -156,6 +162,57 @@ class MultinomialBlockDiffusion:
             np.concatenate([np.arange(a, b, dtype=np.intp) for a, b in self.spans])
             if self.spans else np.empty(0, dtype=np.intp)
         )
+        # The reverse chain groups same-width narrow blocks so every step is a
+        # handful of unpadded ``(rows, blocks, width)`` lane operations; wide
+        # blocks (rare, e.g. a computing-site column) keep the per-block path,
+        # which is already efficient at their size.
+        self._width_groups: List[Tuple[int, np.ndarray, np.ndarray, List[np.ndarray]]] = []
+        for w in sorted({int(v) for v in widths if v < self._LANE_WIDTH_LIMIT}):
+            gidx = np.nonzero(widths == w)[0]
+            gcols = np.concatenate([np.arange(*self.spans[b], dtype=np.intp) for b in gidx])
+            lane_cols = [self.starts[gidx] + j for j in range(w)]
+            self._width_groups.append((w, gidx, gcols, lane_cols))
+        self._wide_blocks = [b for b in range(self.n_blocks)
+                             if widths[b] >= self._LANE_WIDTH_LIMIT]
+        # Zeroing the one-hot columns is a cheap slice write when they tile a
+        # contiguous range of the encoded matrix (the common layout).
+        if self.columns.size and np.array_equal(
+            self.columns, np.arange(self.columns[0], self.columns[-1] + 1)
+        ):
+            self._col_span: Optional[Tuple[int, int]] = (int(self.columns[0]), int(self.columns[-1]) + 1)
+        else:
+            self._col_span = None
+        #: reverse-step scratch buffers, keyed by (width, blocks, chunk rows)
+        self._buffers: dict = {}
+
+    def _group_scratch(self, w: int, m: int, nc: int) -> dict:
+        # Lane-major (width, rows, blocks) scratch: every per-lane operation
+        # runs over a fully contiguous (rows, blocks) plane, avoiding NumPy's
+        # slow tiny-inner-axis loops.
+        key = (w, m, nc)
+        scratch = self._buffers.get(key)
+        if scratch is None:
+            if len(self._buffers) >= 16:
+                # Serving loops that vary the sample size would otherwise
+                # accumulate one buffer set per distinct chunk shape forever.
+                self._buffers.clear()
+            scratch = {
+                "g": np.empty((w, nc, m)),
+                "fx": np.empty((w, nc, m)),
+                "mx": np.empty((nc, m)),
+                "tot": np.empty((nc, m)),
+                "dg": np.empty((nc, m)),
+                "cnt": np.empty((nc, m), dtype=np.intp),
+                "flat": np.arange(nc * m).reshape(nc, m),
+            }
+            self._buffers[key] = scratch
+        return scratch
+
+    def _zero_blocks(self, out: np.ndarray) -> None:
+        if self._col_span is not None:
+            out[:, self._col_span[0] : self._col_span[1]] = 0.0
+        else:
+            out[:, self.columns] = 0.0
 
     def q_sample_into(
         self,
@@ -181,3 +238,216 @@ class MultinomialBlockDiffusion:
         chosen = (draws < cumulative).argmax(axis=2)
         out[:, self.columns] = 0.0
         out[np.arange(n)[:, None], self.starts[None, :] + chosen] = 1.0
+
+    # -- batched reverse chain ---------------------------------------------------
+
+    def chosen_from(self, state: np.ndarray) -> np.ndarray:
+        """Category index of every one-hot block in ``state``, shape ``(n, B)``."""
+        n = state.shape[0]
+        chosen = np.empty((n, self.n_blocks), dtype=np.intp)
+        for w, gidx, gcols, _lane_cols in self._width_groups:
+            seg = np.take(state, gcols, axis=1).reshape(n, gidx.size, w)
+            chosen[:, gidx] = np.argmax(seg, axis=2)
+        for b in self._wide_blocks:
+            start, stop = self.spans[b]
+            chosen[:, b] = np.argmax(state[:, start:stop], axis=1)
+        return chosen
+
+    def prior_sample_into(self, out: np.ndarray, rng: np.random.Generator) -> Optional[np.ndarray]:
+        """Uniform-prior one-hot init of every block, in place on ``out``.
+
+        Bit- and stream-identical to looping the blocks and drawing each from
+        ``MultinomialDiffusion._sample_onehot(np.full((n, K), 1 / K), rng)``:
+        the per-block uniform CDF row is the same for every data row, so one
+        ``searchsorted`` over the shared row replaces the cumulative compare,
+        and ``rng.random((blocks, rows))`` consumes the stream in the order of
+        the sequential per-block ``rng.random((rows, 1))`` calls.  Returns the
+        chosen category matrix for :meth:`p_sample_into`.
+        """
+        if not self.n_blocks:
+            return None
+        n = out.shape[0]
+        draws = rng.random((self.n_blocks, n))
+        chosen = np.empty((n, self.n_blocks), dtype=np.intp)
+        for width in sorted(set(int(v) for v in self.widths)):
+            # Same CDF row as the seed per-block path (cumsum of 1/K then a
+            # normalising division) shared by every block of this width.
+            cdf = np.cumsum(np.full(width, 1.0 / width))
+            cdf /= np.maximum(cdf[-1:], 1e-12)
+            # (draw < cdf).argmax == count of cdf entries <= draw: the CDF is
+            # increasing and its last entry is exactly 1.0 > draw.
+            blocks = np.nonzero(self.widths == width)[0]
+            idx = np.searchsorted(cdf[:-1], draws[blocks], side="right")
+            chosen[:, blocks] = idx.T
+        self._zero_blocks(out)
+        out[np.arange(n)[:, None], self.starts[None, :] + chosen] = 1.0
+        return chosen
+
+    def p_sample_into(
+        self,
+        out: np.ndarray,
+        prediction: np.ndarray,
+        t: int,
+        rng: np.random.Generator,
+        prev_chosen: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """One reverse step for every block at once, in place on ``out``.
+
+        Bit- and stream-identical to the sequential per-block chain (softmax
+        of the block logits, posterior at the predicted ``x0``, categorical
+        draw).  Same-width narrow blocks are processed as one unpadded
+        ``(rows, blocks, width)`` segment whose reductions run lane by lane —
+        NumPy sums fewer than 8 elements sequentially, so the accumulation
+        order (and rounding) matches the per-block ``sum(axis=1)`` exactly;
+        maxima are order-insensitive.  ``x_t`` enters the posterior only
+        through ``alpha * x_t + beta`` with one-hot ``x_t``, which is
+        reproduced exactly by filling ``beta`` and scattering ``alpha + beta``
+        at the previously chosen categories (``alpha * 0 + beta`` and
+        ``alpha * 1 + beta`` round to precisely those values).  Wide blocks
+        keep the verbatim per-block computation; one ``(blocks, rows)``
+        uniform matrix feeds every block in block order, preserving the seed
+        stream of sequential ``rng.random((rows, 1))`` draws.
+
+        ``prev_chosen`` is the matrix returned by the previous step (or
+        :meth:`prior_sample_into`); passing it asserts that the blocks of
+        ``out`` are exactly one-hot at those positions (which also lets the
+        final rewrite clear just those entries).  When omitted it is
+        recovered from ``out`` and the blocks are cleared in full.  Returns
+        the new chosen matrix.
+        """
+        if not self.n_blocks:
+            return None
+        n = out.shape[0]
+        # When the caller supplies ``prev_chosen`` the blocks of ``out`` are
+        # known to be exactly one-hot at those positions, so clearing them is
+        # two scatters instead of a full rewrite of every block column.
+        onehot_prev = prev_chosen is not None
+        if prev_chosen is None and t != 0 and self._width_groups:
+            prev_chosen = self.chosen_from(out)
+        draws = rng.random((self.n_blocks, n))
+        chosen = np.empty((n, self.n_blocks), dtype=np.intp)
+        # Every operation below is strictly row-wise, so processing the rows
+        # in cache-sized chunks changes no value — it just keeps the ~17
+        # passes over the block segment in cache instead of main memory.
+        chunk = max(1, (1 << 22) // max(8 * self.columns.size, 1))
+        if n > chunk:
+            # Balance the chunks so no degenerate tail chunk is left over.
+            chunk = -(-n // (-(-n // chunk)))
+        for r0 in range(0, n, chunk):
+            r1 = min(n, r0 + chunk)
+            self._p_sample_chunk(
+                out[r0:r1],
+                prediction[r0:r1],
+                t,
+                draws[:, r0:r1],
+                None if prev_chosen is None else prev_chosen[r0:r1],
+                chosen[r0:r1],
+                onehot_prev,
+            )
+        return chosen
+
+    def _p_sample_chunk(
+        self,
+        out: np.ndarray,
+        prediction: np.ndarray,
+        t: int,
+        draws: np.ndarray,
+        prev_chosen: Optional[np.ndarray],
+        chosen: np.ndarray,
+        onehot_prev: bool = False,
+    ) -> None:
+        n = out.shape[0]
+        sched = self.schedule
+        rows = np.arange(n)[:, None]
+
+        for w, gidx, _gcols, lane_cols in self._width_groups:
+            m = gidx.size
+            s = self._group_scratch(w, m, n)
+            g, mx, tot, dg, cnt = s["g"], s["mx"], s["tot"], s["dg"], s["cnt"]
+            for j in range(w):
+                np.take(prediction, lane_cols[j], axis=1, out=g[j])
+            # Blockwise softmax of the x0 logits (lane planes are contiguous;
+            # plane-sequential sums match the per-block ``sum(axis=1)`` of
+            # fewer than 8 elements bit for bit, maxima in any order).
+            np.copyto(mx, g[0])
+            for j in range(1, w):
+                np.maximum(mx, g[j], out=mx)
+            for j in range(w):
+                np.subtract(g[j], mx, out=g[j])
+            np.exp(g, out=g)
+            np.copyto(tot, g[0])
+            for j in range(1, w):
+                np.add(tot, g[j], out=tot)
+            np.maximum(tot, 1e-12, out=tot)
+            for j in range(w):
+                np.divide(g[j], tot, out=g[j])
+            if t == 0:
+                np.copyto(tot, g[0])
+                for j in range(1, w):
+                    np.add(tot, g[j], out=tot)
+                np.maximum(tot, 1e-12, out=tot)
+                for j in range(w):
+                    np.divide(g[j], tot, out=g[j])
+            else:
+                alpha_t = float(sched.alphas[t])
+                alpha_bar_prev = float(sched.alphas_bar_prev[t])
+                beta = (1.0 - alpha_t) / w
+                factor_xt = s["fx"]
+                factor_xt.fill(beta)
+                flat = prev_chosen[:, gidx] * (n * m) + s["flat"]
+                factor_xt.ravel()[flat.ravel()] = alpha_t * 1.0 + beta
+                np.multiply(g, alpha_bar_prev, out=g)
+                np.add(g, (1.0 - alpha_bar_prev) / w, out=g)
+                np.multiply(g, factor_xt, out=g)
+                np.copyto(tot, g[0])
+                for j in range(1, w):
+                    np.add(tot, g[j], out=tot)
+                np.maximum(tot, 1e-12, out=tot)
+                for j in range(w):
+                    np.divide(g[j], tot, out=g[j])
+            # Categorical draw: in-lane cumulative sums, normalise by the last
+            # lane, then count CDF entries <= draw (== first-True argmax; the
+            # all-False degenerate case falls back to index 0 like argmax, and
+            # only exists when a lane's probability mass underflows 1e-12).
+            for j in range(1, w):
+                np.add(g[j], g[j - 1], out=g[j])
+            degenerate = not (g[w - 1] >= 1e-12).all()
+            np.maximum(g[w - 1], 1e-12, out=mx)
+            for j in range(w):
+                np.divide(g[j], mx, out=g[j])
+            np.copyto(dg, draws[gidx].T)
+            np.less_equal(g[0], dg, out=cnt, casting="unsafe")
+            for j in range(1, w - 1):
+                np.add(cnt, g[j] <= dg, out=cnt, casting="unsafe")
+            if degenerate:
+                # Rows whose normalised CDF tops out below the draw: argmax of
+                # an all-False comparison is 0.
+                chosen[:, gidx] = np.where(g[w - 1] <= dg, 0, cnt)
+            else:
+                chosen[:, gidx] = cnt
+
+        for b in self._wide_blocks:
+            start, stop = self.spans[b]
+            n_categories = stop - start
+            logits = prediction[:, start:stop]
+            logits = logits - logits.max(axis=1, keepdims=True)
+            x0_probs = np.exp(logits)
+            x0_probs /= np.maximum(x0_probs.sum(axis=1, keepdims=True), 1e-12)
+            if t == 0:
+                probs = x0_probs / np.maximum(x0_probs.sum(axis=1, keepdims=True), 1e-12)
+            else:
+                alpha_t = float(sched.alphas[t])
+                alpha_bar_prev = float(sched.alphas_bar_prev[t])
+                factor_xt = alpha_t * out[:, start:stop] + (1.0 - alpha_t) / n_categories
+                factor_x0 = alpha_bar_prev * x0_probs + (1.0 - alpha_bar_prev) / n_categories
+                probs = factor_xt * factor_x0
+                probs = probs / np.maximum(probs.sum(axis=1, keepdims=True), 1e-12)
+            cumulative = np.cumsum(probs, axis=1)
+            cumulative /= np.maximum(cumulative[:, -1:], 1e-12)
+            chosen[:, b] = (draws[b][:, None] < cumulative).argmax(axis=1)
+
+        if onehot_prev:
+            out[rows, self.starts[None, :] + prev_chosen] = 0.0
+        else:
+            self._zero_blocks(out)
+        out[rows, self.starts[None, :] + chosen] = 1.0

@@ -16,7 +16,7 @@ diversity instead of collapsing to the arg-max category.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -6,7 +6,7 @@ summed/weighted and backpropagated directly.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

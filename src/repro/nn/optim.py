@@ -9,7 +9,7 @@ and ablations, along with global-norm gradient clipping.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

@@ -16,7 +16,7 @@ per-dataset file counts and byte sizes with heavy tails.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

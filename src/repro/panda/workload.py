@@ -8,12 +8,9 @@ sample realistic CPU times given the input size and data type.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
-
-from repro.panda.sites import SiteCatalog
-from repro.utils.rng import SeedLike, as_rng
 
 
 def hs23_workload(

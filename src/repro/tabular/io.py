@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.tabular.schema import ColumnKind, TableSchema
+from repro.tabular.schema import TableSchema
 from repro.tabular.table import Table
 
 PathLike = Union[str, Path]

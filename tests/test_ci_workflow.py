@@ -1,0 +1,78 @@
+"""Validate the hosted CI pipeline definition.
+
+The workflow file is executable configuration: a malformed document or a
+renamed job silently disables the test/perf/lint gates, so tier-1 keeps a
+structural check on it.  PyYAML is optional everywhere else, hence the
+import guard.
+"""
+
+import os
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+WORKFLOW = os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with open(WORKFLOW, "r", encoding="utf-8") as fh:
+        document = yaml.safe_load(fh)
+    assert isinstance(document, dict)
+    return document
+
+
+class TestWorkflowDocument:
+    def test_file_exists(self):
+        assert os.path.exists(WORKFLOW)
+
+    def test_triggers_on_push_and_pull_request(self, workflow):
+        # PyYAML parses the bare `on:` key as boolean True.
+        triggers = workflow.get("on", workflow.get(True))
+        assert "pull_request" in triggers
+        assert "push" in triggers
+
+    def test_has_separate_lint_test_and_perf_jobs(self, workflow):
+        jobs = workflow["jobs"]
+        assert {"lint", "tests", "perf-gate"} <= set(jobs)
+
+    def test_test_job_runs_python_matrix(self, workflow):
+        matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
+        assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+
+    def test_test_job_runs_pytest(self, workflow):
+        steps = workflow["jobs"]["tests"]["steps"]
+        commands = " ".join(step.get("run", "") for step in steps)
+        assert "pytest" in commands
+
+    def test_perf_gate_runs_benchmarks_ci_with_loose_factor(self, workflow):
+        steps = workflow["jobs"]["perf-gate"]["steps"]
+        commands = " ".join(step.get("run", "") for step in steps)
+        assert "benchmarks.ci" in commands
+        assert "--factor" in commands
+
+    def test_perf_gate_writes_job_summary(self, workflow):
+        steps = workflow["jobs"]["perf-gate"]["steps"]
+        commands = " ".join(step.get("run", "") for step in steps)
+        assert "GITHUB_STEP_SUMMARY" in commands
+
+    def test_lint_job_runs_ruff_check_and_format(self, workflow):
+        steps = workflow["jobs"]["lint"]["steps"]
+        commands = " ".join(step.get("run", "") for step in steps)
+        assert "ruff check" in commands
+        assert "ruff format --check" in commands
+
+    def test_jobs_use_pip_caching(self, workflow):
+        cached = 0
+        for job in workflow["jobs"].values():
+            for step in job["steps"]:
+                with_block = step.get("with") or {}
+                if with_block.get("cache") == "pip":
+                    cached += 1
+        assert cached >= 2
+
+    def test_requirements_file_exists(self):
+        path = os.path.join(REPO_ROOT, ".github", "workflows", "requirements-ci.txt")
+        assert os.path.exists(path)

@@ -7,7 +7,6 @@ invocation stays in the sub-second-to-few-seconds range.
 import json
 
 import numpy as np
-import pytest
 
 from repro.experiments.cli import main as cli_main
 

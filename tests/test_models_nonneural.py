@@ -7,7 +7,6 @@ import pytest
 from repro.metrics.distribution import mean_jsd, mean_wasserstein
 from repro.metrics.privacy import distance_to_closest_record
 from repro.models import available_surrogates, create_surrogate
-from repro.models.base import Surrogate
 from repro.models.gaussian_copula import GaussianCopulaSurrogate
 from repro.models.smote import SMOTESurrogate
 from repro.tabular.table import Table

@@ -10,8 +10,6 @@ from repro.nn import (
     LeakyReLU,
     Linear,
     MLP,
-    Module,
-    Parameter,
     ReLU,
     Residual,
     Sequential,

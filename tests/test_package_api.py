@@ -2,8 +2,6 @@
 
 import logging
 
-import pytest
-
 import repro
 from repro.utils.logging import get_logger, set_verbosity
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator
-from repro.panda.pipeline import FilteringPipeline, dataset_profile
+from repro.panda.pipeline import dataset_profile
 from repro.panda.records import (
     CATEGORICAL_FEATURES,
     JOB_STATUSES,

@@ -22,16 +22,19 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."
 
 from seed_baselines import (  # noqa: E402
     SeedFilteringPipeline,
+    SeedGaussianMixture,
     SeedGradientBoostingRegressor,
     SeedGridSimulator,
     SeedScanDataLocalityBroker,
     SeedScanLeastLoadedBroker,
     SeedWatermarkGridSimulator,
     seed_association_matrix,
+    seed_kmeans_1d,
 )
 
 from repro.boosting.gbdt import GradientBoostingRegressor  # noqa: E402
 from repro.metrics.correlation import association_matrix  # noqa: E402
+from repro.mixture.gmm import GaussianMixture, kmeans_1d  # noqa: E402
 from repro.metrics.privacy import nearest_record_distances  # noqa: E402
 from repro.panda.generator import GeneratorConfig, PandaWorkloadGenerator  # noqa: E402
 from repro.panda.pipeline import FilteringPipeline  # noqa: E402
@@ -193,3 +196,60 @@ class TestPrivacyChunking:
         full = nearest_record_distances(train, synth)
         chunked = nearest_record_distances(train, synth, chunk_size=7)
         np.testing.assert_array_equal(full, chunked)
+
+
+def _gmm_test_columns(n=4_000, seed=29):
+    """Column shapes spanning both GMM code paths: duplicate-compressed
+    (counts, rounded values, discrete grids) and the direct fallback
+    (continuous), plus the degenerate edges."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    return {
+        "counts": rng.poisson(30, n).astype(np.float64),
+        "rounded_lognormal": np.round(rng.lognormal(1.0, 0.8, n), 2),
+        "grid": rng.choice(np.round(np.linspace(0.1, 50.0, 257), 3), n),
+        "rounded_bimodal": np.round(
+            np.concatenate([rng.normal(-4.0, 0.5, half), rng.normal(4.0, 0.5, n - half)]), 1
+        ),
+        "continuous": np.concatenate([rng.normal(-2.0, 1.0, half), rng.lognormal(0.5, 0.7, n - half)]),
+        "tiny": rng.normal(size=40),
+        "constant": np.full(200, 7.5),
+        "three_values": rng.choice([1.0, 2.0, 7.25], n),
+    }
+
+
+class TestGaussianMixtureEquivalence:
+    """The duplicate-compressed GMM must be bit-identical to the seed EM."""
+
+    @pytest.mark.parametrize("column", sorted(_gmm_test_columns()))
+    def test_fit_parameters_bit_identical(self, column):
+        x = _gmm_test_columns()[column]
+        opt = GaussianMixture(8, seed=0).fit(x)
+        ref = SeedGaussianMixture(8, seed=0).fit(x)
+        np.testing.assert_array_equal(opt.params_.weights, ref.params_.weights)
+        np.testing.assert_array_equal(opt.params_.means, ref.params_.means)
+        np.testing.assert_array_equal(opt.params_.stds, ref.params_.stds)
+        assert opt.log_likelihood_ == ref.log_likelihood_
+        assert opt.n_iter_ == ref.n_iter_
+
+    @pytest.mark.parametrize("column", ["counts", "rounded_lognormal", "continuous"])
+    def test_kmeans_centres_bit_identical(self, column):
+        x = _gmm_test_columns()[column]
+        for k in (1, 3, 8):
+            np.testing.assert_array_equal(kmeans_1d(x, k), seed_kmeans_1d(x, k))
+
+    @pytest.mark.parametrize("column", ["counts", "rounded_lognormal", "continuous"])
+    def test_inference_bit_identical(self, column):
+        x = _gmm_test_columns()[column]
+        opt = GaussianMixture(6, seed=0).fit(x)
+        ref = SeedGaussianMixture(6, seed=0).fit(x)
+        np.testing.assert_array_equal(opt.responsibilities(x), ref.responsibilities(x))
+        comp_opt = opt.sample_component(x, np.random.default_rng(17))
+        comp_ref = ref.sample_component(x, np.random.default_rng(17))
+        np.testing.assert_array_equal(comp_opt, comp_ref)
+        np.testing.assert_array_equal(
+            opt.normalize(x, comp_opt), ref.normalize(x, comp_ref)
+        )
+        assert opt.log_likelihood(x) == SeedGaussianMixture._logsumexp(
+            ref._log_prob_components(x, ref.params_)
+        ).mean()

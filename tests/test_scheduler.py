@@ -5,7 +5,7 @@ import pytest
 
 from repro.panda.sites import SiteCatalog
 from repro.scheduler.broker import DataLocalityBroker, LeastLoadedBroker, RandomBroker, make_broker
-from repro.scheduler.cluster import GridCluster, SiteState
+from repro.scheduler.cluster import GridCluster
 from repro.scheduler.events import Event, EventQueue, EventType
 from repro.scheduler.jobs import SimulatedJob, jobs_from_table
 from repro.scheduler.simulator import GridSimulator, compare_workloads

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.tabular.mixed import MixedEncoder
-from repro.tabular.schema import TableSchema
-from repro.tabular.table import Table
 from repro.tabular.transforms import StandardScaler
 
 

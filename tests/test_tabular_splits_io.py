@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.tabular.io import read_csv, read_npz, write_csv, write_npz
-from repro.tabular.schema import TableSchema
 from repro.tabular.splits import kfold_indices, temporal_split, train_test_split
-from repro.tabular.table import Table
 
 
 class TestTrainTestSplit:

@@ -2,8 +2,6 @@
 
 import os
 
-import pytest
-
 from repro.utils.parallel import available_workers, parallel_map
 
 
