@@ -30,6 +30,31 @@ from repro.utils.profiling import BenchmarkRegistry  # noqa: E402
 
 BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_hotpaths.json")
 
+#: Every kernel the gate must see an ``optimized`` measurement for.  A fresh
+#: run that silently drops one of these (e.g. a refactor renames a kernel or
+#: skips the serving-mode benchmarks) fails the gate instead of shrinking its
+#: coverage.
+REQUIRED_KERNELS = frozenset(
+    {
+        "gbdt_fit",
+        "association_matrix",
+        "pipeline_funnel",
+        "simulator",
+        "train_tvae",
+        "train_ctabgan",
+        "train_tabddpm",
+        "broker_dispatch",
+        "gmm_fit",
+        "sample_tabddpm",
+        "sample_ctabgan",
+        # Relaxed serving-mode kernels (exact-mode baseline; see
+        # bench_hotpaths.bench_fast_sampling).
+        "sample_tabddpm_fast",
+        "sample_ctabgan_fast",
+        "sample_tvae_fast",
+    }
+)
+
 
 def compare(
     fresh: BenchmarkRegistry, baseline: BenchmarkRegistry, *, threshold: float
@@ -68,6 +93,11 @@ def compare(
             failures.append((rec.kernel, rec.size, ratio))
     if checked == 0:
         print("  [error] no comparable measurements found")
+        return 1
+    measured = {rec.kernel for rec in fresh.records if rec.variant == "optimized"}
+    missing = sorted(REQUIRED_KERNELS - measured)
+    if missing:
+        print(f"perf gate: fresh run is missing required kernel(s): {', '.join(missing)}")
         return 1
     if failures:
         worst = max(failures, key=lambda item: item[2])

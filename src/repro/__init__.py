@@ -69,6 +69,30 @@ The hottest loops run through a vectorized engine:
   (``tests/test_sampling_equivalence.py``), with a documented relaxed
   ``condition_mode="fast"`` for pure serving throughput.
 
+Serving modes
+-------------
+Every surrogate's ``sample`` accepts ``sampling_mode="exact"|"fast"``:
+
+* **exact** (default) — bit-identical to the seed implementation for a fixed
+  seed; the mode experiments and paper artefacts use.
+* **fast** — the relaxed serving mode: the same fitted model and the same
+  output *distribution* (KS / chi-squared-validated against exact-mode
+  samples in ``tests/test_serving_modes.py``), but a different RNG stream
+  and float32 pre-packed network forwards
+  (:class:`repro.nn.serving.PackedForward`).  TabDDPM serves its denoiser
+  through a float32 weight cache and a padded lane-plane posterior kernel;
+  CTABGAN+/TVAE run request-sized fused generator/decoder forwards freed
+  from the training batch size; SMOTE and the Gaussian copula (already
+  single-pass) fall back to their exact path.
+
+``Surrogate.sample_batches(n, chunk_size)`` streams a request of any size in
+bounded-memory chunks (one ``SeedSequence`` child stream per chunk), so
+million-row serving requests never materialise at once.  Degenerate inputs —
+constant numerical columns, single-category columns, ``sample(0)``,
+3-row training tables — are first-class: ``tests/test_degenerate_inputs.py``
+runs every surrogate and the metrics layer over them with RuntimeWarnings
+promoted to errors.
+
 ``benchmarks/bench_hotpaths.py`` times every kernel against the seed
 implementation at two problem sizes and writes ``BENCH_hotpaths.json``;
 ``benchmarks/check_regression.py`` fails when a kernel regresses more than 2x

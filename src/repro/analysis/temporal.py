@@ -98,6 +98,21 @@ def weekly_profile(times_days: np.ndarray, *, bins_per_day: int = 4) -> np.ndarr
     return counts / mean
 
 
+def _profile_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Correlation of two weekly profiles, 0.0 when either is degenerate.
+
+    A constant profile (a perfectly flat workload, or one too small to show
+    weekly structure) has zero variance, for which ``np.corrcoef`` would emit
+    a RuntimeWarning and return NaN.  No weekly structure means nothing to
+    correlate, so the degenerate result is defined as 0.0.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size < 2 or a.std() == 0.0 or b.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
 @dataclass
 class TemporalProfile:
     """Summary of a job stream's temporal structure."""
@@ -131,7 +146,7 @@ def compare_temporal_profiles(
     real_profile = TemporalProfile.from_times(np.asarray(real[time_column], dtype=np.float64))
     synth_profile = TemporalProfile.from_times(np.asarray(synthetic[time_column], dtype=np.float64))
 
-    weekly_corr = float(np.corrcoef(real_profile.weekly_profile, synth_profile.weekly_profile)[0, 1])
+    weekly_corr = _profile_correlation(real_profile.weekly_profile, synth_profile.weekly_profile)
     suppression_gap = abs(real_profile.weekend_suppression - synth_profile.weekend_suppression)
     real_top = real_profile.dominant_periods_days[0]
     synth_top = synth_profile.dominant_periods_days[0]

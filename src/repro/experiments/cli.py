@@ -69,6 +69,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
     parser.add_argument("--models", nargs="+", default=None, help="subset of models to run")
     parser.add_argument("--no-mlef", action="store_true", help="skip the costly efficacy metric")
+    parser.add_argument(
+        "--sampling-mode",
+        choices=("exact", "fast"),
+        default="exact",
+        help="generation path for table1: 'exact' is bit-reproducible, 'fast' "
+        "is the relaxed serving mode (same distribution, float32 fused "
+        "forwards, different RNG stream)",
+    )
     parser.add_argument("--which", nargs="+", default=None, help="ablation sweeps to run")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     parser.add_argument("--verbose", action="store_true")
@@ -78,7 +86,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config = _make_config(args)
 
     if args.experiment == "table1":
-        result = run_table1(config, compute_mlef=not args.no_mlef, verbose=args.verbose)
+        result = run_table1(
+            config,
+            compute_mlef=not args.no_mlef,
+            verbose=args.verbose,
+            sampling_mode=args.sampling_mode,
+        )
         if args.json:
             payload = {
                 "scores": [s.as_dict() for s in result["scores"]],

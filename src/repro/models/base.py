@@ -6,20 +6,46 @@ Every generative model in :mod:`repro.models` derives from
 the same schema.  Persistence goes through :meth:`save`/:meth:`load` (pickle
 of the fitted object), which is sufficient for experiment pipelines that
 retrain from a seed anyway.
+
+Serving modes
+-------------
+``sample`` accepts ``sampling_mode="exact"`` (the default) or ``"fast"``:
+
+* **exact** — the historical generation path, bit-identical for a fixed seed
+  across releases (``tests/test_sampling_equivalence.py`` pins it against the
+  verbatim seed implementations).  Use it whenever reproducibility of the
+  byte stream matters: experiments, paper artefacts, regression baselines.
+* **fast** — the relaxed serving mode: the same fitted model and the same
+  output *distribution*, but a different RNG stream and reduced-precision
+  (float32) network forwards where that buys throughput.  Models without a
+  dedicated relaxed path fall back to the exact one, so ``"fast"`` is always
+  safe to request.  Fast-mode outputs are validated distributionally
+  (KS / chi-squared against exact-mode samples in
+  ``tests/test_serving_modes.py``), never bit-wise.
+
+:meth:`sample_batches` is the streaming companion for serving-scale requests:
+it yields the ``n`` requested rows as tables of at most ``chunk_size`` rows,
+so a million-row request generates in cache-sized pieces with bounded peak
+memory.  Each chunk draws from its own :class:`numpy.random.SeedSequence`
+child stream, so the result is deterministic given ``(seed, n, chunk_size)``
+but is not the concatenation of a single ``sample(n)`` stream.
 """
 
 from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import Optional, Type, TypeVar, Union
+from typing import Iterator, Optional, Tuple, Type, TypeVar, Union
 
 from repro.tabular.schema import TableSchema
 from repro.tabular.table import Table
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, spawn_rngs
 
 PathLike = Union[str, Path]
 S = TypeVar("S", bound="Surrogate")
+
+#: The serving modes understood by :meth:`Surrogate.sample`.
+SAMPLING_MODES: Tuple[str, ...] = ("exact", "fast")
 
 
 class Surrogate:
@@ -27,6 +53,12 @@ class Surrogate:
 
     #: Human-readable model name (matches the paper's Table I labels).
     name: str = "surrogate"
+
+    #: Attribute names of lazily-rebuilt serving caches (packed float32
+    #: weight snapshots, derived block samplers).  They are dropped from
+    #: pickles — every consumer rebuilds them with a ``getattr`` guard — so
+    #: saved models carry one copy of each network's weights, not two.
+    _TRANSIENT_ATTRS: Tuple[str, ...] = ()
 
     def __init__(self) -> None:
         self.schema_: Optional[TableSchema] = None
@@ -37,11 +69,83 @@ class Surrogate:
         """Fit the surrogate on a training table."""
         raise NotImplementedError
 
-    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
-        """Draw ``n`` synthetic records with the training schema."""
+    def sample(
+        self, n: int, *, seed: SeedLike = None, sampling_mode: str = "exact"
+    ) -> Table:
+        """Draw ``n`` synthetic records with the training schema.
+
+        ``sampling_mode="exact"`` (default) keeps the bit-reproducible
+        generation path; ``"fast"`` selects the relaxed serving path where the
+        model provides one (same distribution, different stream — see the
+        module docstring for the contract).
+        """
+        self._check_sample_request(n, sampling_mode)
+        if sampling_mode == "fast":
+            return self._sample_fast(n, seed=seed)
+        return self._sample_exact(n, seed=seed)
+
+    def sample_batches(
+        self,
+        n: int,
+        chunk_size: int,
+        *,
+        seed: SeedLike = None,
+        sampling_mode: str = "exact",
+    ) -> Iterator[Table]:
+        """Stream ``n`` synthetic rows as tables of at most ``chunk_size`` rows.
+
+        Bounded-memory serving API: each chunk is generated (and can be
+        consumed, written out or shipped) before the next one exists, so peak
+        memory scales with ``chunk_size`` rather than ``n``.  Chunk ``i``
+        samples from the ``i``-th :class:`numpy.random.SeedSequence` child of
+        ``seed`` — deterministic for a fixed ``(seed, n, chunk_size)``, but a
+        different stream from one monolithic ``sample(n)`` call.
+        """
+        self._check_sample_request(n, sampling_mode)
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        self._require_fitted()
+        n_chunks = -(-n // chunk_size) if n else 0
+        rngs = spawn_rngs(seed, n_chunks)
+
+        def _generate() -> Iterator[Table]:
+            remaining = n
+            for rng in rngs:
+                size = min(chunk_size, remaining)
+                yield self.sample(size, seed=rng, sampling_mode=sampling_mode)
+                remaining -= size
+
+        return _generate()
+
+    # -- mode implementations ----------------------------------------------------
+    def _sample_exact(self, n: int, *, seed: SeedLike = None) -> Table:
+        """The bit-reproducible sampling path (every surrogate provides it)."""
         raise NotImplementedError
 
+    def _sample_fast(self, n: int, *, seed: SeedLike = None) -> Table:
+        """The relaxed serving path; defaults to the exact one.
+
+        Single-pass statistical samplers (SMOTE, the Gaussian copula) are
+        already one vectorised shot per request, so their fast mode *is* the
+        exact mode; the deep surrogates override this with fused/float32
+        serving chains.
+        """
+        return self._sample_exact(n, seed=seed)
+
+    @property
+    def supports_fast_sampling(self) -> bool:
+        """Whether this surrogate has a dedicated relaxed serving path."""
+        return type(self)._sample_fast is not Surrogate._sample_fast
+
     # -- shared helpers ----------------------------------------------------------
+    def _check_sample_request(self, n: int, sampling_mode: str) -> None:
+        if sampling_mode not in SAMPLING_MODES:
+            raise ValueError(
+                f"unknown sampling mode {sampling_mode!r}; use one of {SAMPLING_MODES}"
+            )
+        if n < 0:
+            raise ValueError(f"cannot sample a negative number of rows ({n})")
+
     def _mark_fitted(self, table: Table) -> None:
         if len(table) == 0:
             raise ValueError(f"{type(self).__name__} cannot be fitted on an empty table")
@@ -63,6 +167,12 @@ class Surrogate:
         return f"{type(self).__name__}({state})"
 
     # -- persistence --------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for attr in self._TRANSIENT_ATTRS:
+            state.pop(attr, None)
+        return state
+
     def save(self, path: PathLike) -> None:
         """Serialise the fitted surrogate to ``path`` (pickle)."""
         path = Path(path)

@@ -34,6 +34,7 @@ from repro.nn import (
     Adam,
     BlockLayout,
     MLP,
+    PackedForward,
     Tensor,
     bce_with_logits,
     clip_grad_norm,
@@ -139,8 +140,10 @@ class _SoftmaxBlockSampler:
         self._wide = [b for b in range(self.n_blocks) if self.widths[b] >= self._LANE_WIDTH_LIMIT]
         self._buffers: Dict[Tuple[int, int, int], Dict[str, np.ndarray]] = {}
 
-    def _scratch(self, w: int, m: int, nc: int) -> Dict[str, np.ndarray]:
-        key = (w, m, nc)
+    def _scratch(self, w: int, m: int, nc: int, dtype: np.dtype) -> Dict[str, np.ndarray]:
+        # Scratch dtype follows the raw logits': float64 on the exact path,
+        # float32 on the relaxed serving path (half the bandwidth per pass).
+        key = (w, m, nc, dtype)
         scratch = self._buffers.get(key)
         if scratch is None:
             if len(self._buffers) >= 16:
@@ -148,11 +151,11 @@ class _SoftmaxBlockSampler:
                 # would otherwise accumulate buffers per distinct chunk shape.
                 self._buffers.clear()
             scratch = {
-                "g": np.empty((w, nc, m)),
-                "ex": np.empty((w, nc, m)),
-                "mx": np.empty((nc, m)),
-                "tot": np.empty((nc, m)),
-                "dg": np.empty((nc, m)),
+                "g": np.empty((w, nc, m), dtype=dtype),
+                "ex": np.empty((w, nc, m), dtype=dtype),
+                "mx": np.empty((nc, m), dtype=dtype),
+                "tot": np.empty((nc, m), dtype=dtype),
+                "dg": np.empty((nc, m), dtype=dtype),
                 "cnt": np.empty((nc, m), dtype=np.intp),
             }
             self._buffers[key] = scratch
@@ -177,7 +180,7 @@ class _SoftmaxBlockSampler:
         n = raw.shape[0]
         for w, gidx, lane_cols in self._groups:
             m = gidx.size
-            s = self._scratch(w, m, n)
+            s = self._scratch(w, m, n, raw.dtype)
             g, ex, mx, tot, dg, cnt = s["g"], s["ex"], s["mx"], s["tot"], s["dg"], s["cnt"]
             for j in range(w):
                 np.take(raw, lane_cols[j], axis=1, out=g[j])
@@ -220,6 +223,12 @@ class _SoftmaxBlockSampler:
             probs /= np.maximum(probs.sum(axis=1, keepdims=True), 1e-12)
             cumulative = np.cumsum(probs, axis=1)
             codes[:, b] = (draws[b][:, None] < cumulative).argmax(axis=1)
+
+    def __getstate__(self):
+        # Scratch buffers are request-sized; regrown on first use.
+        state = dict(self.__dict__)
+        state["_buffers"] = {}
+        return state
 
 
 class _ModeSpecificEncoder:
@@ -518,6 +527,7 @@ class CTABGANPlusSurrogate(Surrogate):
     """Conditional tabular GAN in the CTABGAN+ style."""
 
     name = "CTABGAN+"
+    _TRANSIENT_ATTRS = ("_packed_generator", "_block_sampler")
 
     def __init__(self, config: Optional[CTABGANConfig] = None, *, seed: SeedLike = 0) -> None:
         super().__init__()
@@ -568,9 +578,11 @@ class CTABGANPlusSurrogate(Surrogate):
         self._encoder = _ModeSpecificEncoder(cfg.gmm_components, seed_int).fit(table)
         encoded = self._encoder.transform(table, rng)
         self._activation_layout = self._output_layout()
-        # The sampler is derived from the encoder layout; a refit must not
-        # keep one built against the previous table's blocks.
+        # The sampler is derived from the encoder layout and the packed
+        # serving forward snapshots the generator weights; a refit must not
+        # keep either built against the previous fit.
         self._block_sampler = None
+        self._packed_generator = None
         cat_layout = self._encoder.categorical_layout
         self._condition_layout = BlockLayout(
             [(start, start + width) for _name, start, width in cat_layout]
@@ -666,7 +678,30 @@ class CTABGANPlusSurrogate(Surrogate):
         return self
 
     # -- sampling -------------------------------------------------------------------------
-    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+    #: Serving-mode forward chunk: bounds peak activation memory while keeping
+    #: the generator matmuls fused over request-sized batches.
+    _FAST_FORWARD_CHUNK = 65_536
+
+    def _ensure_block_sampler(self) -> _SoftmaxBlockSampler:
+        sampler = getattr(self, "_block_sampler", None)
+        if sampler is None:
+            spans = []
+            for _name, kind, start, width in self._encoder.layout:
+                if kind == ColumnKind.NUMERICAL.value:
+                    spans.append((start + 1, start + width))
+                else:
+                    spans.append((start, start + width))
+            sampler = self._block_sampler = _SoftmaxBlockSampler(spans)
+        return sampler
+
+    def _decode_raw(self, raw_matrix: np.ndarray, rng: np.random.Generator) -> Table:
+        """Decode a stacked raw-logit matrix into a table (shared by both modes)."""
+        codes = self._ensure_block_sampler().sample_codes(raw_matrix, rng)
+        tanh_cols, _softmax_layout = self._activation_layout
+        alphas = np.tanh(raw_matrix[:, tanh_cols])
+        return self._encoder.decode_sampled(alphas, codes, self.schema_)
+
+    def _sample_exact(self, n: int, *, seed: SeedLike = None) -> Table:
         """Generate ``n`` rows, bit-identical to the historical sampling loop.
 
         In the default (``"exact"``) condition mode the generator still runs
@@ -677,9 +712,10 @@ class CTABGANPlusSurrogate(Surrogate):
         category codes are drawn straight from the stacked raw logits
         (:class:`_SoftmaxBlockSampler`, bit- and stream-identical) and the
         table is decoded from codes plus alphas without materialising the
-        activated or hardened matrices.  In the relaxed ``"fast"`` mode the
-        stream contract is already waived, so the whole batch additionally
-        runs through one generator forward pass.
+        activated or hardened matrices.  When the model was *trained* with
+        the relaxed ``condition_mode="fast"`` the stream contract is already
+        waived, so the whole batch additionally runs through one generator
+        forward pass.
         """
         self._require_fitted()
         cfg = self.config
@@ -688,15 +724,14 @@ class CTABGANPlusSurrogate(Surrogate):
         outputs: List[np.ndarray] = []
         remaining = n
         condition_mode = getattr(cfg, "condition_mode", "exact")
-        # The relaxed mode has no stream contract, so it generates in a few
-        # maximal forward passes (capped to bound peak activation memory);
-        # the exact mode keeps the per-``batch_size`` loop that defines the
-        # historical bits.
-        fast_batch = 65_536
+        # The relaxed condition mode has no stream contract, so it generates
+        # in a few maximal forward passes (capped to bound peak activation
+        # memory); the exact mode keeps the per-``batch_size`` loop that
+        # defines the historical bits.
         with no_grad():
             while remaining > 0:
                 batch = (
-                    min(fast_batch, remaining)
+                    min(self._FAST_FORWARD_CHUNK, remaining)
                     if condition_mode == "fast"
                     else min(cfg.batch_size, remaining)
                 )
@@ -711,16 +746,32 @@ class CTABGANPlusSurrogate(Surrogate):
             else np.concatenate(outputs, axis=0) if outputs
             else np.empty((0, self._encoder.n_features))
         )
-        sampler = getattr(self, "_block_sampler", None)
-        if sampler is None:
-            spans = []
-            for _name, kind, start, width in self._encoder.layout:
-                if kind == ColumnKind.NUMERICAL.value:
-                    spans.append((start + 1, start + width))
-                else:
-                    spans.append((start, start + width))
-            sampler = self._block_sampler = _SoftmaxBlockSampler(spans)
-        codes = sampler.sample_codes(raw_matrix, rng)
-        tanh_cols, _softmax_layout = self._activation_layout
-        alphas = np.tanh(raw_matrix[:, tanh_cols])
-        return self._encoder.decode_sampled(alphas, codes, self.schema_)
+        return self._decode_raw(raw_matrix, rng)
+
+    def _sample_fast(self, n: int, *, seed: SeedLike = None) -> Table:
+        """Relaxed serving path: fused forwards freed from the training batch.
+
+        The condition vectors come from the batched ``condition_mode="fast"``
+        sampler regardless of how the model was trained, and each
+        request-sized chunk runs through a single pre-packed float32
+        generator forward (:class:`~repro.nn.serving.PackedForward`) instead
+        of the per-``batch_size`` float64 graph loop.  Distribution-identical
+        to the exact mode (KS / chi-squared tested), stream-different.
+        """
+        self._require_fitted()
+        cfg = self.config
+        rng = as_rng(seed)
+        packed = getattr(self, "_packed_generator", None)
+        if packed is None:
+            packed = self._packed_generator = PackedForward(self._generator, np.float32)
+        # The request matrix stays float32 end to end: the block sampler's
+        # scratch and the decode follow the logits' dtype.
+        raw_matrix = np.empty((n, self._encoder.n_features), dtype=np.float32)
+        for r0 in range(0, n, self._FAST_FORWARD_CHUNK):
+            batch = min(self._FAST_FORWARD_CHUNK, n - r0)
+            cond, _, _, _ = self._condition.sample(batch, rng, mode="fast")
+            noise = rng.standard_normal((batch, cfg.noise_dim))
+            # The forward returns a reused buffer; the store into the request
+            # matrix is the consuming copy.
+            raw_matrix[r0 : r0 + batch] = packed(np.concatenate([noise, cond], axis=1))
+        return self._decode_raw(raw_matrix, rng)

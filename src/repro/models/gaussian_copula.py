@@ -83,15 +83,37 @@ class GaussianCopulaSurrogate(Surrogate):
                 latent = self._categorical_to_latent(codes, cdf, rng)
             latents.append(latent)
         matrix = np.column_stack(latents)
-        corr = np.corrcoef(matrix, rowvar=False)
-        corr = np.atleast_2d(corr)
-        # Regularise to keep the covariance positive definite.
-        corr = corr + self.jitter * np.eye(corr.shape[0])
-        self._correlation_ = corr
+        self._correlation_ = self._repaired_correlation(matrix)
         return self
 
+    def _repaired_correlation(self, matrix: np.ndarray) -> np.ndarray:
+        """Latent correlation matrix that stays finite for degenerate columns.
+
+        A constant column (e.g. a constant numerical feature, whose quantile
+        latent is identically zero) has zero variance, for which
+        ``np.corrcoef`` emits a RuntimeWarning and fills its whole row/column
+        with NaN — NaN that the jitter regularisation cannot repair and that
+        the Cholesky sampler propagates into all-NaN samples.  Degenerate
+        columns carry no dependence information, so they are modelled as
+        independent: unit diagonal, zero off-diagonal, with ``np.corrcoef``
+        run only over the non-degenerate block (warning-free by
+        construction).  The marginal inverse transforms still map their
+        latents back to the constant value exactly.
+        """
+        dim = matrix.shape[1]
+        corr = np.eye(dim)
+        active = np.nonzero(matrix.std(axis=0) > 0.0)[0]
+        if active.size >= 2:
+            sub = np.atleast_2d(np.corrcoef(matrix[:, active], rowvar=False))
+            corr[np.ix_(active, active)] = sub
+        # Regularise to keep the covariance positive definite.
+        return corr + self.jitter * np.eye(dim)
+
     # -- sampling --------------------------------------------------------------------
-    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+    def _sample_exact(self, n: int, *, seed: SeedLike = None) -> Table:
+        # A single multivariate-normal draw plus vectorised marginal
+        # inversions — already serving-shaped, so the relaxed mode falls back
+        # to this path (see Surrogate._sample_fast).
         self._require_fitted()
         rng = as_rng(seed)
         dim = len(self._columns_)

@@ -82,7 +82,9 @@ class SMOTESurrogate(Surrogate):
         return self
 
     # -- sampling -----------------------------------------------------------------
-    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+    def _sample_exact(self, n: int, *, seed: SeedLike = None) -> Table:
+        # Already a single vectorised pass per request, so the relaxed
+        # serving mode falls back to this path (see Surrogate._sample_fast).
         self._require_fitted()
         rng = as_rng(seed)
         n_train = self._numerical.shape[0]

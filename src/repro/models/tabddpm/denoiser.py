@@ -12,7 +12,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.nn import MLP, Module, Tensor
+from repro.nn import MLP, Module, PackedForward, Tensor
+from repro.nn.serving import apply_activation
 from repro.nn.tensor import is_grad_enabled
 from repro.utils.rng import SeedLike
 
@@ -82,6 +83,22 @@ class MLPDenoiser(Module):
         view[:] = 0.0
         return view
 
+    def __getstate__(self):
+        # The inference buffer is sample-request-sized scratch; it is
+        # re-created on the next forward (the getattr guard above).
+        state = dict(self.__dict__)
+        state.pop("_inference_buffer", None)
+        return state
+
+    def packed(self, dtype=np.float32) -> "PackedDenoiser":
+        """A fresh reduced-precision serving forward of this denoiser.
+
+        Snapshot semantics: the returned cache packs the *current* weights
+        once and does not follow later training steps — owners rebuild it
+        after ``fit`` (see :class:`PackedDenoiser`).
+        """
+        return PackedDenoiser(self, dtype=dtype)
+
     def forward(self, x_t: Tensor, t: np.ndarray) -> Tensor:
         t_arr = np.asarray(t)
         if (
@@ -104,3 +121,80 @@ class MLPDenoiser(Module):
         emb = timestep_embedding(t, self.time_embedding_dim)
         inputs = Tensor.concat([x_t, Tensor(emb)], axis=1)
         return self.net(inputs)
+
+
+class PackedDenoiser:
+    """Reduced-precision serving forward of an :class:`MLPDenoiser`.
+
+    The denoiser's matmuls dominate TabDDPM sampling at serving batch sizes,
+    so the relaxed ``sampling_mode="fast"`` chain runs them through a
+    :class:`~repro.nn.serving.PackedForward` weight cache (float32 by
+    default) instead of the float64 autograd graph.
+
+    Ancestral sampling shares one timestep per step, so the sinusoidal
+    embedding is the *same row* for every sample — its contribution to the
+    first affine layer (``emb_row @ W_emb + bias``) is a constant vector per
+    ``t``, cached here.  Each call therefore multiplies only the state block
+    of the first layer's weights (skipping the embedding block's matmul
+    entirely) and adds the cached row.  The sampler state lives in a
+    contiguous buffer handed out by :meth:`serving_state`; :meth:`__call__`
+    returns the packed forward's reused output buffer — consume it before
+    the next step.
+    """
+
+    def __init__(self, denoiser: MLPDenoiser, dtype=np.float32) -> None:
+        self.dtype = np.dtype(dtype)
+        self.n_features = denoiser.n_features
+        self.time_embedding_dim = denoiser.time_embedding_dim
+        self.net = PackedForward(denoiser.net, dtype=dtype)
+        first_weight, first_bias, self._first_act, self._first_slope = self.net.layers[0]
+        self._w_state = np.ascontiguousarray(first_weight[: self.n_features])
+        self._w_emb = np.ascontiguousarray(first_weight[self.n_features :])
+        self._first_bias = first_bias
+        self._state_buffer: "np.ndarray | None" = None
+        self._first_out: "np.ndarray | None" = None
+        self._bias_rows: dict = {}
+
+    def serving_state(self, n: int) -> np.ndarray:
+        """A zeroed, contiguous ``(n, n_features)`` state buffer to sample in."""
+        buffer = self._state_buffer
+        if buffer is None or buffer.shape[0] != n:
+            buffer = np.zeros((n, self.n_features), dtype=self.dtype)
+            self._state_buffer = buffer
+        else:
+            buffer[:] = 0.0
+        return buffer
+
+    def _bias_row(self, t: int) -> np.ndarray:
+        row = self._bias_rows.get(t)
+        if row is None:
+            if len(self._bias_rows) >= 4096:
+                self._bias_rows.clear()
+            emb = timestep_embedding(np.asarray([t]), self.time_embedding_dim)
+            row = emb.astype(self.dtype) @ self._w_emb
+            if self._first_bias is not None:
+                row = row + self._first_bias
+            self._bias_rows[t] = row
+        return row
+
+    def __call__(self, state: np.ndarray, t: int) -> np.ndarray:
+        """Denoise ``state`` at shared timestep ``t``; returns a reused buffer."""
+        x = np.ascontiguousarray(state, dtype=self.dtype)
+        out = self._first_out
+        if out is None or out.shape[0] != x.shape[0]:
+            out = self._first_out = np.empty(
+                (x.shape[0], self._w_state.shape[1]), dtype=self.dtype
+            )
+        np.matmul(x, self._w_state, out=out)
+        out += self._bias_row(t)
+        apply_activation(out, self._first_act, self._first_slope)
+        if len(self.net.layers) == 1:
+            return out
+        return self.net.forward_from(out, 1)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_state_buffer"] = None
+        state["_first_out"] = None
+        state["_bias_rows"] = {}
+        return state

@@ -16,6 +16,20 @@ import numpy as np
 from repro.models.tabddpm.schedule import DiffusionSchedule
 
 
+def _serving_dtype(*arrays: np.ndarray) -> np.dtype:
+    """float32 only when every operand is float32, else the float64 default.
+
+    The exact sampling/training chains pass float64 arrays, for which every
+    cast below is a no-op view — their bits are untouched.  The relaxed
+    serving chain passes float32 states, and rounding the (per-step constant)
+    schedule coefficients once keeps the whole step in float32 instead of
+    silently up-casting each product back to float64.
+    """
+    if all(a.dtype == np.float32 for a in arrays):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
 class GaussianDiffusion:
     """Epsilon-prediction Gaussian diffusion over ``n_features`` dimensions."""
 
@@ -31,28 +45,39 @@ class GaussianDiffusion:
         self, x0: np.ndarray, t: np.ndarray, noise: np.ndarray
     ) -> np.ndarray:
         """Sample ``x_t ~ q(x_t | x_0)`` given per-row timesteps ``t``."""
-        x0 = np.asarray(x0, dtype=np.float64)
-        noise = np.asarray(noise, dtype=np.float64)
+        x0 = np.asarray(x0)
+        noise = np.asarray(noise)
+        dtype = _serving_dtype(x0, noise)
+        x0 = x0.astype(dtype, copy=False)
+        noise = noise.astype(dtype, copy=False)
         t = np.asarray(t, dtype=np.int64)
-        coeff_x0 = self.schedule.sqrt_alphas_bar[t][:, None]
-        coeff_noise = self.schedule.sqrt_one_minus_alphas_bar[t][:, None]
+        coeff_x0 = self.schedule.sqrt_alphas_bar[t][:, None].astype(dtype, copy=False)
+        coeff_noise = self.schedule.sqrt_one_minus_alphas_bar[t][:, None].astype(dtype, copy=False)
         return coeff_x0 * x0 + coeff_noise * noise
 
     # -- reverse process -----------------------------------------------------------
     def predict_x0_from_eps(self, x_t: np.ndarray, t: np.ndarray, eps: np.ndarray) -> np.ndarray:
         """Recover the x0 estimate implied by a noise prediction."""
+        x_t = np.asarray(x_t)
+        eps = np.asarray(eps)
+        dtype = _serving_dtype(x_t, eps)
         t = np.asarray(t, dtype=np.int64)
-        sqrt_ab = self.schedule.sqrt_alphas_bar[t][:, None]
-        sqrt_1m = self.schedule.sqrt_one_minus_alphas_bar[t][:, None]
-        return (x_t - sqrt_1m * eps) / np.maximum(sqrt_ab, 1e-12)
+        sqrt_ab = self.schedule.sqrt_alphas_bar[t][:, None].astype(dtype, copy=False)
+        sqrt_1m = self.schedule.sqrt_one_minus_alphas_bar[t][:, None].astype(dtype, copy=False)
+        return (x_t.astype(dtype, copy=False) - sqrt_1m * eps.astype(dtype, copy=False)) / np.maximum(
+            sqrt_ab, 1e-12
+        )
 
     def posterior_mean(self, x0: np.ndarray, x_t: np.ndarray, t: np.ndarray) -> np.ndarray:
         """Mean of ``q(x_{t-1} | x_t, x_0)`` (coefficients pre-computed per step)."""
+        x0 = np.asarray(x0)
+        x_t = np.asarray(x_t)
+        dtype = _serving_dtype(x0, x_t)
         t = np.asarray(t, dtype=np.int64)
         sched = self.schedule
-        coef_x0 = sched.posterior_mean_coef_x0[t][:, None]
-        coef_xt = sched.posterior_mean_coef_xt[t][:, None]
-        return coef_x0 * x0 + coef_xt * x_t
+        coef_x0 = sched.posterior_mean_coef_x0[t][:, None].astype(dtype, copy=False)
+        coef_xt = sched.posterior_mean_coef_xt[t][:, None].astype(dtype, copy=False)
+        return coef_x0 * x0.astype(dtype, copy=False) + coef_xt * x_t.astype(dtype, copy=False)
 
     def p_sample_step(
         self,
@@ -75,7 +100,10 @@ class GaussianDiffusion:
         if t == 0:
             return mean
         variance = self.schedule.posterior_variance[t]
-        return mean + np.sqrt(variance) * rng.standard_normal(x_t.shape)
+        noise_term = np.sqrt(variance) * rng.standard_normal(x_t.shape)
+        # float64 chains add the term unchanged (bit-identical); float32
+        # serving states round it once so the step result stays float32.
+        return mean + noise_term.astype(mean.dtype, copy=False)
 
     def sample(
         self,

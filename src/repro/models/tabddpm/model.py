@@ -62,6 +62,7 @@ class TabDDPMSurrogate(Surrogate):
     """Denoising diffusion surrogate for mixed-type tables."""
 
     name = "TabDDPM"
+    _TRANSIENT_ATTRS = ("_packed_serving",)
 
     def __init__(self, config: Optional[TabDDPMConfig] = None, *, seed: SeedLike = 0) -> None:
         super().__init__()
@@ -84,11 +85,23 @@ class TabDDPMSurrogate(Surrogate):
         else:
             raise ValueError(f"unknown schedule {cfg.schedule!r}; use 'cosine' or 'linear'")
         self._gaussian = GaussianDiffusion(schedule)
+        # Single-category columns encode as width-1 one-hot blocks that are
+        # identically 1.0: there is nothing to diffuse (and the uniform-kernel
+        # diffusion requires at least 2 categories), so they are carried
+        # through training/sampling as constants instead.
         self._multinomials = [
             (block, MultinomialDiffusion(block.width, schedule))
             for block in self._encoder.blocks_
-            if block.kind.value == "categorical"
+            if block.kind.value == "categorical" and block.width >= 2
         ]
+        self._constant_onehot_indices = np.asarray(
+            [
+                block.start
+                for block in self._encoder.blocks_
+                if block.kind.value == "categorical" and block.width == 1
+            ],
+            dtype=np.intp,
+        )
         # Training diffuses every categorical block in one vectorised shot;
         # the per-block diffusions above drive the (sequential) reverse chain.
         spans = [(block.start, block.stop) for block, _ in self._multinomials]
@@ -105,6 +118,9 @@ class TabDDPMSurrogate(Surrogate):
     def fit(self, table: Table) -> "TabDDPMSurrogate":
         self._mark_fitted(table)
         cfg = self.config
+        # The packed serving cache snapshots the denoiser weights; a refit
+        # must not serve through stale ones.
+        self._packed_serving = None
         rng = as_rng(derive_seed(self._seed if isinstance(self._seed, int) else None, "fit"))
 
         # Encode once; training steps only slice shuffled index blocks.
@@ -139,6 +155,13 @@ class TabDDPMSurrogate(Surrogate):
                 if num_idx.size:
                     noisy[:, num_idx] = self._gaussian.q_sample(batch[:, num_idx], t, noise)
                 self._block_diffusion.q_sample_into(noisy, batch, t, rng)
+                if self._constant_onehot_indices.size:
+                    # Width-1 blocks are not diffused: carry their constant
+                    # 1.0 into the denoiser input instead of leaving the
+                    # `empty_like` garbage in place.
+                    noisy[:, self._constant_onehot_indices] = batch[
+                        :, self._constant_onehot_indices
+                    ]
 
                 prediction = self._denoiser(Tensor(noisy), t)
                 loss = mixed_reconstruction_loss(
@@ -161,7 +184,12 @@ class TabDDPMSurrogate(Surrogate):
         with no_grad():
             return self._denoiser(Tensor(state), t_vector).numpy()
 
-    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
+    def _init_constant_blocks(self, state: np.ndarray) -> None:
+        const_idx = getattr(self, "_constant_onehot_indices", None)
+        if const_idx is not None and const_idx.size:
+            state[:, const_idx] = 1.0
+
+    def _sample_exact(self, n: int, *, seed: SeedLike = None) -> Table:
         """Ancestral sampling with every categorical block denoised in one shot.
 
         Each reverse step runs one batched cube pass
@@ -182,6 +210,7 @@ class TabDDPMSurrogate(Surrogate):
         if num_idx.size:
             state[:, num_idx] = rng.standard_normal((n, num_idx.size))
         chosen = self._block_diffusion.prior_sample_into(state, rng)
+        self._init_constant_blocks(state)
 
         for t in reversed(range(cfg.n_timesteps)):
             t_vector = np.full(n, t, dtype=np.int64)
@@ -194,4 +223,42 @@ class TabDDPMSurrogate(Surrogate):
             )
 
         self._denoiser.train()
+        return self._encoder.inverse_transform(state)
+
+    def _sample_fast(self, n: int, *, seed: SeedLike = None) -> Table:
+        """Relaxed serving chain: the float32 pre-packed denoiser forward.
+
+        Same fitted model and the same reverse-diffusion structure as the
+        exact chain, but the denoiser matmuls run in float32 through a
+        :class:`~repro.models.tabddpm.denoiser.PackedDenoiser` weight cache,
+        the whole sampler state stays float32, and each categorical reverse
+        step uses the relaxed padded-cube kernel
+        (:meth:`MultinomialBlockDiffusion.p_sample_fast_into` — same
+        posterior, unnormalised-CDF draws, whole-cube reductions) — so
+        outputs match the exact mode in distribution (KS / chi-squared
+        tested in ``tests/test_serving_modes.py``) but not bit for bit.
+        """
+        self._require_fitted()
+        cfg = self.config
+        rng = as_rng(seed)
+
+        packed = getattr(self, "_packed_serving", None)
+        if packed is None:
+            packed = self._packed_serving = self._denoiser.packed(np.float32)
+        num_idx = self._numerical_indices
+        state = packed.serving_state(n)
+        if num_idx.size:
+            state[:, num_idx] = rng.standard_normal((n, num_idx.size))
+        chosen = self._block_diffusion.prior_sample_into(state, rng)
+        self._init_constant_blocks(state)
+
+        for t in reversed(range(cfg.n_timesteps)):
+            prediction = packed(state, t)
+            if num_idx.size:
+                eps = prediction[:, num_idx]
+                state[:, num_idx] = self._gaussian.p_sample_step(state[:, num_idx], t, eps, rng)
+            chosen = self._block_diffusion.p_sample_fast_into(
+                state, prediction, t, rng, prev_chosen=chosen
+            )
+
         return self._encoder.inverse_transform(state)

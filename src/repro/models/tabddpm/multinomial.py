@@ -185,11 +185,21 @@ class MultinomialBlockDiffusion:
         #: reverse-step scratch buffers, keyed by (width, blocks, chunk rows)
         self._buffers: dict = {}
 
-    def _group_scratch(self, w: int, m: int, nc: int) -> dict:
+    def __getstate__(self):
+        # Scratch buffers and the lazily-derived serving tables are
+        # request-sized; both are regrown on first use after unpickling.
+        state = dict(self.__dict__)
+        state["_buffers"] = {}
+        state.pop("_fast_tables_", None)
+        return state
+
+    def _group_scratch(self, w: int, m: int, nc: int, dtype: np.dtype) -> dict:
         # Lane-major (width, rows, blocks) scratch: every per-lane operation
         # runs over a fully contiguous (rows, blocks) plane, avoiding NumPy's
-        # slow tiny-inner-axis loops.
-        key = (w, m, nc)
+        # slow tiny-inner-axis loops.  The scratch dtype follows the
+        # prediction's (float64 on the exact chain, float32 on the relaxed
+        # serving chain, which halves the bandwidth of every pass).
+        key = (w, m, nc, dtype)
         scratch = self._buffers.get(key)
         if scratch is None:
             if len(self._buffers) >= 16:
@@ -197,11 +207,11 @@ class MultinomialBlockDiffusion:
                 # accumulate one buffer set per distinct chunk shape forever.
                 self._buffers.clear()
             scratch = {
-                "g": np.empty((w, nc, m)),
-                "fx": np.empty((w, nc, m)),
-                "mx": np.empty((nc, m)),
-                "tot": np.empty((nc, m)),
-                "dg": np.empty((nc, m)),
+                "g": np.empty((w, nc, m), dtype=dtype),
+                "fx": np.empty((w, nc, m), dtype=dtype),
+                "mx": np.empty((nc, m), dtype=dtype),
+                "tot": np.empty((nc, m), dtype=dtype),
+                "dg": np.empty((nc, m), dtype=dtype),
                 "cnt": np.empty((nc, m), dtype=np.intp),
                 "flat": np.arange(nc * m).reshape(nc, m),
             }
@@ -346,6 +356,220 @@ class MultinomialBlockDiffusion:
             )
         return chosen
 
+    # -- relaxed serving reverse step ---------------------------------------------
+
+    def _fast_tables(self):
+        """Lane-major padded gather tables over the *narrow* blocks only.
+
+        ``(block ids, pad width, per-lane gather columns, per-lane padded
+        block ids, widths)`` — wide blocks keep the per-block path, so the
+        lanes pad to the widest narrow block (at most 7), not the widest
+        overall.  Lane ``j`` of a block narrower than ``j+1`` gathers the
+        block's first column (a harmless duplicate: it never exceeds the
+        block maximum) and is zeroed after the exp.  Built lazily so
+        instances restored from older fits work unchanged.
+        """
+        cached = getattr(self, "_fast_tables_", None)
+        if cached is not None:
+            return cached
+        narrow = np.asarray(
+            [b for b in range(self.n_blocks) if self.widths[b] < self._LANE_WIDTH_LIMIT],
+            dtype=np.intp,
+        )
+        if narrow.size:
+            widths = self.widths[narrow]
+            starts = self.starts[narrow]
+            pad = int(widths.max())
+            lane_cols = [starts + np.minimum(j, widths - 1) for j in range(pad)]
+            pad_blocks = [np.nonzero(widths <= j)[0] for j in range(pad)]
+            tables = (narrow, pad, lane_cols, pad_blocks, widths)
+        else:
+            tables = (narrow, 0, None, None, None)
+        self._fast_tables_ = tables
+        return tables
+
+    def _fast_scratch(self, nb: int, pad: int, nc: int, dtype: np.dtype) -> dict:
+        key = ("fast", nb, pad, nc, dtype)
+        scratch = self._buffers.get(key)
+        if scratch is None:
+            if len(self._buffers) >= 16:
+                self._buffers.clear()
+            scratch = {
+                "cube": np.empty((pad, nc, nb), dtype=dtype),
+                "mx": np.empty((nc, nb), dtype=dtype),
+                "tot": np.empty((nc, nb), dtype=dtype),
+                "dg": np.empty((nc, nb), dtype=dtype),
+                "cmp": np.empty((nc, nb), dtype=bool),
+                "cnt": np.empty((nc, nb), dtype=np.intp),
+                "idx": np.empty((nc, nb), dtype=np.intp),
+                "idx_base": np.arange(nc, dtype=np.intp)[:, None] * nb
+                + np.arange(nb, dtype=np.intp)[None, :],
+            }
+            self._buffers[key] = scratch
+        return scratch
+
+    def p_sample_fast_into(
+        self,
+        out: np.ndarray,
+        prediction: np.ndarray,
+        t: int,
+        rng: np.random.Generator,
+        prev_chosen: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """One reverse step for every block, relaxed serving variant.
+
+        Draws each block's category from the *same posterior distribution* as
+        :meth:`p_sample_into` but with the stream/bit contract waived, which
+        removes most of the per-step passes: the narrow blocks evaluate as
+        one zero-padded ``(rows, blocks, pad)`` cube whose reductions run as
+        single whole-cube numpy calls, probabilities stay unnormalised (the
+        uniform draw is scaled by the total mass instead of normalising every
+        lane), and the posterior's ``x_t`` factor is applied as a scatter
+        multiply at the previously chosen categories only.  Wide blocks keep
+        the per-block path.  Used by ``sampling_mode="fast"``; validated
+        distributionally (chi-squared) in ``tests/test_serving_modes.py``.
+        """
+        if not self.n_blocks:
+            return None
+        n = out.shape[0]
+        onehot_prev = prev_chosen is not None
+        if prev_chosen is None and t != 0:
+            prev_chosen = self.chosen_from(out)
+        # Relaxed mode: float32 uniforms are cheaper to draw and to compare
+        # against the float32 CDFs (a different stream from the exact chain,
+        # which this mode does not promise to reproduce).
+        draws = rng.random((self.n_blocks, n), dtype=np.float32)
+        chosen = np.empty((n, self.n_blocks), dtype=np.intp)
+        chunk = max(1, (1 << 22) // max(8 * self.columns.size, 1))
+        if n > chunk:
+            chunk = -(-n // (-(-n // chunk)))
+        for r0 in range(0, n, chunk):
+            r1 = min(n, r0 + chunk)
+            self._p_sample_fast_chunk(
+                out[r0:r1],
+                prediction[r0:r1],
+                t,
+                draws[:, r0:r1],
+                None if prev_chosen is None else prev_chosen[r0:r1],
+                chosen[r0:r1],
+            )
+        # One-hot state update through reused flat-index buffers (the serving
+        # state is contiguous): clears the previous categories, sets the new.
+        if out.flags.c_contiguous:
+            key = ("scatter", n, out.shape[1])
+            sc = self._buffers.get(key)
+            if sc is None:
+                if len(self._buffers) >= 16:
+                    self._buffers.clear()
+                sc = {
+                    "idx": np.empty((n, self.n_blocks), dtype=np.intp),
+                    "rowoff": np.arange(n, dtype=np.intp)[:, None] * out.shape[1],
+                }
+                self._buffers[key] = sc
+            flat = out.reshape(-1)
+            idx, rowoff = sc["idx"], sc["rowoff"]
+            if onehot_prev:
+                np.add(prev_chosen, self.starts[None, :], out=idx)
+                idx += rowoff
+                flat[idx] = 0.0
+            else:
+                self._zero_blocks(out)
+            np.add(chosen, self.starts[None, :], out=idx)
+            idx += rowoff
+            flat[idx] = 1.0
+            return chosen
+        rows = np.arange(n)[:, None]
+        if onehot_prev:
+            out[rows, self.starts[None, :] + prev_chosen] = 0.0
+        else:
+            self._zero_blocks(out)
+        out[rows, self.starts[None, :] + chosen] = 1.0
+        return chosen
+
+    def _p_sample_fast_chunk(
+        self,
+        out: np.ndarray,
+        prediction: np.ndarray,
+        t: int,
+        draws: np.ndarray,
+        prev_chosen: Optional[np.ndarray],
+        chosen: np.ndarray,
+    ) -> None:
+        n = out.shape[0]
+        sched = self.schedule
+        narrow, pad, lane_cols, pad_blocks, nwidths = self._fast_tables()
+        if narrow.size:
+            s = self._fast_scratch(int(narrow.size), pad, n, prediction.dtype)
+            cube, mx, tot, dg, cnt = s["cube"], s["mx"], s["tot"], s["dg"], s["cnt"]
+            dtype = cube.dtype
+            for j in range(pad):
+                np.take(prediction, lane_cols[j], axis=1, out=cube[j])
+            # Padded lanes duplicate their block's first logit (never above
+            # the block maximum, so the max is unaffected) and are zeroed
+            # right after the exp.  Every reduction runs lane by lane over
+            # contiguous (rows, blocks) planes — numpy processes those at
+            # full bandwidth, while both a tiny trailing axis and axis-0
+            # reductions/cumsums of this shape fall off a cliff (measured
+            # ~5-40x slower).
+            np.copyto(mx, cube[0])
+            for j in range(1, pad):
+                np.maximum(mx, cube[j], out=mx)
+            if t != 0:
+                # Unnormalised posterior, everything scaled by the softmax
+                # total S = Σexp and by beta = (1-alpha)/K:
+                # p_j ∝ (abar·beta)·e_j + ((1-abar)/K·abar)·Σ(abar·beta·e).
+                # The (abar·beta) factor folds into the exp as a log shift
+                # (one plane op instead of a whole-cube multiply), and the
+                # chosen lane's extra (alpha+beta)/beta posterior factor is a
+                # scatter multiply over (rows, blocks), not a cube pass.
+                alpha_t = float(sched.alphas[t])
+                alpha_bar_prev = float(sched.alphas_bar_prev[t])
+                beta = ((1.0 - alpha_t) / nwidths).astype(dtype)
+                log_ab_beta = np.log(alpha_bar_prev * beta).astype(dtype)
+                np.subtract(mx, log_ab_beta[None, :], out=mx)
+                for j in range(pad):
+                    np.subtract(cube[j], mx, out=cube[j])
+                np.exp(cube, out=cube)
+                for j in range(2, pad):
+                    if pad_blocks[j].size:
+                        cube[j][:, pad_blocks[j]] = 0.0
+                np.copyto(tot, cube[0])
+                for j in range(1, pad):
+                    np.add(tot, cube[j], out=tot)
+                ct_coef = ((1.0 - alpha_bar_prev) / (nwidths * alpha_bar_prev)).astype(dtype)
+                np.multiply(tot, ct_coef[None, :], out=tot)
+                np.add(cube, tot[None, :, :], out=cube)
+                ratio = ((alpha_t + beta) / beta).astype(dtype)
+                idx = np.multiply(prev_chosen[:, narrow], n * narrow.size, out=s["idx"])
+                idx += s["idx_base"]
+                flat_cube = cube.reshape(-1)
+                flat_cube[idx] = flat_cube[idx] * ratio[None, :]
+                for j in range(2, pad):
+                    if pad_blocks[j].size:
+                        cube[j][:, pad_blocks[j]] = 0.0
+            else:
+                for j in range(pad):
+                    np.subtract(cube[j], mx, out=cube[j])
+                np.exp(cube, out=cube)
+                for j in range(2, pad):
+                    if pad_blocks[j].size:
+                        cube[j][:, pad_blocks[j]] = 0.0
+            # In-lane CDF; the draw is scaled by the total mass instead of
+            # normalising every lane (same distribution).
+            for j in range(1, pad):
+                np.add(cube[j], cube[j - 1], out=cube[j])
+            draws_narrow = draws if narrow.size == self.n_blocks else draws[narrow]
+            np.multiply(draws_narrow.T, cube[pad - 1], out=dg)
+            np.less_equal(cube[0], dg, out=cnt, casting="unsafe")
+            for j in range(1, pad):
+                np.less_equal(cube[j], dg, out=s["cmp"])
+                np.add(cnt, s["cmp"], out=cnt, casting="unsafe")
+            # Padded/terminal lanes tie with the total only when the scaled
+            # draw rounds up to it; the clip keeps the index in-block.
+            np.minimum(cnt, nwidths[None, :] - 1, out=cnt)
+            chosen[:, narrow] = cnt
+        self._p_sample_wide_blocks(out, prediction, t, draws, chosen)
+
     def _p_sample_chunk(
         self,
         out: np.ndarray,
@@ -362,7 +586,7 @@ class MultinomialBlockDiffusion:
 
         for w, gidx, _gcols, lane_cols in self._width_groups:
             m = gidx.size
-            s = self._group_scratch(w, m, n)
+            s = self._group_scratch(w, m, n, prediction.dtype)
             g, mx, tot, dg, cnt = s["g"], s["mx"], s["tot"], s["dg"], s["cnt"]
             for j in range(w):
                 np.take(prediction, lane_cols[j], axis=1, out=g[j])
@@ -426,6 +650,28 @@ class MultinomialBlockDiffusion:
             else:
                 chosen[:, gidx] = cnt
 
+        self._p_sample_wide_blocks(out, prediction, t, draws, chosen)
+
+        if onehot_prev:
+            out[rows, self.starts[None, :] + prev_chosen] = 0.0
+        else:
+            self._zero_blocks(out)
+        out[rows, self.starts[None, :] + chosen] = 1.0
+
+    def _p_sample_wide_blocks(
+        self,
+        out: np.ndarray,
+        prediction: np.ndarray,
+        t: int,
+        draws: np.ndarray,
+        chosen: np.ndarray,
+    ) -> None:
+        """Verbatim per-block reverse step for the wide (8+-category) blocks.
+
+        Shared by the exact chunk kernel (whose bits it defines) and the
+        relaxed serving kernel (wide blocks are rare enough that one code
+        path serves both)."""
+        sched = self.schedule
         for b in self._wide_blocks:
             start, stop = self.spans[b]
             n_categories = stop - start
@@ -445,9 +691,3 @@ class MultinomialBlockDiffusion:
             cumulative = np.cumsum(probs, axis=1)
             cumulative /= np.maximum(cumulative[:, -1:], 1e-12)
             chosen[:, b] = (draws[b][:, None] < cumulative).argmax(axis=1)
-
-        if onehot_prev:
-            out[rows, self.starts[None, :] + prev_chosen] = 0.0
-        else:
-            self._zero_blocks(out)
-        out[rows, self.starts[None, :] + chosen] = 1.0

@@ -26,6 +26,7 @@ from repro.nn import (
     BlockLayout,
     CosineSchedule,
     MLP,
+    PackedForward,
     Tensor,
     clip_grad_norm,
     gaussian_kl_from_stats,
@@ -68,6 +69,7 @@ class TVAESurrogate(Surrogate):
     """Tabular variational autoencoder."""
 
     name = "TVAE"
+    _TRANSIENT_ATTRS = ("_packed_decoder", "_serving_block_sampler")
 
     def __init__(
         self,
@@ -112,6 +114,10 @@ class TVAESurrogate(Surrogate):
     def fit(self, table: Table) -> "TVAESurrogate":
         self._mark_fitted(table)
         cfg = self.config
+        # The packed serving decoder snapshots weights and the serving block
+        # sampler is derived from the encoder layout; refits rebuild both.
+        self._packed_decoder = None
+        self._serving_block_sampler = None
         rng = as_rng(derive_seed(self._seed if isinstance(self._seed, int) else None, "fit"))
 
         self._encoder_data = MixedEncoder(
@@ -169,16 +175,19 @@ class TVAESurrogate(Surrogate):
         return self
 
     # -- sampling --------------------------------------------------------------------
-    def sample(self, n: int, *, seed: SeedLike = None) -> Table:
-        self._require_fitted()
-        cfg = self.config
-        rng = as_rng(seed)
-        self._decoder_net.eval()
-        with no_grad():
-            z = Tensor(rng.standard_normal((n, cfg.latent_dim)))
-            decoded = self._decoder_net(z).numpy()
-        self._decoder_net.train()
+    #: Serving-mode decoder chunk: bounds peak activation memory for large
+    #: requests while keeping each forward a single fused matmul stack.
+    _FAST_FORWARD_CHUNK = 65_536
 
+    def _harden_categorical_blocks(
+        self, decoded: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample one-hot categories from the decoder's softmax per block.
+
+        The historical per-block chain, kept verbatim: the exact mode's draw
+        stream and float operations define the bit contract.
+        """
+        n = decoded.shape[0]
         output = decoded.copy()
         for block in self._encoder_data.blocks_:
             if block.kind.value != "categorical":
@@ -194,4 +203,65 @@ class TVAESurrogate(Surrogate):
             onehot = np.zeros_like(probs)
             onehot[np.arange(n), chosen] = 1.0
             output[:, block.start : block.stop] = onehot
-        return self._encoder_data.inverse_transform(output)
+        return output
+
+    def _sample_exact(self, n: int, *, seed: SeedLike = None) -> Table:
+        self._require_fitted()
+        cfg = self.config
+        rng = as_rng(seed)
+        self._decoder_net.eval()
+        with no_grad():
+            z = Tensor(rng.standard_normal((n, cfg.latent_dim)))
+            decoded = self._decoder_net(z).numpy()
+        self._decoder_net.train()
+        return self._encoder_data.inverse_transform(
+            self._harden_categorical_blocks(decoded, rng)
+        )
+
+    def _sample_fast(self, n: int, *, seed: SeedLike = None) -> Table:
+        """Relaxed serving path: chunked float32 decoder forwards + direct decode.
+
+        The exact mode decodes the whole request in one float64 graph
+        forward (peak memory grows with ``n``), hardens every categorical
+        block into a one-hot matrix and re-``argmax``es it during decoding.
+        The serving path runs the decoder through a
+        :class:`~repro.nn.serving.PackedForward` float32 weight cache in
+        bounded chunks, draws the block categories straight from the stacked
+        raw logits (the width-grouped
+        :class:`~repro.models.ctabgan._SoftmaxBlockSampler` — the hardened
+        matrix was never observable, only the drawn codes) and assembles the
+        table from codes plus the numerical columns, never materialising the
+        one-hot matrix.  Distribution-identical (KS / chi-squared tested),
+        stream-different.
+        """
+        self._require_fitted()
+        cfg = self.config
+        rng = as_rng(seed)
+        packed = getattr(self, "_packed_decoder", None)
+        if packed is None:
+            packed = self._packed_decoder = PackedForward(self._decoder_net, np.float32)
+        decoded = np.empty((n, packed.out_features), dtype=np.float32)
+        for r0 in range(0, n, self._FAST_FORWARD_CHUNK):
+            batch = min(self._FAST_FORWARD_CHUNK, n - r0)
+            z = rng.standard_normal((batch, cfg.latent_dim))
+            # The forward returns a reused buffer; the store into the request
+            # matrix is the consuming copy.
+            decoded[r0 : r0 + batch] = packed(z)
+
+        sampler = getattr(self, "_serving_block_sampler", None)
+        if sampler is None:
+            from repro.models.ctabgan import _SoftmaxBlockSampler
+
+            cat_spans = [
+                (b.start, b.stop)
+                for b in self._encoder_data.blocks_
+                if b.kind.value == "categorical"
+            ]
+            sampler = self._serving_block_sampler = _SoftmaxBlockSampler(cat_spans)
+        codes = sampler.sample_codes(decoded, rng)
+        numerical_starts = [
+            b.start for b in self._encoder_data.blocks_ if b.kind.value != "categorical"
+        ]
+        return self._encoder_data.inverse_transform_codes(
+            decoded[:, numerical_starts], codes
+        )

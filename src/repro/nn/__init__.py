@@ -44,6 +44,7 @@ from repro.nn.losses import (
     mse_loss,
 )
 from repro.nn.optim import SGD, Adam, CosineSchedule, clip_grad_norm
+from repro.nn.serving import PackedForward
 from repro.nn import init
 
 __all__ = [
@@ -78,5 +79,6 @@ __all__ = [
     "mixed_reconstruction_loss",
     "tanh_softmax_blocks",
     "conditional_blocks_loss",
+    "PackedForward",
     "init",
 ]

@@ -181,6 +181,16 @@ class GaussianQuantileTransform(ColumnTransform):
         backward = 1.0 - np.interp(
             -arr, -self.quantiles_[::-1], (1.0 - self.references_)[::-1]
         )
+        # Degenerate quantile tables — knots separated by subnormal gaps —
+        # overflow np.interp's slope to ±inf and can leave NaN at the knots
+        # (inf * 0).  Repair those entries from the nearest knot's reference
+        # before combining, which also keeps the sum below warning-free.
+        bad = ~(np.isfinite(forward) & np.isfinite(backward))
+        if bad.any():
+            idx = np.searchsorted(self.quantiles_, arr[bad], side="left")
+            repaired = self.references_[np.clip(idx, 0, self.references_.size - 1)]
+            forward[bad] = repaired
+            backward[bad] = repaired
         prob = 0.5 * (forward + backward)
         prob = np.clip(prob, self._EPS, 1.0 - self._EPS)
         return special.ndtri(prob)

@@ -47,6 +47,13 @@ class TestWorkflowDocument:
         commands = " ".join(step.get("run", "") for step in steps)
         assert "pytest" in commands
 
+    def test_test_job_gates_serving_and_degenerate_suites(self, workflow):
+        steps = workflow["jobs"]["tests"]["steps"]
+        commands = " ".join(step.get("run", "") for step in steps)
+        for suite in ("tests/test_serving_modes.py", "tests/test_degenerate_inputs.py"):
+            assert suite in commands
+            assert os.path.exists(os.path.join(REPO_ROOT, suite))
+
     def test_perf_gate_runs_benchmarks_ci_with_loose_factor(self, workflow):
         steps = workflow["jobs"]["perf-gate"]["steps"]
         commands = " ".join(step.get("run", "") for step in steps)
