@@ -52,6 +52,11 @@ REQUIRED_KERNELS = frozenset(
         "sample_tabddpm_fast",
         "sample_ctabgan_fast",
         "sample_tvae_fast",
+        # Serving-stack kernels: the sharded fast-mode service against the
+        # single-worker exact-mode serving loop (see
+        # bench_hotpaths.bench_serve_sharded for the contract).
+        "serve_sharded_tvae",
+        "serve_sharded_tabddpm",
     }
 )
 

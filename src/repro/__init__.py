@@ -11,9 +11,11 @@ The package provides, end to end:
 * a gradient-boosting regressor used by the efficacy metric
   (:mod:`repro.boosting`),
 * a discrete-event grid simulator demonstrating the downstream use of
-  synthetic workloads (:mod:`repro.scheduler`), and
+  synthetic workloads (:mod:`repro.scheduler`),
 * the experiment harness regenerating every table and figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`), and
+* a sharded, multi-process sampling service with a model registry
+  (:mod:`repro.serve`).
 
 Quickstart
 ----------
@@ -87,7 +89,40 @@ Every surrogate's ``sample`` accepts ``sampling_mode="exact"|"fast"``:
 
 ``Surrogate.sample_batches(n, chunk_size)`` streams a request of any size in
 bounded-memory chunks (one ``SeedSequence`` child stream per chunk), so
-million-row serving requests never materialise at once.  Degenerate inputs —
+million-row serving requests never materialise at once.
+
+Serving architecture (:mod:`repro.serve`)
+-----------------------------------------
+The serving layer stacks three pieces on the streaming API:
+
+* :class:`~repro.serve.ShardedSampler` fans a request's ``sample_batches``
+  chunks across a persistent pool of worker processes, each holding a
+  deserialized model snapshot with warmed caches, and reassembles the chunks
+  in order.  **The sharding contract:** because chunk ``i`` draws from the
+  ``i``-th ``SeedSequence`` child of the request seed, the output bytes for
+  a given ``(seed, chunk_size)`` are identical for any worker count
+  (including the pool-free ``workers=1`` path) and equal to the
+  single-process ``sample_batches`` concatenation — sharding changes wall
+  clock, never data (``tests/test_serve_sharded.py``).
+* :class:`~repro.serve.ModelRegistry` stores fitted-surrogate snapshots
+  under versioned names (``<root>/<name>/vN.pkl``) and warm-starts the
+  packed serving caches at registration/load
+  (:meth:`~repro.models.base.Surrogate.warm_serving_caches`), so a restarted
+  server answers its first request at steady-state latency.
+* :class:`~repro.serve.SamplingService` is the front end: a thread-safe
+  request queue whose dispatcher coalesces concurrently queued requests into
+  one sharded pool pass (micro-batching — invisible in the bytes because
+  every request keeps its own seed's chunk streams, it only removes
+  queueing latency), backpressure via a bounded in-flight row budget, and a
+  ``stats()`` endpoint (rows/s, queue depth, p50/p95 latency).
+
+``repro-experiments serve`` drives the stack end to end;
+``examples/serving_throughput.py`` is the narrated tour.  Throughput is
+recorded by the ``serve_sharded_tvae`` / ``serve_sharded_tabddpm`` kernels
+in ``benchmarks/BENCH_hotpaths.json`` (single-worker exact-mode serving loop
+as the baseline; see ``benchmarks/README.md`` for the contract).
+
+Degenerate inputs —
 constant numerical columns, single-category columns, ``sample(0)``,
 3-row training tables — are first-class: ``tests/test_degenerate_inputs.py``
 runs every surrogate and the metrics layer over them with RuntimeWarnings

@@ -33,7 +33,7 @@ from repro.experiments.figures import (
 from repro.experiments.table1 import run_table1
 from repro.utils.logging import set_verbosity
 
-EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "ablations")
+EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "ablations", "serve")
 
 
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -72,12 +72,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--sampling-mode",
         choices=("exact", "fast"),
-        default="exact",
-        help="generation path for table1: 'exact' is bit-reproducible, 'fast' "
-        "is the relaxed serving mode (same distribution, float32 fused "
-        "forwards, different RNG stream)",
+        default=None,
+        help="generation path: 'exact' is bit-reproducible, 'fast' is the "
+        "relaxed serving mode (same distribution, float32 fused forwards, "
+        "different RNG stream).  Defaults to 'exact' for table1 (paper "
+        "artefacts must be reproducible) and 'fast' for serve (the serving "
+        "stack's own default)",
     )
     parser.add_argument("--which", nargs="+", default=None, help="ablation sweeps to run")
+    serve_group = parser.add_argument_group("serve", "options for the 'serve' experiment")
+    serve_group.add_argument(
+        "--workers", type=int, default=None,
+        help="serving worker processes (default: the visible CPU budget / REPRO_WORKERS)",
+    )
+    serve_group.add_argument(
+        "--chunk-size", type=int, default=16_384, help="rows per sharded chunk"
+    )
+    serve_group.add_argument(
+        "--serve-rows", type=int, default=100_000, help="total rows to serve in the demo"
+    )
+    serve_group.add_argument(
+        "--requests", type=int, default=8,
+        help="number of concurrent requests the demo splits --serve-rows into",
+    )
+    serve_group.add_argument(
+        "--registry", default=None,
+        help="model-registry directory (default: a temporary directory)",
+    )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -90,7 +111,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             config,
             compute_mlef=not args.no_mlef,
             verbose=args.verbose,
-            sampling_mode=args.sampling_mode,
+            sampling_mode=args.sampling_mode or "exact",
         )
         if args.json:
             payload = {
@@ -178,6 +199,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print()
             for name, info in result["models"].items():
                 print(f"Fig. 5(b) {name}: diff-CORR = {info['diff_corr']:.3f}")
+        return 0
+
+    if args.experiment == "serve":
+        import tempfile
+
+        from repro.experiments.table1 import build_model
+        from repro.serve import ModelRegistry, SamplingService
+        from repro.utils.rng import derive_seed
+
+        sampling_mode = args.sampling_mode or "fast"
+        name = config.models[0] if args.models else "tvae"
+        data = build_dataset(config)
+        model = build_model(name, config).fit(data.train)
+
+        with tempfile.TemporaryDirectory() as scratch:
+            registry = ModelRegistry(args.registry or scratch, warm_chunk_rows=args.chunk_size)
+            version = registry.register(name, model)
+            n_requests = max(1, args.requests)
+            per_request = max(1, args.serve_rows // n_requests)
+            with SamplingService(
+                registry.get(name), workers=args.workers, chunk_size=args.chunk_size
+            ) as service:
+                requests = [
+                    service.submit(
+                        per_request,
+                        seed=derive_seed(config.seed, "serve", str(i)),
+                        sampling_mode=sampling_mode,
+                    )
+                    for i in range(n_requests)
+                ]
+                served = sum(len(r.result()) for r in requests)
+                stats = service.stats()
+                payload = {
+                    "model": name,
+                    "version": version,
+                    "workers": service.workers,
+                    "chunk_size": service.chunk_size,
+                    "sampling_mode": sampling_mode,
+                    "requests": n_requests,
+                    "rows_served": served,
+                    "rows_per_second": round(stats.rows_per_second, 1),
+                    "p50_latency_s": round(stats.p50_latency, 4),
+                    "p95_latency_s": round(stats.p95_latency, 4),
+                }
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"served {served:,d} rows of {name} ({version}) in {n_requests} requests")
+            print(
+                f"  workers={payload['workers']} chunk_size={payload['chunk_size']} "
+                f"mode={sampling_mode}"
+            )
+            print(
+                f"  throughput {payload['rows_per_second']:,.1f} rows/s, "
+                f"latency p50 {payload['p50_latency_s']*1e3:.1f} ms / "
+                f"p95 {payload['p95_latency_s']*1e3:.1f} ms"
+            )
         return 0
 
     if args.experiment == "ablations":

@@ -137,6 +137,58 @@ class Surrogate:
         """Whether this surrogate has a dedicated relaxed serving path."""
         return type(self)._sample_fast is not Surrogate._sample_fast
 
+    # -- serving hooks -----------------------------------------------------------
+    #: Default chunk size serving layers shard requests into (rows).  Large
+    #: enough that per-chunk overhead (RNG spawn, dispatch, table assembly)
+    #: amortises, small enough that a chunk's activations stay cache-friendly
+    #: and a pool of workers load-balances a request.
+    DEFAULT_SERVING_CHUNK = 16_384
+
+    def warm_serving_caches(self, chunk_rows: int = DEFAULT_SERVING_CHUNK) -> int:
+        """Build the relaxed serving mode's lazy caches eagerly.
+
+        The fast-path caches (packed float32 weight snapshots, derived block
+        samplers — the :attr:`_TRANSIENT_ATTRS`) are built lazily on first
+        use and dropped from pickles, so a freshly loaded model pays cache
+        construction plus buffer allocation on its first request.  Serving
+        layers (the model registry at registration, sharded-sampler workers
+        at startup) call this instead, so first-request latency is flat: a
+        tiny throwaway draw builds every lazy cache, then each cache that
+        exposes a ``warm`` hook pre-sizes its buffers for ``chunk_rows``-row
+        requests.  Returns the number of caches pre-sized.
+        """
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be at least 1, got {chunk_rows}")
+        self._require_fitted()
+        self.sample(2, seed=0, sampling_mode="fast")
+        warmed = 0
+        for attr in self._TRANSIENT_ATTRS:
+            warm = getattr(getattr(self, attr, None), "warm", None)
+            if callable(warm):
+                warm(int(chunk_rows))
+                warmed += 1
+        return warmed
+
+    def serving_snapshot(self) -> bytes:
+        """The fitted surrogate as bytes, for shipping to serving workers.
+
+        Exactly the :meth:`save` payload (transient serving caches dropped —
+        each worker rebuilds and warms its own via
+        :meth:`warm_serving_caches`), without touching the filesystem.
+        """
+        self._require_fitted()
+        return pickle.dumps(self)
+
+    @classmethod
+    def from_snapshot(cls: Type[S], payload: bytes) -> S:
+        """Rehydrate a surrogate from :meth:`serving_snapshot` bytes."""
+        obj = pickle.loads(payload)
+        if not isinstance(obj, cls):
+            raise TypeError(
+                f"snapshot does not contain a {cls.__name__}, got {type(obj).__name__}"
+            )
+        return obj
+
     # -- shared helpers ----------------------------------------------------------
     def _check_sample_request(self, n: int, sampling_mode: str) -> None:
         if sampling_mode not in SAMPLING_MODES:

@@ -30,6 +30,11 @@ import numpy as np
 
 from repro.mixture.gmm import GaussianMixture
 from repro.models.base import Surrogate
+from repro.models.width_buckets import (
+    bounded_scratch,
+    build_width_bucket_tables,
+    even_row_chunks,
+)
 from repro.nn import (
     Adam,
     BlockLayout,
@@ -127,6 +132,12 @@ class _SoftmaxBlockSampler:
 
     _LANE_WIDTH_LIMIT = 8
 
+    #: The *relaxed* code draw (:meth:`sample_codes_fast`) has no rounding
+    #: contract, so it lane-batches much wider blocks; see
+    #: :attr:`repro.models.tabddpm.multinomial.MultinomialBlockDiffusion._FAST_LANE_WIDTH_LIMIT`
+    #: for the same trade-off in the diffusion posterior.
+    _FAST_LANE_WIDTH_LIMIT = 32
+
     def __init__(self, spans: List[Tuple[int, int]]):
         self.spans = [(int(a), int(b)) for a, b in spans]
         self.n_blocks = len(self.spans)
@@ -143,23 +154,18 @@ class _SoftmaxBlockSampler:
     def _scratch(self, w: int, m: int, nc: int, dtype: np.dtype) -> Dict[str, np.ndarray]:
         # Scratch dtype follows the raw logits': float64 on the exact path,
         # float32 on the relaxed serving path (half the bandwidth per pass).
-        key = (w, m, nc, dtype)
-        scratch = self._buffers.get(key)
-        if scratch is None:
-            if len(self._buffers) >= 16:
-                # Bound the cache: serving loops with varying sample sizes
-                # would otherwise accumulate buffers per distinct chunk shape.
-                self._buffers.clear()
-            scratch = {
+        return bounded_scratch(
+            self._buffers,
+            (w, m, nc, dtype),
+            lambda: {
                 "g": np.empty((w, nc, m), dtype=dtype),
                 "ex": np.empty((w, nc, m), dtype=dtype),
                 "mx": np.empty((nc, m), dtype=dtype),
                 "tot": np.empty((nc, m), dtype=dtype),
                 "dg": np.empty((nc, m), dtype=dtype),
                 "cnt": np.empty((nc, m), dtype=np.intp),
-            }
-            self._buffers[key] = scratch
-        return scratch
+            },
+        )
 
     def sample_codes(self, raw: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Draw one category per block from the raw logits, shape ``(n, B)``."""
@@ -168,9 +174,7 @@ class _SoftmaxBlockSampler:
         if not self.n_blocks:
             return codes
         draws = rng.random((self.n_blocks, n))
-        chunk = max(1, (1 << 22) // max(8 * self.total_width, 1))
-        if n > chunk:
-            chunk = -(-n // (-(-n // chunk)))
+        chunk = even_row_chunks(n, 8 * self.total_width, 1 << 22)
         for r0 in range(0, n, chunk):
             r1 = min(n, r0 + chunk)
             self._codes_chunk(raw[r0:r1], draws[:, r0:r1], codes[r0:r1])
@@ -212,7 +216,11 @@ class _SoftmaxBlockSampler:
             for j in range(1, w - 1):
                 np.add(cnt, g[j] <= dg, out=cnt, casting="unsafe")
             codes[:, gidx] = np.where(g[w - 1] <= dg, 0, cnt)
-        for b in self._wide:
+        self._codes_wide_blocks(raw, draws, codes, self._wide)
+
+    def _codes_wide_blocks(self, raw, draws, codes, blocks) -> None:
+        """Verbatim per-block softmax + draw (defines the exact path's bits)."""
+        for b in blocks:
             start, stop = self.spans[b]
             logits = raw[:, start:stop]
             shifted = logits - logits.max(axis=1, keepdims=True)
@@ -224,10 +232,119 @@ class _SoftmaxBlockSampler:
             cumulative = np.cumsum(probs, axis=1)
             codes[:, b] = (draws[b][:, None] < cumulative).argmax(axis=1)
 
+    # -- relaxed serving draw ---------------------------------------------------
+    def _fast_tables(self):
+        """Width-bucketed lane tables for :meth:`sample_codes_fast`.
+
+        Same construction as the diffusion kernel's: one padded cube per
+        width bucket ([2, 8) and [8, 32)), each padding to its own bucket
+        maximum; blocks at or beyond ``_FAST_LANE_WIDTH_LIMIT`` keep the
+        per-block path.  Built lazily (the sampler itself is a lazily-built
+        serving cache).
+        """
+        cached = getattr(self, "_fast_tables_", None)
+        if cached is not None:
+            return cached
+        groups, huge = build_width_bucket_tables(
+            self.widths,
+            self.starts,
+            narrow_limit=self._LANE_WIDTH_LIMIT,
+            fast_limit=self._FAST_LANE_WIDTH_LIMIT,
+        )
+        # Width-1 blocks (a constant category) never enter a bucket: their
+        # code is always 0.
+        ones = np.nonzero(self.widths == 1)[0]
+        tables = (groups, huge, ones)
+        self._fast_tables_ = tables
+        return tables
+
+    def _fast_scratch(self, gi: int, nb: int, pad: int, nc: int, dtype: np.dtype):
+        key = ("fast", gi, nb, pad, nc, dtype)
+        scratch = self._buffers.get(key)
+        if scratch is None:
+            if len(self._buffers) >= 16:
+                self._buffers.clear()
+            scratch = {
+                "cube": np.empty((pad, nc, nb), dtype=dtype),
+                "mx": np.empty((nc, nb), dtype=dtype),
+                "dg": np.empty((nc, nb), dtype=dtype),
+                "cmp": np.empty((nc, nb), dtype=bool),
+                "cnt": np.empty((nc, nb), dtype=np.intp),
+            }
+            self._buffers[key] = scratch
+        return scratch
+
+    def sample_codes_fast(self, raw: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Relaxed code draw: same per-block categorical law, contract waived.
+
+        Each block's category still comes from the softmax of its logits,
+        but the bit/stream promises of :meth:`sample_codes` are dropped,
+        which removes most of the work: blocks up to
+        ``_FAST_LANE_WIDTH_LIMIT - 1`` categories wide evaluate as padded
+        width-bucket cubes (single whole-cube numpy passes instead of a
+        Python loop per wide block), the probabilities stay unnormalised —
+        the uniform draw is scaled by the total mass, skipping the exact
+        path's log/renormalise passes entirely — and the draws are taken in
+        the logits' precision.  Used by ``sampling_mode="fast"``; validated
+        distributionally (chi-squared) in ``tests/test_serving_modes.py``.
+        """
+        n = raw.shape[0]
+        codes = np.empty((n, self.n_blocks), dtype=np.intp)
+        if not self.n_blocks:
+            return codes
+        groups, huge, ones = self._fast_tables()
+        dtype = np.float32 if raw.dtype == np.float32 else np.float64
+        draws = rng.random((self.n_blocks, n), dtype=dtype)
+        if ones.size:
+            codes[:, ones] = 0
+        # Cache budget in *bytes*: float32 logits fit twice the rows of the
+        # exact path's float64 chunks, halving the per-chunk call overhead.
+        chunk = even_row_chunks(n, raw.dtype.itemsize * self.total_width, 1 << 22)
+        for r0 in range(0, n, chunk):
+            r1 = min(n, r0 + chunk)
+            self._codes_fast_chunk(
+                raw[r0:r1], draws[:, r0:r1], codes[r0:r1], groups, huge
+            )
+        return codes
+
+    def _codes_fast_chunk(self, raw, draws, codes, groups, huge) -> None:
+        n = raw.shape[0]
+        for gi, (gids, pad, lane_cols, pad_blocks, gwidths) in enumerate(groups):
+            s = self._fast_scratch(gi, int(gids.size), pad, n, raw.dtype)
+            cube, mx, dg, cnt = s["cube"], s["mx"], s["dg"], s["cnt"]
+            for j in range(pad):
+                np.take(raw, lane_cols[j], axis=1, out=cube[j])
+            # Padded lanes duplicate their block's first logit (never above
+            # the block maximum) and are zeroed right after the exp; every
+            # pass runs over contiguous (rows, blocks) lane planes.
+            np.copyto(mx, cube[0])
+            for j in range(1, pad):
+                np.maximum(mx, cube[j], out=mx)
+            for j in range(pad):
+                np.subtract(cube[j], mx, out=cube[j])
+            np.exp(cube, out=cube)
+            for j in range(2, pad):
+                if pad_blocks[j].size:
+                    cube[j][:, pad_blocks[j]] = 0.0
+            # Unnormalised in-lane CDF; the draw is scaled by the total mass.
+            for j in range(1, pad):
+                np.add(cube[j], cube[j - 1], out=cube[j])
+            draws_group = draws if gids.size == self.n_blocks else draws[gids]
+            np.multiply(draws_group.T, cube[pad - 1], out=dg)
+            np.less_equal(cube[0], dg, out=cnt, casting="unsafe")
+            for j in range(1, pad):
+                np.less_equal(cube[j], dg, out=s["cmp"])
+                np.add(cnt, s["cmp"], out=cnt, casting="unsafe")
+            np.minimum(cnt, gwidths[None, :] - 1, out=cnt)
+            codes[:, gids] = cnt
+        self._codes_wide_blocks(raw, draws, codes, huge)
+
     def __getstate__(self):
-        # Scratch buffers are request-sized; regrown on first use.
+        # Scratch buffers are request-sized; regrown on first use (the lazy
+        # relaxed-path tables likewise rebuild).
         state = dict(self.__dict__)
         state["_buffers"] = {}
+        state.pop("_fast_tables_", None)
         return state
 
 
@@ -694,9 +811,19 @@ class CTABGANPlusSurrogate(Surrogate):
             sampler = self._block_sampler = _SoftmaxBlockSampler(spans)
         return sampler
 
-    def _decode_raw(self, raw_matrix: np.ndarray, rng: np.random.Generator) -> Table:
-        """Decode a stacked raw-logit matrix into a table (shared by both modes)."""
-        codes = self._ensure_block_sampler().sample_codes(raw_matrix, rng)
+    def _decode_raw(
+        self, raw_matrix: np.ndarray, rng: np.random.Generator, *, relaxed: bool = False
+    ) -> Table:
+        """Decode a stacked raw-logit matrix into a table (shared by both modes).
+
+        ``relaxed=True`` (the fast serving path) draws the block codes
+        through the contract-free width-bucketed kernel.
+        """
+        sampler = self._ensure_block_sampler()
+        if relaxed:
+            codes = sampler.sample_codes_fast(raw_matrix, rng)
+        else:
+            codes = sampler.sample_codes(raw_matrix, rng)
         tanh_cols, _softmax_layout = self._activation_layout
         alphas = np.tanh(raw_matrix[:, tanh_cols])
         return self._encoder.decode_sampled(alphas, codes, self.schema_)
@@ -774,4 +901,4 @@ class CTABGANPlusSurrogate(Surrogate):
             # The forward returns a reused buffer; the store into the request
             # matrix is the consuming copy.
             raw_matrix[r0 : r0 + batch] = packed(np.concatenate([noise, cond], axis=1))
-        return self._decode_raw(raw_matrix, rng)
+        return self._decode_raw(raw_matrix, rng, relaxed=True)

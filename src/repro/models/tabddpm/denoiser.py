@@ -177,6 +177,21 @@ class PackedDenoiser:
             self._bias_rows[t] = row
         return row
 
+    def warm(self, n: int) -> None:
+        """Pre-allocate the serving-state and forward buffers for ``n`` rows.
+
+        The layer-0 buffer stays unallocated: :meth:`__call__` computes the
+        first layer itself (into ``_first_out``) and enters the packed net at
+        layer 1.
+        """
+        if n < 1:
+            return
+        if self._state_buffer is None or self._state_buffer.shape[0] != n:
+            self._state_buffer = np.zeros((n, self.n_features), dtype=self.dtype)
+        if self._first_out is None or self._first_out.shape[0] != n:
+            self._first_out = np.empty((n, self._w_state.shape[1]), dtype=self.dtype)
+        self.net.warm(n, start=1)
+
     def __call__(self, state: np.ndarray, t: int) -> np.ndarray:
         """Denoise ``state`` at shared timestep ``t``; returns a reused buffer."""
         x = np.ascontiguousarray(state, dtype=self.dtype)

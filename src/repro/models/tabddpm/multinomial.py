@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.models.tabddpm.schedule import DiffusionSchedule
+from repro.models.width_buckets import bounded_scratch, even_row_chunks
 
 
 class MultinomialDiffusion:
@@ -140,6 +141,14 @@ class MultinomialBlockDiffusion:
     #: accumulations without changing the rounding.
     _LANE_WIDTH_LIMIT = 8
 
+    #: The *relaxed* reverse step has no rounding contract, so it lane-batches
+    #: much wider blocks (realistic tables carry 8-30-category site/user/task
+    #: columns, and the per-block loop dominates fast-mode sampling there).
+    #: Blocks at or beyond this width stay on the per-block path: the padded
+    #: cube would mostly hold padding, and such blocks are rare enough that
+    #: one dense pass each is already efficient.
+    _FAST_LANE_WIDTH_LIMIT = 32
+
     def __init__(self, spans: Sequence[Tuple[int, int]], schedule: DiffusionSchedule):
         """``spans`` are the ``(start, stop)`` column ranges of the one-hot
         blocks inside the encoded matrix, in encoding order."""
@@ -199,14 +208,10 @@ class MultinomialBlockDiffusion:
         # slow tiny-inner-axis loops.  The scratch dtype follows the
         # prediction's (float64 on the exact chain, float32 on the relaxed
         # serving chain, which halves the bandwidth of every pass).
-        key = (w, m, nc, dtype)
-        scratch = self._buffers.get(key)
-        if scratch is None:
-            if len(self._buffers) >= 16:
-                # Serving loops that vary the sample size would otherwise
-                # accumulate one buffer set per distinct chunk shape forever.
-                self._buffers.clear()
-            scratch = {
+        return bounded_scratch(
+            self._buffers,
+            (w, m, nc, dtype),
+            lambda: {
                 "g": np.empty((w, nc, m), dtype=dtype),
                 "fx": np.empty((w, nc, m), dtype=dtype),
                 "mx": np.empty((nc, m), dtype=dtype),
@@ -214,9 +219,8 @@ class MultinomialBlockDiffusion:
                 "dg": np.empty((nc, m), dtype=dtype),
                 "cnt": np.empty((nc, m), dtype=np.intp),
                 "flat": np.arange(nc * m).reshape(nc, m),
-            }
-            self._buffers[key] = scratch
-        return scratch
+            },
+        )
 
     def _zero_blocks(self, out: np.ndarray) -> None:
         if self._col_span is not None:
@@ -339,10 +343,7 @@ class MultinomialBlockDiffusion:
         # Every operation below is strictly row-wise, so processing the rows
         # in cache-sized chunks changes no value — it just keeps the ~17
         # passes over the block segment in cache instead of main memory.
-        chunk = max(1, (1 << 22) // max(8 * self.columns.size, 1))
-        if n > chunk:
-            # Balance the chunks so no degenerate tail chunk is left over.
-            chunk = -(-n // (-(-n // chunk)))
+        chunk = even_row_chunks(n, 8 * self.columns.size, 1 << 22)
         for r0 in range(0, n, chunk):
             r1 = min(n, r0 + chunk)
             self._p_sample_chunk(
@@ -359,42 +360,41 @@ class MultinomialBlockDiffusion:
     # -- relaxed serving reverse step ---------------------------------------------
 
     def _fast_tables(self):
-        """Lane-major padded gather tables over the *narrow* blocks only.
+        """Width-bucketed lane-major gather tables for the relaxed reverse step.
 
-        ``(block ids, pad width, per-lane gather columns, per-lane padded
-        block ids, widths)`` — wide blocks keep the per-block path, so the
-        lanes pad to the widest narrow block (at most 7), not the widest
-        overall.  Lane ``j`` of a block narrower than ``j+1`` gathers the
+        Returns ``(groups, huge)``: each group is ``(block ids, pad width,
+        per-lane gather columns, per-lane padded block ids, widths)`` for one
+        width bucket — the narrow bucket (width < 8, matching the exact
+        path's lane grouping) and the wide bucket (8 to
+        ``_FAST_LANE_WIDTH_LIMIT - 1``), which the exact kernel must leave on
+        the per-block path to preserve pairwise-summation rounding but the
+        relaxed kernel is free to batch.  Bucketing keeps the padding waste
+        bounded: each cube pads to its own bucket's maximum, not the table
+        maximum.  Lane ``j`` of a block narrower than ``j+1`` gathers the
         block's first column (a harmless duplicate: it never exceeds the
-        block maximum) and is zeroed after the exp.  Built lazily so
-        instances restored from older fits work unchanged.
+        block maximum) and is zeroed after the exp.  ``huge`` lists the
+        blocks at or beyond the limit, which keep the per-block path.  Built
+        lazily so instances restored from older fits work unchanged.
         """
         cached = getattr(self, "_fast_tables_", None)
         if cached is not None:
             return cached
-        narrow = np.asarray(
-            [b for b in range(self.n_blocks) if self.widths[b] < self._LANE_WIDTH_LIMIT],
-            dtype=np.intp,
+        from repro.models.width_buckets import build_width_bucket_tables
+
+        tables = build_width_bucket_tables(
+            self.widths,
+            self.starts,
+            narrow_limit=self._LANE_WIDTH_LIMIT,
+            fast_limit=self._FAST_LANE_WIDTH_LIMIT,
         )
-        if narrow.size:
-            widths = self.widths[narrow]
-            starts = self.starts[narrow]
-            pad = int(widths.max())
-            lane_cols = [starts + np.minimum(j, widths - 1) for j in range(pad)]
-            pad_blocks = [np.nonzero(widths <= j)[0] for j in range(pad)]
-            tables = (narrow, pad, lane_cols, pad_blocks, widths)
-        else:
-            tables = (narrow, 0, None, None, None)
         self._fast_tables_ = tables
         return tables
 
-    def _fast_scratch(self, nb: int, pad: int, nc: int, dtype: np.dtype) -> dict:
-        key = ("fast", nb, pad, nc, dtype)
-        scratch = self._buffers.get(key)
-        if scratch is None:
-            if len(self._buffers) >= 16:
-                self._buffers.clear()
-            scratch = {
+    def _fast_scratch(self, gi: int, nb: int, pad: int, nc: int, dtype: np.dtype) -> dict:
+        return bounded_scratch(
+            self._buffers,
+            ("fast", gi, nb, pad, nc, dtype),
+            lambda: {
                 "cube": np.empty((pad, nc, nb), dtype=dtype),
                 "mx": np.empty((nc, nb), dtype=dtype),
                 "tot": np.empty((nc, nb), dtype=dtype),
@@ -404,9 +404,8 @@ class MultinomialBlockDiffusion:
                 "idx": np.empty((nc, nb), dtype=np.intp),
                 "idx_base": np.arange(nc, dtype=np.intp)[:, None] * nb
                 + np.arange(nb, dtype=np.intp)[None, :],
-            }
-            self._buffers[key] = scratch
-        return scratch
+            },
+        )
 
     def p_sample_fast_into(
         self,
@@ -420,12 +419,16 @@ class MultinomialBlockDiffusion:
 
         Draws each block's category from the *same posterior distribution* as
         :meth:`p_sample_into` but with the stream/bit contract waived, which
-        removes most of the per-step passes: the narrow blocks evaluate as
-        one zero-padded ``(rows, blocks, pad)`` cube whose reductions run as
-        single whole-cube numpy calls, probabilities stay unnormalised (the
-        uniform draw is scaled by the total mass instead of normalising every
-        lane), and the posterior's ``x_t`` factor is applied as a scatter
-        multiply at the previously chosen categories only.  Wide blocks keep
+        removes most of the per-step passes: the blocks evaluate as
+        zero-padded ``(pad, rows, blocks)`` width-bucket cubes whose
+        reductions run as single whole-cube numpy calls, probabilities stay
+        unnormalised (the uniform draw is scaled by the total mass instead of
+        normalising every lane), and the posterior's ``x_t`` factor is
+        applied as a scatter multiply at the previously chosen categories
+        only.  Unlike the exact kernel — whose lane grouping must stop at
+        8-wide blocks to preserve NumPy's pairwise-summation rounding — the
+        relaxed kernel lane-batches everything up to
+        ``_FAST_LANE_WIDTH_LIMIT``-wide blocks; only blocks beyond that keep
         the per-block path.  Used by ``sampling_mode="fast"``; validated
         distributionally (chi-squared) in ``tests/test_serving_modes.py``.
         """
@@ -440,9 +443,14 @@ class MultinomialBlockDiffusion:
         # which this mode does not promise to reproduce).
         draws = rng.random((self.n_blocks, n), dtype=np.float32)
         chosen = np.empty((n, self.n_blocks), dtype=np.intp)
-        chunk = max(1, (1 << 22) // max(8 * self.columns.size, 1))
-        if n > chunk:
-            chunk = -(-n // (-(-n // chunk)))
+        # Cache budget in *bytes* (itemsize-aware, so float32 serving states
+        # fit twice the rows per pass).  The relaxed kernel's whole-cube
+        # passes like tighter chunks than the exact kernel's plane loops: a
+        # 1 MiB row budget measured ~10% faster than the exact path's 4 MiB
+        # at serving sizes.
+        chunk = even_row_chunks(
+            n, prediction.dtype.itemsize * self.columns.size, 1 << 20
+        )
         for r0 in range(0, n, chunk):
             r1 = min(n, r0 + chunk)
             self._p_sample_fast_chunk(
@@ -456,16 +464,14 @@ class MultinomialBlockDiffusion:
         # One-hot state update through reused flat-index buffers (the serving
         # state is contiguous): clears the previous categories, sets the new.
         if out.flags.c_contiguous:
-            key = ("scatter", n, out.shape[1])
-            sc = self._buffers.get(key)
-            if sc is None:
-                if len(self._buffers) >= 16:
-                    self._buffers.clear()
-                sc = {
+            sc = bounded_scratch(
+                self._buffers,
+                ("scatter", n, out.shape[1]),
+                lambda: {
                     "idx": np.empty((n, self.n_blocks), dtype=np.intp),
                     "rowoff": np.arange(n, dtype=np.intp)[:, None] * out.shape[1],
-                }
-                self._buffers[key] = sc
+                },
+            )
             flat = out.reshape(-1)
             idx, rowoff = sc["idx"], sc["rowoff"]
             if onehot_prev:
@@ -496,79 +502,100 @@ class MultinomialBlockDiffusion:
         chosen: np.ndarray,
     ) -> None:
         n = out.shape[0]
+        groups, huge = self._fast_tables()
+        for gi, (gids, pad, lane_cols, pad_blocks, gwidths) in enumerate(groups):
+            self._fast_cube_group(
+                prediction, t, draws, prev_chosen, chosen,
+                gi, gids, pad, lane_cols, pad_blocks, gwidths, n,
+            )
+        self._p_sample_wide_blocks(out, prediction, t, draws, chosen, blocks=huge)
+
+    def _fast_cube_group(
+        self,
+        prediction: np.ndarray,
+        t: int,
+        draws: np.ndarray,
+        prev_chosen: Optional[np.ndarray],
+        chosen: np.ndarray,
+        gi: int,
+        gids: np.ndarray,
+        pad: int,
+        lane_cols,
+        pad_blocks,
+        gwidths: np.ndarray,
+        n: int,
+    ) -> None:
+        """Relaxed reverse step of one width bucket as a padded lane cube."""
         sched = self.schedule
-        narrow, pad, lane_cols, pad_blocks, nwidths = self._fast_tables()
-        if narrow.size:
-            s = self._fast_scratch(int(narrow.size), pad, n, prediction.dtype)
-            cube, mx, tot, dg, cnt = s["cube"], s["mx"], s["tot"], s["dg"], s["cnt"]
-            dtype = cube.dtype
+        s = self._fast_scratch(gi, int(gids.size), pad, n, prediction.dtype)
+        cube, mx, tot, dg, cnt = s["cube"], s["mx"], s["tot"], s["dg"], s["cnt"]
+        dtype = cube.dtype
+        for j in range(pad):
+            np.take(prediction, lane_cols[j], axis=1, out=cube[j])
+        # Padded lanes duplicate their block's first logit (never above
+        # the block maximum, so the max is unaffected) and are zeroed
+        # right after the exp.  Every reduction runs lane by lane over
+        # contiguous (rows, blocks) planes — numpy processes those at
+        # full bandwidth, while both a tiny trailing axis and axis-0
+        # reductions/cumsums of this shape fall off a cliff (measured
+        # ~5-40x slower).
+        np.copyto(mx, cube[0])
+        for j in range(1, pad):
+            np.maximum(mx, cube[j], out=mx)
+        if t != 0:
+            # Unnormalised posterior, everything scaled by the softmax
+            # total S = Σexp and by beta = (1-alpha)/K:
+            # p_j ∝ (abar·beta)·e_j + ((1-abar)/K·abar)·Σ(abar·beta·e).
+            # The (abar·beta) factor folds into the exp as a log shift
+            # (one plane op instead of a whole-cube multiply), and the
+            # chosen lane's extra (alpha+beta)/beta posterior factor is a
+            # scatter multiply over (rows, blocks), not a cube pass.
+            alpha_t = float(sched.alphas[t])
+            alpha_bar_prev = float(sched.alphas_bar_prev[t])
+            beta = ((1.0 - alpha_t) / gwidths).astype(dtype)
+            log_ab_beta = np.log(alpha_bar_prev * beta).astype(dtype)
+            np.subtract(mx, log_ab_beta[None, :], out=mx)
             for j in range(pad):
-                np.take(prediction, lane_cols[j], axis=1, out=cube[j])
-            # Padded lanes duplicate their block's first logit (never above
-            # the block maximum, so the max is unaffected) and are zeroed
-            # right after the exp.  Every reduction runs lane by lane over
-            # contiguous (rows, blocks) planes — numpy processes those at
-            # full bandwidth, while both a tiny trailing axis and axis-0
-            # reductions/cumsums of this shape fall off a cliff (measured
-            # ~5-40x slower).
-            np.copyto(mx, cube[0])
+                np.subtract(cube[j], mx, out=cube[j])
+            np.exp(cube, out=cube)
+            for j in range(2, pad):
+                if pad_blocks[j].size:
+                    cube[j][:, pad_blocks[j]] = 0.0
+            np.copyto(tot, cube[0])
             for j in range(1, pad):
-                np.maximum(mx, cube[j], out=mx)
-            if t != 0:
-                # Unnormalised posterior, everything scaled by the softmax
-                # total S = Σexp and by beta = (1-alpha)/K:
-                # p_j ∝ (abar·beta)·e_j + ((1-abar)/K·abar)·Σ(abar·beta·e).
-                # The (abar·beta) factor folds into the exp as a log shift
-                # (one plane op instead of a whole-cube multiply), and the
-                # chosen lane's extra (alpha+beta)/beta posterior factor is a
-                # scatter multiply over (rows, blocks), not a cube pass.
-                alpha_t = float(sched.alphas[t])
-                alpha_bar_prev = float(sched.alphas_bar_prev[t])
-                beta = ((1.0 - alpha_t) / nwidths).astype(dtype)
-                log_ab_beta = np.log(alpha_bar_prev * beta).astype(dtype)
-                np.subtract(mx, log_ab_beta[None, :], out=mx)
-                for j in range(pad):
-                    np.subtract(cube[j], mx, out=cube[j])
-                np.exp(cube, out=cube)
-                for j in range(2, pad):
-                    if pad_blocks[j].size:
-                        cube[j][:, pad_blocks[j]] = 0.0
-                np.copyto(tot, cube[0])
-                for j in range(1, pad):
-                    np.add(tot, cube[j], out=tot)
-                ct_coef = ((1.0 - alpha_bar_prev) / (nwidths * alpha_bar_prev)).astype(dtype)
-                np.multiply(tot, ct_coef[None, :], out=tot)
-                np.add(cube, tot[None, :, :], out=cube)
-                ratio = ((alpha_t + beta) / beta).astype(dtype)
-                idx = np.multiply(prev_chosen[:, narrow], n * narrow.size, out=s["idx"])
-                idx += s["idx_base"]
-                flat_cube = cube.reshape(-1)
-                flat_cube[idx] = flat_cube[idx] * ratio[None, :]
-                for j in range(2, pad):
-                    if pad_blocks[j].size:
-                        cube[j][:, pad_blocks[j]] = 0.0
-            else:
-                for j in range(pad):
-                    np.subtract(cube[j], mx, out=cube[j])
-                np.exp(cube, out=cube)
-                for j in range(2, pad):
-                    if pad_blocks[j].size:
-                        cube[j][:, pad_blocks[j]] = 0.0
-            # In-lane CDF; the draw is scaled by the total mass instead of
-            # normalising every lane (same distribution).
-            for j in range(1, pad):
-                np.add(cube[j], cube[j - 1], out=cube[j])
-            draws_narrow = draws if narrow.size == self.n_blocks else draws[narrow]
-            np.multiply(draws_narrow.T, cube[pad - 1], out=dg)
-            np.less_equal(cube[0], dg, out=cnt, casting="unsafe")
-            for j in range(1, pad):
-                np.less_equal(cube[j], dg, out=s["cmp"])
-                np.add(cnt, s["cmp"], out=cnt, casting="unsafe")
-            # Padded/terminal lanes tie with the total only when the scaled
-            # draw rounds up to it; the clip keeps the index in-block.
-            np.minimum(cnt, nwidths[None, :] - 1, out=cnt)
-            chosen[:, narrow] = cnt
-        self._p_sample_wide_blocks(out, prediction, t, draws, chosen)
+                np.add(tot, cube[j], out=tot)
+            ct_coef = ((1.0 - alpha_bar_prev) / (gwidths * alpha_bar_prev)).astype(dtype)
+            np.multiply(tot, ct_coef[None, :], out=tot)
+            np.add(cube, tot[None, :, :], out=cube)
+            ratio = ((alpha_t + beta) / beta).astype(dtype)
+            idx = np.multiply(prev_chosen[:, gids], n * gids.size, out=s["idx"])
+            idx += s["idx_base"]
+            flat_cube = cube.reshape(-1)
+            flat_cube[idx] = flat_cube[idx] * ratio[None, :]
+            for j in range(2, pad):
+                if pad_blocks[j].size:
+                    cube[j][:, pad_blocks[j]] = 0.0
+        else:
+            for j in range(pad):
+                np.subtract(cube[j], mx, out=cube[j])
+            np.exp(cube, out=cube)
+            for j in range(2, pad):
+                if pad_blocks[j].size:
+                    cube[j][:, pad_blocks[j]] = 0.0
+        # In-lane CDF; the draw is scaled by the total mass instead of
+        # normalising every lane (same distribution).
+        for j in range(1, pad):
+            np.add(cube[j], cube[j - 1], out=cube[j])
+        draws_group = draws if gids.size == self.n_blocks else draws[gids]
+        np.multiply(draws_group.T, cube[pad - 1], out=dg)
+        np.less_equal(cube[0], dg, out=cnt, casting="unsafe")
+        for j in range(1, pad):
+            np.less_equal(cube[j], dg, out=s["cmp"])
+            np.add(cnt, s["cmp"], out=cnt, casting="unsafe")
+        # Padded/terminal lanes tie with the total only when the scaled
+        # draw rounds up to it; the clip keeps the index in-block.
+        np.minimum(cnt, gwidths[None, :] - 1, out=cnt)
+        chosen[:, gids] = cnt
 
     def _p_sample_chunk(
         self,
@@ -665,14 +692,15 @@ class MultinomialBlockDiffusion:
         t: int,
         draws: np.ndarray,
         chosen: np.ndarray,
+        blocks: Optional[Sequence[int]] = None,
     ) -> None:
         """Verbatim per-block reverse step for the wide (8+-category) blocks.
 
-        Shared by the exact chunk kernel (whose bits it defines) and the
-        relaxed serving kernel (wide blocks are rare enough that one code
-        path serves both)."""
+        The exact chunk kernel runs it for every 8+-wide block (whose bits it
+        defines); the relaxed serving kernel passes ``blocks`` explicitly —
+        only the blocks too wide for its padded lane cubes."""
         sched = self.schedule
-        for b in self._wide_blocks:
+        for b in self._wide_blocks if blocks is None else blocks:
             start, stop = self.spans[b]
             n_categories = stop - start
             logits = prediction[:, start:stop]

@@ -179,6 +179,17 @@ class TVAESurrogate(Surrogate):
     #: requests while keeping each forward a single fused matmul stack.
     _FAST_FORWARD_CHUNK = 65_536
 
+    #: Exact-mode decoder chunk.  The latent draws and the decoded logits of
+    #: the full request still materialise (the hardening draw stream consumes
+    #: them whole), but the float64 graph pass — whose per-layer activations
+    #: and graph nodes dominated peak memory for large requests — runs in
+    #: bounded row chunks.  Row-chunked affine/activation forwards are
+    #: bit-identical to the monolithic pass (each output row is an
+    #: independent dot product; asserted at 100k rows in
+    #: ``tests/test_serving_modes.py``), so the exact mode's seed-pinned
+    #: bytes are unchanged.
+    _EXACT_FORWARD_CHUNK = 65_536
+
     def _harden_categorical_blocks(
         self, decoded: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
@@ -210,9 +221,19 @@ class TVAESurrogate(Surrogate):
         cfg = self.config
         rng = as_rng(seed)
         self._decoder_net.eval()
+        # One latent draw for the whole request (the historical stream),
+        # decoded through the graph in bounded row chunks — each chunk's
+        # activations and graph nodes are released before the next chunk
+        # exists, so peak memory no longer grows with ``n`` times the hidden
+        # width.  Bit-identical to the monolithic forward (see
+        # ``_EXACT_FORWARD_CHUNK``).
+        z = rng.standard_normal((n, cfg.latent_dim))
+        n_features = self._encoder_data.blocks_[-1].stop
+        decoded = np.empty((n, n_features), dtype=np.float64)
         with no_grad():
-            z = Tensor(rng.standard_normal((n, cfg.latent_dim)))
-            decoded = self._decoder_net(z).numpy()
+            for r0 in range(0, n, self._EXACT_FORWARD_CHUNK):
+                r1 = min(n, r0 + self._EXACT_FORWARD_CHUNK)
+                decoded[r0:r1] = self._decoder_net(Tensor(z[r0:r1])).numpy()
         self._decoder_net.train()
         return self._encoder_data.inverse_transform(
             self._harden_categorical_blocks(decoded, rng)
@@ -258,7 +279,7 @@ class TVAESurrogate(Surrogate):
                 if b.kind.value == "categorical"
             ]
             sampler = self._serving_block_sampler = _SoftmaxBlockSampler(cat_spans)
-        codes = sampler.sample_codes(decoded, rng)
+        codes = sampler.sample_codes_fast(decoded, rng)
         numerical_starts = [
             b.start for b in self._encoder_data.blocks_ if b.kind.value != "categorical"
         ]

@@ -147,6 +147,22 @@ class PackedForward:
             raise ValueError(f"expected input of shape (n, {expected}), got {x.shape}")
         return self._run(np.ascontiguousarray(x, dtype=self.dtype), start)
 
+    def warm(self, n: int, *, start: int = 0) -> None:
+        """Pre-allocate the forward buffers for batch size ``n``.
+
+        Serving owners call this at registration / worker start so the first
+        real request of the steady-state chunk size pays no buffer
+        allocation (and no first-touch page faults inside the timed path).
+        ``start`` skips the leading layers an owner computes itself (see
+        :meth:`forward_from`).
+        """
+        if n < 1:
+            return
+        outs = self._outputs_for(n)
+        for i in range(start, len(self.layers)):
+            if outs[i] is None:
+                outs[i] = np.empty((n, self.layers[i][0].shape[1]), dtype=self.dtype)
+
     def _run(self, current: np.ndarray, start: int) -> np.ndarray:
         n = current.shape[0]
         outs = self._outputs_for(n)

@@ -1,0 +1,65 @@
+"""repro.serve — the sharded, multi-process sampling service.
+
+The serving layer the repo has been growing toward: PR 4 gave every
+surrogate a relaxed ``sampling_mode="fast"`` and a bounded-memory
+``sample_batches`` streaming API whose chunks each draw from their own
+:class:`numpy.random.SeedSequence` child stream.  That made chunks
+embarrassingly parallel *and* worker-count-invariant by construction; this
+package is the machinery that cashes the invariant in:
+
+:class:`~repro.serve.sharded.ShardedSampler`
+    Fans a request's chunks across a persistent pool of worker processes
+    (each holding a deserialized model snapshot with warmed serving caches)
+    and streams the reassembled chunks back in order.  **The sharding
+    contract:** output bytes for a given ``(seed, chunk_size)`` are
+    identical for any worker count including 1, and equal to
+    ``Table.concat(model.sample_batches(...))`` — sharding changes wall
+    clock, never data.
+
+:class:`~repro.serve.registry.ModelRegistry`
+    Versioned storage of fitted-surrogate snapshots (``<root>/<name>/vN.pkl``)
+    with warm-started packed serving caches at registration and load, so a
+    freshly (re)started server answers its first request at steady-state
+    latency.
+
+:class:`~repro.serve.service.SamplingService`
+    The front end: a thread-safe request queue with micro-batching (all
+    requests queued at a dispatch tick coalesce into one sharded pool pass),
+    per-request seeds (coalescing is invisible in the bytes), backpressure
+    via a bounded in-flight row budget, and a stats endpoint (rows/s, queue
+    depth, p50/p95 latency).
+
+Quickstart::
+
+    from repro.serve import ModelRegistry, SamplingService
+
+    registry = ModelRegistry("models/")
+    registry.register("tvae-prod", fitted_model)
+
+    with SamplingService(registry.get("tvae-prod"), workers=4) as service:
+        table = service.sample(1_000_000, seed=7)          # one request
+        stats = service.stats()                            # rows/s, p95, ...
+
+``repro-experiments serve`` (see :mod:`repro.experiments.cli`) drives the
+whole stack end to end, and ``examples/serving_throughput.py`` is the
+narrated version.  Throughput is guarded by the ``serve_sharded_*`` kernels
+in ``benchmarks/BENCH_hotpaths.json``.
+"""
+
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import (
+    SampleRequest,
+    SamplingService,
+    ServiceOverloaded,
+    ServiceStats,
+)
+from repro.serve.sharded import ShardedSampler
+
+__all__ = [
+    "ModelRegistry",
+    "SampleRequest",
+    "SamplingService",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "ShardedSampler",
+]

@@ -1,0 +1,155 @@
+"""Versioned storage for fitted surrogate snapshots.
+
+A serving deployment never retrains in the request path: models are fitted
+offline, registered under a name, and served from their snapshot.  The
+registry is deliberately plain — a directory tree
+
+.. code-block:: text
+
+    <root>/<name>/v1.pkl
+    <root>/<name>/v2.pkl
+    ...
+
+with monotonically increasing versions per name, the highest version being
+"latest".  Snapshots go through :meth:`Surrogate.save`/:meth:`Surrogate.load`
+(transient serving caches are dropped on disk), and every model the registry
+hands out has been **warm-started**: its packed serving caches are built and
+pre-sized for the serving chunk size at registration / load time
+(:meth:`~repro.models.base.Surrogate.warm_serving_caches`), so the first
+request against a registered model pays the same latency as the thousandth.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.models.base import Surrogate
+
+__all__ = ["ModelRegistry"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._+-]*$")
+_VERSION_RE = re.compile(r"^v(\d+)$")
+
+
+class ModelRegistry:
+    """Store and serve fitted surrogates under ``name``/``version``.
+
+    Loaded models are cached in memory per ``(name, version)``, so repeated
+    :meth:`get` calls (and the sampling service resolving its model on every
+    restart) hit the disk once.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        warm_chunk_rows: int = Surrogate.DEFAULT_SERVING_CHUNK,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.warm_chunk_rows = int(warm_chunk_rows)
+        #: ``(name, version) -> (model, warmed?)`` — the flag lets a later
+        #: ``warm=True`` access warm a model that entered the cache cold.
+        self._cache: Dict[Tuple[str, str], Tuple[Surrogate, bool]] = {}
+
+    # -- write side --------------------------------------------------------------
+    def register(self, name: str, model: Surrogate, *, warm: bool = True) -> str:
+        """Snapshot a fitted ``model`` as the next version of ``name``.
+
+        Returns the assigned version (``"v1"``, ``"v2"``, ...).  With
+        ``warm=True`` (the default) the in-memory instance is warm-started
+        before it is cached, so serving can begin immediately with flat
+        first-request latency.
+        """
+        self._check_name(name)
+        if not model.is_fitted:
+            raise RuntimeError(
+                f"cannot register an unfitted {type(model).__name__} as {name!r}"
+            )
+        if warm:
+            model.warm_serving_caches(self.warm_chunk_rows)
+        version = f"v{self._latest_number(name) + 1}"
+        path = self.path_of(name, version)
+        model.save(path)
+        self._cache[(name, version)] = (model, warm)
+        return version
+
+    # -- read side ---------------------------------------------------------------
+    def get(self, name: str, version: Optional[str] = None, *, warm: bool = True) -> Surrogate:
+        """The model registered as ``name``/``version`` (latest when omitted).
+
+        Loads from disk on first access (warm-starting the caches the pickle
+        dropped), then serves from the in-memory cache.
+        """
+        version = self._resolve_version(name, version)
+        key = (name, version)
+        cached = self._cache.get(key)
+        if cached is None:
+            model, warmed = Surrogate.load(self.path_of(name, version)), False
+        else:
+            model, warmed = cached
+        if warm and not warmed:
+            model.warm_serving_caches(self.warm_chunk_rows)
+            warmed = True
+        self._cache[key] = (model, warmed)
+        return model
+
+    def names(self) -> List[str]:
+        """Registered model names, sorted."""
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and self._version_numbers(entry.name)
+        )
+
+    def versions(self, name: str) -> List[str]:
+        """Versions registered under ``name``, oldest first."""
+        return [f"v{num}" for num in self._version_numbers(name)]
+
+    def latest_version(self, name: str) -> str:
+        """The highest version registered under ``name``."""
+        return self._resolve_version(name, None)
+
+    def path_of(self, name: str, version: str) -> Path:
+        """Filesystem path of one snapshot."""
+        return self.root / name / f"{version}.pkl"
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_', '+', '-'"
+            )
+
+    def _version_numbers(self, name: str) -> List[int]:
+        directory = self.root / name
+        if not directory.is_dir():
+            return []
+        numbers = []
+        for path in directory.glob("v*.pkl"):
+            match = _VERSION_RE.match(path.stem)
+            if match:
+                numbers.append(int(match.group(1)))
+        return sorted(numbers)
+
+    def _latest_number(self, name: str) -> int:
+        numbers = self._version_numbers(name)
+        return numbers[-1] if numbers else 0
+
+    def _resolve_version(self, name: str, version: Optional[str]) -> str:
+        self._check_name(name)
+        numbers = self._version_numbers(name)
+        if version is None:
+            if not numbers:
+                raise KeyError(f"no model registered under {name!r}")
+            return f"v{numbers[-1]}"
+        if not _VERSION_RE.match(version) or int(version[1:]) not in numbers:
+            known = ", ".join(f"v{n}" for n in numbers) or "none"
+            raise KeyError(f"{name!r} has no version {version!r} (known: {known})")
+        return version
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelRegistry({str(self.root)!r}, models={self.names()})"

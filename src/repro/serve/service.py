@@ -1,0 +1,341 @@
+"""The sampling service: a micro-batching request queue over the sharded engine.
+
+Serving traffic is many concurrent, mostly small requests, not one giant
+one.  :class:`SamplingService` accepts requests from any thread
+(:meth:`~SamplingService.submit` returns a :class:`SampleRequest` handle),
+and a dispatcher thread drains the queue in *micro-batches*: every request
+queued at the moment the dispatcher wakes is coalesced into one sharded pass
+— all requests' chunks are submitted to the worker pool together, so the
+pool pipelines across request boundaries instead of draining and refilling
+per request.
+
+Micro-batching is invisible in the bytes: each request's chunks draw from
+the request's **own** seed's chunk streams (the sharding contract of
+:mod:`repro.serve.sharded`), so a coalesced request returns exactly what it
+would have returned alone — proven in ``tests/test_serve_service.py``.  What
+coalescing changes is latency/throughput: queued small requests share one
+pool pass instead of waiting for ``k`` sequential ones.
+
+Backpressure is a bounded in-flight budget (rows admitted but not yet
+delivered): :meth:`submit` blocks — or raises :class:`ServiceOverloaded`
+with ``wait=False`` — until the budget has room, so a burst of producers
+cannot queue unbounded work.  :meth:`stats` reports throughput (rows/s),
+queue depth and p50/p95 request latency over a sliding window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.models.base import SAMPLING_MODES, Surrogate
+from repro.serve.sharded import ShardedSampler
+from repro.tabular.table import Table
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+
+__all__ = ["SampleRequest", "SamplingService", "ServiceOverloaded", "ServiceStats"]
+
+
+class ServiceOverloaded(RuntimeError):
+    """Raised by non-blocking submission when the in-flight budget is full."""
+
+
+class SampleRequest:
+    """Handle for one submitted request; resolves to a :class:`Table`."""
+
+    def __init__(self, n: int, seed: SeedLike, sampling_mode: str) -> None:
+        self.n = n
+        self.seed = seed
+        self.sampling_mode = sampling_mode
+        self.submitted_at = time.perf_counter()
+        self._done = threading.Event()
+        self._result: Optional[Table] = None
+        self._error: Optional[BaseException] = None
+        self.latency: Optional[float] = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Table:
+        """Block until the request is served; returns the sampled table."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"request of {self.n} rows not served within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: Optional[Table], error: Optional[BaseException]) -> None:
+        self.latency = time.perf_counter() - self.submitted_at
+        self._result = result
+        self._error = error
+        self._done.set()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time view of service health."""
+
+    #: Rows delivered per second of service uptime.
+    rows_per_second: float
+    #: Requests waiting for the dispatcher (not yet in a sharded pass).
+    queue_depth: int
+    #: Rows admitted but not yet delivered (the backpressure quantity).
+    in_flight_rows: int
+    #: Median / 95th-percentile request latency over the sliding window (s).
+    p50_latency: float
+    p95_latency: float
+    total_requests: int
+    total_rows: int
+    uptime: float
+
+
+class SamplingService:
+    """Serve sampling requests from a fitted surrogate (or a registry entry).
+
+    Parameters
+    ----------
+    model:
+        The fitted surrogate to serve.
+    workers / chunk_size:
+        Forwarded to the underlying :class:`ShardedSampler`.
+    max_inflight_rows:
+        The backpressure budget: total rows admitted-but-undelivered before
+        :meth:`submit` blocks.  A request larger than the whole budget is
+        admitted when the service is otherwise idle (it would never fit
+        alongside other work, but must not deadlock alone).
+    latency_window:
+        Number of recent request latencies kept for the p50/p95 stats.
+
+    The service starts its pool and dispatcher on construction and is a
+    context manager; :meth:`close` drains the queue and shuts down.
+    """
+
+    def __init__(
+        self,
+        model: Surrogate,
+        *,
+        workers: Optional[int] = None,
+        chunk_size: int = ShardedSampler.DEFAULT_CHUNK_SIZE,
+        max_inflight_rows: int = 4_000_000,
+        latency_window: int = 512,
+    ) -> None:
+        if max_inflight_rows < 1:
+            raise ValueError(f"max_inflight_rows must be positive, got {max_inflight_rows}")
+        self._sampler = ShardedSampler(model, workers=workers, chunk_size=chunk_size)
+        self.max_inflight_rows = int(max_inflight_rows)
+        self._lock = threading.Condition()
+        self._queue: Deque[SampleRequest] = deque()
+        self._in_flight_rows = 0
+        # FIFO admission tickets: submitters are admitted strictly in
+        # arrival order, so an oversized request (admissible only when the
+        # service drains) cannot be starved by a stream of small requests
+        # slipping past it every time the budget frees up.  The deque holds
+        # the tickets still waiting; only its front may admit.
+        self._ticket_counter = 0
+        self._admission_waiters: Deque[int] = deque()
+        self._closing = False
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._total_requests = 0
+        self._total_rows = 0
+        self._started_at = time.perf_counter()
+        # Spawn the worker pool *before* the dispatcher thread exists: the
+        # pool forks at start on platforms where fork is the default, and
+        # forking a multi-threaded process is where the trouble lives.
+        self._sampler.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- client API --------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self._sampler.workers
+
+    @property
+    def chunk_size(self) -> int:
+        return self._sampler.chunk_size
+
+    def submit(
+        self,
+        n: int,
+        *,
+        seed: SeedLike = None,
+        sampling_mode: str = "fast",
+        wait: bool = True,
+    ) -> SampleRequest:
+        """Queue a request for ``n`` rows; returns its :class:`SampleRequest`.
+
+        Serving defaults to the relaxed ``"fast"`` mode (request
+        ``sampling_mode="exact"`` for the bit-reproducible path).  Blocks
+        while the in-flight budget is full; with ``wait=False`` raises
+        :class:`ServiceOverloaded` instead.
+        """
+        if sampling_mode not in SAMPLING_MODES:
+            raise ValueError(
+                f"unknown sampling mode {sampling_mode!r}; use one of {SAMPLING_MODES}"
+            )
+        if n < 0:
+            raise ValueError(f"cannot sample a negative number of rows ({n})")
+        # Reject un-spawnable seeds here, in the caller's thread — the
+        # dispatcher derives the chunk streams from this seed later, and a
+        # bad one must not surface there.
+        spawn_seed_sequences(seed, 0)
+        request = SampleRequest(n, seed, sampling_mode)
+        with self._lock:
+            ticket = self._ticket_counter
+            self._ticket_counter += 1
+            self._admission_waiters.append(ticket)
+            try:
+                while not (
+                    self._admission_waiters[0] == ticket
+                    and (self._admissible(n) or self._closing)
+                ):
+                    if not wait:
+                        raise ServiceOverloaded(
+                            f"in-flight budget full ({self._in_flight_rows}/"
+                            f"{self.max_inflight_rows} rows, "
+                            f"{len(self._admission_waiters) - 1} submitter(s) waiting); "
+                            "retry later"
+                        )
+                    self._lock.wait()
+                if self._closing:
+                    raise RuntimeError("service is closed")
+                self._in_flight_rows += n
+                self._queue.append(request)
+            finally:
+                # The ticket leaves the line whether we admitted, refused or
+                # were closed; whoever is behind may now reach the front.
+                self._admission_waiters.remove(ticket)
+                self._lock.notify_all()
+        return request
+
+    def sample(
+        self, n: int, *, seed: SeedLike = None, sampling_mode: str = "fast"
+    ) -> Table:
+        """Synchronous convenience: submit and wait for the table."""
+        return self.submit(n, seed=seed, sampling_mode=sampling_mode).result()
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            latencies = sorted(self._latencies)
+            queue_depth = len(self._queue)
+            in_flight = self._in_flight_rows
+            total_requests = self._total_requests
+            total_rows = self._total_rows
+        uptime = time.perf_counter() - self._started_at
+        return ServiceStats(
+            rows_per_second=total_rows / uptime if uptime > 0 else 0.0,
+            queue_depth=queue_depth,
+            in_flight_rows=in_flight,
+            p50_latency=self._percentile(latencies, 0.50),
+            p95_latency=self._percentile(latencies, 0.95),
+            total_requests=total_requests,
+            total_rows=total_rows,
+            uptime=uptime,
+        )
+
+    def close(self) -> None:
+        """Drain queued requests, stop the dispatcher, shut the pool down."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            self._lock.notify_all()
+        self._dispatcher.join()
+        self._sampler.close()
+
+    def __enter__(self) -> "SamplingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatcher --------------------------------------------------------------
+    def _admissible(self, n: int) -> bool:
+        if self._in_flight_rows == 0:
+            return True  # an oversized request must not deadlock an idle service
+        return self._in_flight_rows + n <= self.max_inflight_rows
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closing:
+                    self._lock.wait()
+                if not self._queue and self._closing:
+                    return
+                # The micro-batch: everything queued right now.
+                batch = list(self._queue)
+                self._queue.clear()
+            self._serve_batch(batch)
+            with self._lock:
+                self._lock.notify_all()  # budget freed: wake blocked submitters
+
+    def _serve_batch(self, batch: List[SampleRequest]) -> None:
+        """One sharded pass over the chunks of every request in the batch.
+
+        All requests' chunks are submitted to the pool up front (that *is*
+        the micro-batch), then each request resolves independently: a
+        failure affects only the request whose chunk raised.
+        """
+        pooled = self._sampler.workers > 1
+        jobs = []  # (request, sizes, children, chunk futures | None, submit error)
+        for request in batch:
+            sizes, children, futures = [], [], None
+            error: Optional[BaseException] = None
+            # Everything per-request stays inside a per-request guard: one
+            # bad request must never take the dispatcher thread (and with it
+            # the whole service) down.
+            try:
+                sizes, children = self._sampler.chunk_plan(request.n, request.seed)
+                if pooled:
+                    futures = [
+                        self._sampler.submit_chunk(size, child, request.sampling_mode)
+                        for size, child in zip(sizes, children)
+                    ]
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
+                error = exc
+            jobs.append((request, sizes, children, futures, error))
+
+        for request, sizes, children, futures, error in jobs:
+            if error is not None:
+                self._finish(request, None, error)
+                continue
+            try:
+                if pooled:
+                    chunks = [future.result() for future in futures]
+                else:
+                    chunks = [
+                        self._sampler.sample_chunk_local(size, child, request.sampling_mode)
+                        for size, child in zip(sizes, children)
+                    ]
+                table = self._sampler.assemble(
+                    chunks, seed=request.seed, sampling_mode=request.sampling_mode
+                )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
+                self._finish(request, None, exc)
+                continue
+            self._finish(request, table, None)
+
+    def _finish(
+        self, request: SampleRequest, table: Optional[Table], error: Optional[BaseException]
+    ) -> None:
+        request._resolve(table, error)
+        with self._lock:
+            self._in_flight_rows -= request.n
+            self._total_requests += 1
+            if table is not None:
+                self._total_rows += request.n
+            if request.latency is not None and error is None:
+                self._latencies.append(request.latency)
+
+    @staticmethod
+    def _percentile(sorted_values: List[float], q: float) -> float:
+        if not sorted_values:
+            return 0.0
+        index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+        return sorted_values[index]

@@ -1,0 +1,253 @@
+"""The sharded sampling engine: ``sample_batches`` chunks across a process pool.
+
+The sharding contract
+---------------------
+:meth:`~repro.models.base.Surrogate.sample_batches` made chunks
+embarrassingly parallel *by construction*: chunk ``i`` of a request draws
+from the ``i``-th :class:`numpy.random.SeedSequence` child of the request
+seed, so its bytes depend only on ``(model, seed, chunk_size, i)`` — never
+on which process generates it, in what order, or how many sibling workers
+exist.  :class:`ShardedSampler` exploits exactly that: it fans the chunks of
+a request out across a persistent pool of worker processes (each holding a
+deserialized snapshot of the fitted model with warmed serving caches) and
+reassembles the chunks in index order.  The output is therefore
+
+* byte-identical to ``Table.concat(list(model.sample_batches(n, chunk_size,
+  seed=seed, sampling_mode=mode)))``, and
+* byte-identical across **any** worker count, including the in-process
+  ``workers=1`` path — proven for all five surrogates in both sampling
+  modes by ``tests/test_serve_sharded.py``.
+
+Workers are spawned once (:meth:`ShardedSampler.start`) and stay hot:
+steady-state requests ship only ``(rows, seed-sequence, mode)`` descriptors
+and receive chunk tables back.  Chunk submission is windowed, so a
+million-row streaming request keeps at most a few chunks in flight and peak
+parent memory stays bounded exactly as in the single-process streaming API.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.models.base import SAMPLING_MODES, Surrogate
+from repro.tabular.table import Table
+from repro.utils.parallel import WorkerPool, available_workers
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+
+__all__ = ["ShardedSampler"]
+
+#: The worker-process model snapshot, set once by :func:`_init_worker`.
+_WORKER_MODEL: Optional[Surrogate] = None
+
+
+def _init_worker(snapshot: bytes, chunk_rows: int) -> None:
+    """One-time worker setup: deserialize the model, warm its serving caches."""
+    global _WORKER_MODEL
+    model = Surrogate.from_snapshot(snapshot)
+    model.warm_serving_caches(chunk_rows)
+    _WORKER_MODEL = model
+
+
+def _sample_chunk(size: int, child: np.random.SeedSequence, sampling_mode: str) -> Table:
+    """Generate one chunk in the worker — the same call the parent would make."""
+    assert _WORKER_MODEL is not None, "worker used before initialization"
+    return _WORKER_MODEL.sample(
+        size, seed=np.random.default_rng(child), sampling_mode=sampling_mode
+    )
+
+
+class ShardedSampler:
+    """Fan a sampling request's chunks across a persistent process pool.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.models.base.Surrogate`.  The pool snapshots
+        it when it starts; refit the model → :meth:`restart` the sampler.
+    workers:
+        Worker process count.  ``None`` resolves to the visible CPU budget
+        (:func:`repro.utils.parallel.available_workers`, honouring
+        ``REPRO_WORKERS``).  An explicit count is honoured exactly — the
+        worker-count-invariance tests rely on being able to demand 4 workers
+        on a one-core box.  ``1`` runs in-process with no pool at all.
+    chunk_size:
+        Rows per chunk (the sharding grain and the streaming memory bound).
+
+    The sampler is a context manager; :meth:`close` shuts the pool down.
+    """
+
+    DEFAULT_CHUNK_SIZE = Surrogate.DEFAULT_SERVING_CHUNK
+
+    def __init__(
+        self,
+        model: Surrogate,
+        *,
+        workers: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        if not model.is_fitted:
+            raise RuntimeError(
+                f"{type(model).__name__} is not fitted; fit() it before serving"
+            )
+        self._model = model
+        self.workers = available_workers(None) if workers is None else max(1, int(workers))
+        self.chunk_size = int(chunk_size)
+        self._pool: Optional[WorkerPool] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def model(self) -> Surrogate:
+        """The surrogate being served (the parent-process instance)."""
+        return self._model
+
+    @property
+    def is_running(self) -> bool:
+        return self._pool is not None
+
+    def start(self) -> "ShardedSampler":
+        """Snapshot the model and spawn + warm the worker pool (idempotent).
+
+        With ``workers=1`` there is nothing to spawn: the in-process path is
+        the pool-free degenerate case of the same chunk plan.
+        """
+        if self.workers > 1 and self._pool is None:
+            snapshot = self._model.serving_snapshot()
+            self._pool = WorkerPool(
+                self.workers,
+                initializer=_init_worker,
+                initargs=(snapshot, self.chunk_size),
+            ).start()
+        return self
+
+    def restart(self) -> "ShardedSampler":
+        """Tear the pool down and re-snapshot the model (e.g. after a refit)."""
+        self.close()
+        return self.start()
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "ShardedSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the chunk plan (the single source of the sharding arithmetic) -----------
+    def chunk_plan(self, n: int, seed: SeedLike):
+        """The request's chunk sizes and their ``SeedSequence`` child streams.
+
+        Chunk ``i`` has ``min(chunk_size, n - i * chunk_size)`` rows and
+        draws from the ``i``-th child of ``seed`` — exactly
+        :meth:`Surrogate.sample_batches`'s plan.  Every consumer
+        (:meth:`sample_batches` here, the service's micro-batcher) derives
+        its chunks from this one method, so the byte-equality contract
+        cannot drift between them.
+        """
+        n_chunks = -(-n // self.chunk_size) if n else 0
+        sizes = [min(self.chunk_size, n - i * self.chunk_size) for i in range(n_chunks)]
+        return sizes, spawn_seed_sequences(seed, n_chunks)
+
+    def sample_chunk_local(
+        self, size: int, child: np.random.SeedSequence, sampling_mode: str
+    ) -> Table:
+        """Generate one chunk in this process — the workers' exact call."""
+        return self._model.sample(
+            size, seed=np.random.default_rng(child), sampling_mode=sampling_mode
+        )
+
+    def assemble(
+        self, chunks, *, seed: SeedLike = None, sampling_mode: str = "exact"
+    ) -> Table:
+        """One table from a request's chunk tables (0 / 1 / many)."""
+        chunks = list(chunks)
+        if not chunks:
+            return self._model.sample(0, seed=seed, sampling_mode=sampling_mode)
+        if len(chunks) == 1:
+            return chunks[0]
+        return Table.concat(chunks)
+
+    # -- sampling ----------------------------------------------------------------
+    def sample(self, n: int, *, seed: SeedLike = None, sampling_mode: str = "exact") -> Table:
+        """Draw ``n`` rows as one table, sharded across the pool.
+
+        Byte-identical to
+        ``Table.concat(list(model.sample_batches(n, chunk_size, seed=seed,
+        sampling_mode=sampling_mode)))`` for every worker count.
+        """
+        return self.assemble(
+            self.sample_batches(n, seed=seed, sampling_mode=sampling_mode),
+            seed=seed,
+            sampling_mode=sampling_mode,
+        )
+
+    def sample_batches(
+        self, n: int, *, seed: SeedLike = None, sampling_mode: str = "exact"
+    ) -> Iterator[Table]:
+        """Stream ``n`` rows as chunk tables, generated by the pool in parallel.
+
+        Chunks are yielded in index order.  Submission is windowed (a small
+        multiple of the worker count), so the pool stays saturated while the
+        parent holds only a bounded number of undelivered chunks.
+        """
+        self._check_request(n, sampling_mode)
+        sizes, children = self.chunk_plan(n, seed)
+
+        if self.workers == 1 or len(sizes) <= 1:
+            def _generate_serial() -> Iterator[Table]:
+                for size, child in zip(sizes, children):
+                    yield self.sample_chunk_local(size, child, sampling_mode)
+
+            return _generate_serial()
+
+        self.start()
+        pool = self._pool
+        assert pool is not None
+        window = 2 * self.workers
+
+        def _generate_sharded() -> Iterator[Table]:
+            in_flight: deque = deque()
+            for size, child in zip(sizes, children):
+                in_flight.append(pool.submit(_sample_chunk, size, child, sampling_mode))
+                if len(in_flight) >= window:
+                    yield in_flight.popleft().result()
+            while in_flight:
+                yield in_flight.popleft().result()
+
+        return _generate_sharded()
+
+    def submit_chunk(self, size: int, child: np.random.SeedSequence, sampling_mode: str):
+        """Submit one chunk to the worker pool; returns its future.
+
+        The low-level entry the sampling service's micro-batcher uses to
+        interleave the chunks of several coalesced requests in one pool
+        pass.  Requires ``workers > 1`` (the pool is started on demand).
+        """
+        if self.workers == 1:
+            raise RuntimeError("submit_chunk needs a worker pool (workers > 1)")
+        self.start()
+        assert self._pool is not None
+        return self._pool.submit(_sample_chunk, size, child, sampling_mode)
+
+    # -- helpers -----------------------------------------------------------------
+    def _check_request(self, n: int, sampling_mode: str) -> None:
+        if sampling_mode not in SAMPLING_MODES:
+            raise ValueError(
+                f"unknown sampling mode {sampling_mode!r}; use one of {SAMPLING_MODES}"
+            )
+        if n < 0:
+            raise ValueError(f"cannot sample a negative number of rows ({n})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.is_running else "idle"
+        return (
+            f"ShardedSampler({type(self._model).__name__}, workers={self.workers}, "
+            f"chunk_size={self.chunk_size}, {state})"
+        )

@@ -1,29 +1,81 @@
-"""Process-parallel map with a sequential fallback.
+"""Process-parallel plumbing: worker-count resolution, a one-shot parallel
+map, and a persistent worker pool for serving.
 
 Heavy experiment sweeps (training several surrogate models, benchmarking many
 scheduler policies) are embarrassingly parallel at the task level.  This
-helper follows the HPC guidance of keeping each worker's payload a plain
+module follows the HPC guidance of keeping each worker's payload a plain
 picklable function of plain arguments, and degrades gracefully to a serial
 loop when only one worker is requested or when running inside an environment
 where forking is undesirable.
+
+Worker-count resolution (:func:`available_workers`) is container-aware: it
+prefers the scheduling affinity mask (``os.sched_getaffinity``) over
+``os.cpu_count`` — inside a cgroup-limited container or a pinned CI runner
+the former reports the CPUs the process may actually run on, while the
+latter reports every core of the host and would oversubscribe the pool.  The
+``REPRO_WORKERS`` environment variable overrides the detected budget
+entirely (e.g. CI forces ``REPRO_WORKERS=2`` so the multi-process serving
+path is exercised even on single-core runners).
+
+:class:`WorkerPool` is the serving-side companion: a persistent process pool
+whose workers run a one-time initializer (deserialize a model snapshot, warm
+its packed caches) and then stay hot across requests, so steady-state
+dispatch pays per-task IPC only.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, wait
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Environment variable overriding the detected CPU budget.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def visible_cpus() -> int:
+    """CPUs this process may run on: affinity mask first, ``cpu_count`` fallback.
+
+    ``os.sched_getaffinity`` honours cgroup cpusets and CPU pinning, so a
+    containerised run sees its real budget instead of the host's core count;
+    platforms without it (macOS) fall back to ``os.cpu_count``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
+    return os.cpu_count() or 1
+
 
 def available_workers(requested: Optional[int] = None) -> int:
-    """Resolve a worker count: ``requested`` capped by the visible CPUs."""
-    cpus = os.cpu_count() or 1
+    """Resolve a worker count: ``requested`` capped by the visible CPU budget.
+
+    The budget is :func:`visible_cpus` unless ``REPRO_WORKERS`` is set, in
+    which case the override *is* the budget (uncapped — it is an explicit
+    operator decision, e.g. forcing the parallel path on a one-core CI
+    runner).  ``requested=None`` (or a non-positive request) returns the
+    whole budget.
+    """
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            budget = max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer worker count, got {env!r}"
+            ) from None
+    else:
+        budget = visible_cpus()
     if requested is None or requested <= 0:
-        return cpus
-    return max(1, min(requested, cpus))
+        return budget
+    return max(1, min(requested, budget))
 
 
 def parallel_map(
@@ -54,3 +106,116 @@ def parallel_map(
         return [func(item) for item in work]
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(func, work, chunksize=max(1, chunksize)))
+
+
+def _worker_warmup(hold_seconds: float) -> int:
+    """A near-no-op task used to force worker spawn (returns the worker's pid).
+
+    The short hold keeps an already-warm worker busy long enough that the
+    next queued warm-up lands on a *different* (possibly still-initializing)
+    worker instead of being swallowed by the fast one.
+    """
+    if hold_seconds > 0:
+        time.sleep(hold_seconds)
+    return os.getpid()
+
+
+class WorkerPool:
+    """A persistent process pool with one-time per-worker initialization.
+
+    Unlike :func:`parallel_map` (which builds and tears down an executor per
+    call), a :class:`WorkerPool` lives for the duration of a serving session:
+    ``initializer(*initargs)`` runs once in every worker when it spawns —
+    the serving layer uses it to deserialize a model snapshot and warm its
+    packed caches — and subsequent :meth:`submit` calls ship only small task
+    descriptors.
+
+    ``start()`` (called lazily by the first :meth:`submit`, or eagerly by the
+    owner) spawns and initializes every worker up front, so the first real
+    request does not pay process startup or model deserialization.  The pool
+    is a context manager; :meth:`close` shuts the workers down.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        initializer: Optional[Callable[..., object]] = None,
+        initargs: Tuple = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"WorkerPool needs at least 1 worker, got {workers}")
+        self.workers = int(workers)
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def is_running(self) -> bool:
+        return self._executor is not None
+
+    #: Warm-up rounds before :meth:`start` gives up on reaching every worker
+    #: (best effort; see below).
+    _MAX_WARMUP_ROUNDS = 20
+
+    def start(self) -> "WorkerPool":
+        """Spawn and initialize every worker now (idempotent).
+
+        Executors spawn workers on demand, and completed warm-up tasks say
+        nothing about *which* worker ran them — a fast worker can swallow
+        several while a sibling is still inside its initializer.  So this
+        submits warm-up rounds until it has seen every worker's pid report
+        back (each round holds finished workers briefly so stragglers get
+        the remaining tasks), which means every worker completed its
+        initializer; an initializer failure surfaces here, not mid-traffic.
+        The pid chase is bounded (:attr:`_MAX_WARMUP_ROUNDS`) — on a
+        pathologically slow machine start() degrades to best-effort warm
+        rather than hanging.
+        """
+        if self._executor is not None:
+            return self
+        context = multiprocessing.get_context()
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+        seen_pids: set = set()
+        for round_index in range(self._MAX_WARMUP_ROUNDS):
+            missing = self.workers - len(seen_pids)
+            if not missing:
+                break
+            hold = 0.0 if round_index == 0 else 0.02 * round_index
+            warmups = [
+                self._executor.submit(_worker_warmup, hold) for _ in range(missing)
+            ]
+            done, _pending = wait(warmups)
+            for future in done:
+                seen_pids.add(future.result())  # surfaces initializer failures
+        return self
+
+    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
+        """Schedule ``fn(*args, **kwargs)`` on a worker; returns its future."""
+        if self._executor is None:
+            self.start()
+        assert self._executor is not None
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent); pending futures are cancelled."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

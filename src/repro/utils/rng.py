@@ -32,11 +32,13 @@ def as_rng(seed: SeedLike = None) -> np.random.Generator:
     raise TypeError(f"cannot interpret {type(seed).__name__!r} as a random seed")
 
 
-def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
-    """Create ``n`` statistically independent child generators.
+def spawn_seed_sequences(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
+    """The ``n`` :class:`~numpy.random.SeedSequence` children of ``seed``.
 
-    The children are derived through :class:`numpy.random.SeedSequence`
-    spawning, so the same ``(seed, n)`` pair always produces the same streams.
+    The picklable form of :func:`spawn_rngs`: each child seeds exactly the
+    generator ``spawn_rngs`` would return at the same index, so work shipped
+    to another process (one chunk of a sharded sampling request) draws the
+    same stream there as it would in-process.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
@@ -47,7 +49,16 @@ def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
         seq = seed
     else:
         seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(n)]
+    return list(seq.spawn(n))
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    The children are derived through :class:`numpy.random.SeedSequence`
+    spawning, so the same ``(seed, n)`` pair always produces the same streams.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]
 
 
 def derive_seed(base: Optional[int], *names: Iterable[str]) -> int:

@@ -54,6 +54,42 @@ class TestWorkflowDocument:
             assert suite in commands
             assert os.path.exists(os.path.join(REPO_ROOT, suite))
 
+    def test_test_job_gates_serve_suites_with_forced_workers(self, workflow):
+        # The serve suites run as their own named step with REPRO_WORKERS=2,
+        # so the multi-process sharding path is exercised on hosted runners
+        # regardless of how many CPUs they expose.
+        steps = workflow["jobs"]["tests"]["steps"]
+        serve_steps = [
+            step
+            for step in steps
+            if "tests/test_serve_sharded.py" in step.get("run", "")
+            and "tests/test_serve_service.py" in step.get("run", "")
+        ]
+        assert serve_steps, "no named step runs the tests/test_serve*.py suites"
+        env = serve_steps[0].get("env") or {}
+        assert str(env.get("REPRO_WORKERS")) == "2"
+        for suite in ("tests/test_serve_sharded.py", "tests/test_serve_service.py"):
+            assert os.path.exists(os.path.join(REPO_ROOT, suite))
+
+    def test_perf_gate_required_kernels_cover_the_serving_stack(self):
+        # The committed baseline must keep measuring the serving kernels: a
+        # refactor that silently drops them should fail the perf gate, not
+        # shrink its coverage.
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_regression", os.path.join(REPO_ROOT, "benchmarks", "check_regression.py")
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert {"serve_sharded_tvae", "serve_sharded_tabddpm"} <= module.REQUIRED_KERNELS
+        import json
+
+        with open(os.path.join(REPO_ROOT, "benchmarks", "BENCH_hotpaths.json")) as fh:
+            baseline = json.load(fh)
+        recorded = {rec["kernel"] for rec in baseline["records"]}
+        assert module.REQUIRED_KERNELS <= recorded
+
     def test_perf_gate_runs_benchmarks_ci_with_loose_factor(self, workflow):
         steps = workflow["jobs"]["perf-gate"]["steps"]
         commands = " ".join(step.get("run", "") for step in steps)

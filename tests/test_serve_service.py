@@ -1,0 +1,280 @@
+"""Registry and service semantics: versioning, warm starts, micro-batching,
+backpressure and stats.
+
+The load-bearing guarantees:
+
+* registry round-trip — register, restart (a fresh registry over the same
+  directory), load: the served bytes are identical;
+* micro-batching is invisible in the bytes — requests coalesced into one
+  sharded pass return exactly what each would return served alone, because
+  every request keeps its own seed's chunk streams;
+* backpressure — the bounded in-flight budget blocks (or refuses) new
+  admissions instead of queueing unbounded work.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models.base import Surrogate
+from repro.models.smote import SMOTESurrogate
+from repro.models.tvae import TVAEConfig, TVAESurrogate
+from repro.serve import (
+    ModelRegistry,
+    SamplingService,
+    ServiceOverloaded,
+    ShardedSampler,
+)
+from repro.tabular.schema import TableSchema
+from repro.tabular.table import Table
+
+CHUNK = 50
+
+
+def _table(n=400, seed=29):
+    rng = np.random.default_rng(seed)
+    data = {
+        "x": rng.normal(size=n) * 3.0,
+        "cat": rng.choice(["a", "b", "c"], n),
+        "site": rng.choice([f"s{i}" for i in range(9)], n),
+    }
+    return Table(
+        data, TableSchema.from_columns(numerical=["x"], categorical=["cat", "site"])
+    )
+
+
+@pytest.fixture(scope="module")
+def table():
+    return _table()
+
+
+@pytest.fixture(scope="module")
+def tvae(table):
+    return TVAESurrogate(TVAEConfig.fast(), seed=5).fit(table)
+
+
+class TestModelRegistry:
+    def test_versions_increment(self, tvae, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        assert registry.register("tvae-prod", tvae) == "v1"
+        assert registry.register("tvae-prod", tvae) == "v2"
+        assert registry.versions("tvae-prod") == ["v1", "v2"]
+        assert registry.latest_version("tvae-prod") == "v2"
+        assert registry.names() == ["tvae-prod"]
+
+    def test_round_trip_after_restart_serves_identical_bytes(self, tvae, table, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        registry.register("m", tvae)
+        reference = tvae.sample(120, seed=11)
+        # A fresh registry over the same directory = a server restart.
+        restarted = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        loaded = restarted.get("m")
+        assert loaded is not tvae
+        assert loaded.sample(120, seed=11) == reference
+        # And the sharded engine over the loaded model keeps the contract.
+        with ShardedSampler(loaded, workers=2, chunk_size=CHUNK) as sampler:
+            assert sampler.sample(120, seed=11) == Table.concat(
+                list(tvae.sample_batches(120, CHUNK, seed=11))
+            )
+
+    def test_get_is_cached_and_warm(self, tvae, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        registry.register("m", tvae)
+        restarted = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        loaded = restarted.get("m")
+        assert restarted.get("m") is loaded
+        # Warm start: the packed serving caches exist before any request.
+        assert getattr(loaded, "_packed_decoder", None) is not None
+        assert getattr(loaded, "_serving_block_sampler", None) is not None
+
+    def test_cold_cached_model_is_warmed_by_a_later_warm_get(self, tvae, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        registry.register("m", tvae, warm=False)
+        restarted = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        cold = restarted.get("m", warm=False)
+        assert getattr(cold, "_packed_decoder", None) is None
+        # warm defaults to True and must warm the instance cached cold above.
+        warmed = restarted.get("m")
+        assert warmed is cold
+        assert getattr(warmed, "_packed_decoder", None) is not None
+
+    def test_version_pinning(self, table, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        first = SMOTESurrogate(k_neighbors=3).fit(table)
+        second = SMOTESurrogate(k_neighbors=5).fit(table)
+        registry.register("m", first)
+        registry.register("m", second)
+        assert registry.get("m", "v1").sample(40, seed=2) == first.sample(40, seed=2)
+        assert registry.get("m").sample(40, seed=2) == second.sample(40, seed=2)
+
+    def test_rejects_unfitted_and_bad_names(self, tvae, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(RuntimeError, match="unfitted"):
+            registry.register("m", TVAESurrogate())
+        with pytest.raises(ValueError, match="invalid model name"):
+            registry.register("../escape", tvae)
+        with pytest.raises(KeyError, match="no model registered"):
+            registry.get("missing")
+        registry.register("m", tvae)
+        with pytest.raises(KeyError, match="no version"):
+            registry.get("m", "v99")
+
+
+class _SlowSurrogate(Surrogate):
+    """Deterministic test double: constant output, configurable delay/failure."""
+
+    name = "slow"
+
+    def __init__(self, delay=0.0, fail_on=None):
+        super().__init__()
+        self.delay = delay
+        self.fail_on = fail_on
+
+    def fit(self, table):
+        self._mark_fitted(table)
+        return self
+
+    def _sample_exact(self, n, *, seed=None):
+        if self.fail_on is not None and n == self.fail_on:
+            raise RuntimeError("injected sampling failure")
+        if self.delay:
+            time.sleep(self.delay)
+        return Table({"x": np.zeros(n)}, self.schema_)
+
+
+def _slow_model(delay=0.0, fail_on=None):
+    table = Table({"x": np.arange(8.0)}, TableSchema.from_columns(numerical=["x"]))
+    return _SlowSurrogate(delay=delay, fail_on=fail_on).fit(table)
+
+
+class TestSamplingService:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_microbatched_equals_individual(self, tvae, workers):
+        seeds = [101, 202, 303, 404]
+        with SamplingService(tvae, workers=workers, chunk_size=CHUNK) as service:
+            requests = [
+                service.submit(120, seed=seed, sampling_mode="fast") for seed in seeds
+            ]
+            coalesced = [request.result(timeout=120) for request in requests]
+        with ShardedSampler(tvae, workers=1, chunk_size=CHUNK) as solo:
+            for seed, table in zip(seeds, coalesced):
+                assert table == solo.sample(120, seed=seed, sampling_mode="fast")
+
+    def test_exact_mode_requests_match_the_streaming_api(self, tvae):
+        with SamplingService(tvae, workers=1, chunk_size=CHUNK) as service:
+            served = service.sample(110, seed=13, sampling_mode="exact")
+        assert served == Table.concat(list(tvae.sample_batches(110, CHUNK, seed=13)))
+
+    def test_zero_row_request(self, tvae):
+        with SamplingService(tvae, workers=1, chunk_size=CHUNK) as service:
+            empty = service.sample(0, seed=1)
+        assert len(empty) == 0
+        assert empty.schema == tvae.schema_
+
+    def test_stats_account_requests_and_rows(self, tvae):
+        with SamplingService(tvae, workers=1, chunk_size=CHUNK) as service:
+            for seed in range(3):
+                service.sample(60, seed=seed)
+            stats = service.stats()
+        assert stats.total_requests == 3
+        assert stats.total_rows == 180
+        assert stats.rows_per_second > 0
+        assert stats.queue_depth == 0
+        assert stats.in_flight_rows == 0
+        assert 0 <= stats.p50_latency <= stats.p95_latency
+
+    def test_backpressure_rejects_when_budget_is_full(self):
+        model = _slow_model(delay=0.3)
+        with SamplingService(
+            model, workers=1, chunk_size=1000, max_inflight_rows=100
+        ) as service:
+            first = service.submit(80, seed=1)  # occupies the budget while slow
+            with pytest.raises(ServiceOverloaded):
+                service.submit(50, seed=2, wait=False)
+            # Blocking submission waits for the budget instead of failing.
+            second = service.submit(50, seed=3)
+            assert len(first.result(timeout=30)) == 80
+            assert len(second.result(timeout=30)) == 50
+
+    def test_oversized_request_admitted_when_idle(self):
+        model = _slow_model()
+        with SamplingService(
+            model, workers=1, chunk_size=1000, max_inflight_rows=10
+        ) as service:
+            assert len(service.sample(500, seed=1)) == 500
+
+    def test_blocked_submitters_wake_in_parallel(self):
+        model = _slow_model(delay=0.2)
+        with SamplingService(
+            model, workers=1, chunk_size=1000, max_inflight_rows=100
+        ) as service:
+            service.submit(90, seed=1)
+            results = []
+
+            def late_submit():
+                results.append(service.sample(90, seed=2))
+
+            thread = threading.Thread(target=late_submit)
+            thread.start()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert len(results) == 1 and len(results[0]) == 90
+
+    def test_invalid_seed_rejected_in_the_callers_thread(self, tvae):
+        # A bad seed must fail at submit(), not kill the dispatcher thread
+        # (which would wedge every other request).
+        with SamplingService(tvae, workers=1, chunk_size=CHUNK) as service:
+            with pytest.raises(TypeError):
+                service.submit(10, seed="not-a-seed")
+            assert len(service.sample(20, seed=1)) == 20  # still healthy
+
+    def test_admission_is_fifo(self):
+        # An oversized request blocked on the budget must not be starved by
+        # later small requests: admission order is arrival order.
+        model = _slow_model(delay=0.15)
+        with SamplingService(
+            model, workers=1, chunk_size=1000, max_inflight_rows=100
+        ) as service:
+            service.submit(90, seed=1)  # occupies the budget
+            order = []
+
+            def submit_big():
+                service.submit(95, seed=2)  # needs the budget to fully drain
+                order.append("big")
+
+            def submit_small():
+                service.submit(10, seed=3)
+                order.append("small")
+
+            big = threading.Thread(target=submit_big)
+            big.start()
+            time.sleep(0.05)  # the big request is queued first...
+            small = threading.Thread(target=submit_small)
+            small.start()
+            big.join(timeout=30)
+            small.join(timeout=30)
+            assert order and order[0] == "big"
+
+    def test_sampling_failures_propagate_to_the_request(self):
+        model = _slow_model(fail_on=13)
+        with SamplingService(model, workers=1, chunk_size=1000) as service:
+            good = service.submit(7, seed=1)
+            bad = service.submit(13, seed=2)
+            assert len(good.result(timeout=30)) == 7
+            with pytest.raises(RuntimeError, match="injected sampling failure"):
+                bad.result(timeout=30)
+
+    def test_validation_and_close_semantics(self, tvae):
+        service = SamplingService(tvae, workers=1, chunk_size=CHUNK)
+        with pytest.raises(ValueError, match="unknown sampling mode"):
+            service.submit(5, sampling_mode="turbo")
+        with pytest.raises(ValueError, match="negative"):
+            service.submit(-2)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(5, seed=1)
+        with pytest.raises(ValueError, match="positive"):
+            SamplingService(tvae, workers=1, max_inflight_rows=0)

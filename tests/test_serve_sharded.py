@@ -1,0 +1,171 @@
+"""The sharding contract: worker count changes wall clock, never bytes.
+
+``ShardedSampler`` fans ``sample_batches`` chunks across a process pool;
+because every chunk draws from its own ``SeedSequence`` child stream, the
+reassembled output must be byte-identical
+
+* to the single-process ``sample_batches`` concatenation, and
+* across worker counts {1, 2, 4} — including 4 workers on a 1-core box —
+
+for **all five surrogates in both sampling modes**.  These tests prove it,
+plus the request-validation and lifecycle semantics around it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.ctabgan import CTABGANConfig, CTABGANPlusSurrogate
+from repro.models.gaussian_copula import GaussianCopulaSurrogate
+from repro.models.smote import SMOTESurrogate
+from repro.models.tabddpm.model import TabDDPMConfig, TabDDPMSurrogate
+from repro.models.tvae import TVAEConfig, TVAESurrogate
+from repro.serve import ShardedSampler
+from repro.tabular.schema import TableSchema
+from repro.tabular.table import Table
+
+N_ROWS = 130
+CHUNK = 40  # deliberately a non-divisor of N_ROWS: chunk plan (40, 40, 40, 10)
+WORKER_COUNTS = (1, 2, 4)
+MODES = ("exact", "fast")
+
+
+def _serving_table(n=500, seed=23):
+    rng = np.random.default_rng(seed)
+    data = {
+        "x0": np.round(rng.lognormal(1.0, 0.7, n), 2),
+        "x1": rng.normal(size=n) * 4.0,
+        "cat_a": rng.choice(["a", "b"], n, p=[0.7, 0.3]),
+        "cat_b": rng.choice(["u", "v", "w"], n),
+        # Wide enough to exercise the relaxed width-bucket kernels.
+        "cat_wide": rng.choice([f"s{i}" for i in range(11)], n),
+    }
+    return Table(
+        data,
+        TableSchema.from_columns(
+            numerical=["x0", "x1"], categorical=["cat_a", "cat_b", "cat_wide"]
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def table():
+    return _serving_table()
+
+
+@pytest.fixture(scope="module")
+def models(table):
+    return {
+        "tvae": TVAESurrogate(TVAEConfig.fast(), seed=3).fit(table),
+        "ctabgan": CTABGANPlusSurrogate(CTABGANConfig.fast(), seed=3).fit(table),
+        "tabddpm": TabDDPMSurrogate(TabDDPMConfig.fast(), seed=3).fit(table),
+        "smote": SMOTESurrogate(k_neighbors=3).fit(table),
+        "copula": GaussianCopulaSurrogate().fit(table),
+    }
+
+
+class TestWorkerCountInvariance:
+    """The acceptance bar: bytes identical for workers in {1, 2, 4}, both modes."""
+
+    @pytest.mark.parametrize("name", ["tvae", "ctabgan", "tabddpm", "smote", "copula"])
+    def test_all_surrogates_both_modes(self, models, name):
+        model = models[name]
+        references = {
+            mode: Table.concat(
+                list(model.sample_batches(N_ROWS, CHUNK, seed=7, sampling_mode=mode))
+            )
+            for mode in MODES
+        }
+        for workers in WORKER_COUNTS:
+            with ShardedSampler(model, workers=workers, chunk_size=CHUNK) as sampler:
+                for mode in MODES:
+                    result = sampler.sample(N_ROWS, seed=7, sampling_mode=mode)
+                    assert result == references[mode], (name, workers, mode)
+
+    def test_chunk_size_changes_the_stream_but_stays_invariant(self, models):
+        # Different chunk_size → different chunk streams (documented), but
+        # each chunk_size is still worker-count-invariant.
+        model = models["tvae"]
+        with ShardedSampler(model, workers=2, chunk_size=64) as sampler:
+            other_chunking = sampler.sample(N_ROWS, seed=7)
+        with ShardedSampler(model, workers=1, chunk_size=64) as sampler:
+            assert sampler.sample(N_ROWS, seed=7) == other_chunking
+        with ShardedSampler(model, workers=1, chunk_size=CHUNK) as sampler:
+            assert sampler.sample(N_ROWS, seed=7) != other_chunking
+
+
+class TestStreaming:
+    def test_chunks_arrive_in_order_with_the_right_sizes(self, models):
+        with ShardedSampler(models["smote"], workers=2, chunk_size=CHUNK) as sampler:
+            chunks = list(sampler.sample_batches(N_ROWS, seed=5, sampling_mode="fast"))
+        assert [len(c) for c in chunks] == [40, 40, 40, 10]
+        reference = list(
+            models["smote"].sample_batches(N_ROWS, CHUNK, seed=5, sampling_mode="fast")
+        )
+        assert all(a == b for a, b in zip(chunks, reference))
+
+    def test_oversized_chunk_is_one_shot(self, models):
+        with ShardedSampler(models["smote"], workers=4, chunk_size=4096) as sampler:
+            chunks = list(sampler.sample_batches(90, seed=2))
+        assert [len(c) for c in chunks] == [90]
+
+    def test_zero_rows(self, models):
+        model = models["copula"]
+        for workers in (1, 4):
+            with ShardedSampler(model, workers=workers, chunk_size=CHUNK) as sampler:
+                assert list(sampler.sample_batches(0, seed=1)) == []
+                empty = sampler.sample(0, seed=1)
+                assert len(empty) == 0
+                assert empty.schema == model.schema_
+
+
+class TestLifecycleAndValidation:
+    def test_rejects_unfitted_model(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ShardedSampler(TVAESurrogate())
+
+    def test_rejects_bad_chunk_size(self, models):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ShardedSampler(models["smote"], chunk_size=0)
+
+    def test_rejects_bad_requests(self, models):
+        sampler = ShardedSampler(models["smote"], workers=1)
+        with pytest.raises(ValueError, match="negative"):
+            sampler.sample(-1, seed=1)
+        with pytest.raises(ValueError, match="unknown sampling mode"):
+            sampler.sample(10, seed=1, sampling_mode="turbo")
+
+    def test_submit_chunk_needs_a_pool(self, models):
+        sampler = ShardedSampler(models["smote"], workers=1)
+        with pytest.raises(RuntimeError, match="worker pool"):
+            sampler.submit_chunk(10, np.random.SeedSequence(0), "fast")
+
+    def test_workers_default_resolves_from_env(self, models, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ShardedSampler(models["smote"]).workers == 3
+
+    def test_close_is_idempotent_and_restart_works(self, models):
+        sampler = ShardedSampler(models["smote"], workers=2, chunk_size=CHUNK)
+        first = sampler.sample(80, seed=9)
+        assert sampler.is_running
+        sampler.close()
+        assert not sampler.is_running
+        sampler.close()
+        sampler.restart()
+        assert sampler.is_running
+        assert sampler.sample(80, seed=9) == first
+        sampler.close()
+
+    def test_restart_picks_up_a_refit(self, table):
+        model = SMOTESurrogate(k_neighbors=3).fit(table)
+        sampler = ShardedSampler(model, workers=2, chunk_size=CHUNK).start()
+        before = sampler.sample(60, seed=4)
+        other = _serving_table(n=300, seed=99)
+        model.fit(other)
+        # The running pool still serves the old snapshot by design...
+        assert sampler.sample(60, seed=4) == before
+        # ...and restart() re-snapshots the refitted model.
+        sampler.restart()
+        refit = sampler.sample(60, seed=4)
+        assert refit.schema == other.schema
+        assert refit == Table.concat(list(model.sample_batches(60, CHUNK, seed=4)))
+        sampler.close()

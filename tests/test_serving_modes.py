@@ -224,6 +224,104 @@ class TestPackedForward:
         np.testing.assert_allclose(packed(view, 5), reference, rtol=2e-4, atol=2e-5)
 
 
+class TestExactChunkedDecoder:
+    def test_tvae_exact_forward_chunked_bit_identical_at_100k(self, mixed_table):
+        # The exact mode decodes large requests through bounded row chunks;
+        # the satellite contract is bit-identity with the monolithic float64
+        # graph pass at 100k rows (row-chunked affine/activation forwards are
+        # independent per row).
+        model = TVAESurrogate(TVAEConfig.fast(), seed=6).fit(mixed_table)
+        assert TVAESurrogate._EXACT_FORWARD_CHUNK < 100_000
+        chunked = model.sample(100_000, seed=31)
+        original = TVAESurrogate._EXACT_FORWARD_CHUNK
+        TVAESurrogate._EXACT_FORWARD_CHUNK = 1 << 60  # monolithic pass
+        try:
+            monolithic = model.sample(100_000, seed=31)
+        finally:
+            TVAESurrogate._EXACT_FORWARD_CHUNK = original
+        assert chunked == monolithic
+
+
+class TestRelaxedCodeSampler:
+    """``sample_codes_fast``: same per-block law, wide blocks lane-batched."""
+
+    def _sampler_and_logits(self, widths, n, seed=0, dtype=np.float64):
+        from repro.models.ctabgan import _SoftmaxBlockSampler
+
+        spans, start = [], 0
+        for w in widths:
+            spans.append((start, start + w))
+            start += w
+        rng = np.random.default_rng(seed)
+        raw = (rng.normal(size=(n, start)) * 2.0).astype(dtype)
+        return _SoftmaxBlockSampler(spans), raw
+
+    def test_same_distribution_as_exact_incl_wide_and_huge_blocks(self):
+        # Width 9/12 exercises the relaxed wide bucket, width 40 the
+        # per-block fallback beyond _FAST_LANE_WIDTH_LIMIT.
+        widths = [2, 3, 3, 9, 12, 40]
+        sampler, raw = self._sampler_and_logits(widths, n=6000)
+        exact = sampler.sample_codes(raw, np.random.default_rng(1))
+        fast = sampler.sample_codes_fast(raw, np.random.default_rng(2))
+        assert fast.shape == exact.shape
+        for b, w in enumerate(widths):
+            observed = np.array(
+                [
+                    np.bincount(exact[:, b], minlength=w),
+                    np.bincount(fast[:, b], minlength=w),
+                ]
+            )
+            keep = observed.sum(axis=0) > 0
+            result = stats.chi2_contingency(observed[:, keep])
+            assert result.pvalue > P_FLOOR, (b, w, result.pvalue)
+
+    def test_width_one_blocks_are_constant_zero(self):
+        sampler, raw = self._sampler_and_logits([1, 4, 1], n=200)
+        codes = sampler.sample_codes_fast(raw, np.random.default_rng(3))
+        assert (codes[:, 0] == 0).all() and (codes[:, 2] == 0).all()
+        assert codes[:, 1].max() <= 3
+
+    def test_float32_logits_supported(self):
+        sampler, raw = self._sampler_and_logits([3, 10], n=500, dtype=np.float32)
+        codes = sampler.sample_codes_fast(raw, np.random.default_rng(4))
+        assert codes[:, 0].max() <= 2 and codes[:, 1].max() <= 9
+
+
+class TestWarmServingCaches:
+    def test_warm_builds_the_lazy_caches(self, deep_models):
+        expected_cache = {
+            "tvae": "_packed_decoder",
+            "ctabgan": "_packed_generator",
+            "tabddpm": "_packed_serving",
+        }
+        for name, model in deep_models.items():
+            warmed = model.warm_serving_caches(64)
+            assert warmed >= 1, name
+            assert getattr(model, expected_cache[name], None) is not None
+
+    def test_warm_rejects_unfitted_and_bad_sizes(self, deep_models):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TVAESurrogate().warm_serving_caches()
+        with pytest.raises(ValueError, match="chunk_rows"):
+            deep_models["tvae"].warm_serving_caches(0)
+
+    def test_packed_forward_warm_preallocates_buffers(self):
+        packed = PackedForward(MLP(12, [24, 16], 8, seed=0), np.float32)
+        packed.warm(32)
+        buffers = packed._buffers[32]
+        assert all(b is not None and b.shape[0] == 32 for b in buffers)
+        x = np.zeros((32, 12))
+        out = packed(x)
+        assert out is buffers[-1]
+
+    def test_snapshot_round_trip(self, deep_models):
+        model = deep_models["tvae"]
+        clone = type(model).from_snapshot(model.serving_snapshot())
+        assert clone.sample(40, seed=8) == model.sample(40, seed=8)
+        with pytest.raises(TypeError, match="snapshot"):
+            TabDDPMSurrogate.from_snapshot(model.serving_snapshot())
+
+
 class TestServingCachesNotPickled:
     def test_save_drops_packed_caches(self, deep_models, tmp_path):
         transient = ("_packed_serving", "_packed_generator", "_packed_decoder",

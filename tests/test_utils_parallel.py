@@ -2,22 +2,62 @@
 
 import os
 
-from repro.utils.parallel import available_workers, parallel_map
+import pytest
+
+from repro.utils.parallel import (
+    WORKERS_ENV,
+    WorkerPool,
+    available_workers,
+    parallel_map,
+    visible_cpus,
+)
 
 
 def _square(x):
     return x * x
 
 
-class TestAvailableWorkers:
-    def test_default_is_cpu_count(self):
-        assert available_workers(None) == (os.cpu_count() or 1)
+class TestVisibleCpus:
+    def test_prefers_affinity_mask(self):
+        # On Linux the affinity mask is the container/CI truth; elsewhere the
+        # helper falls back to cpu_count.
+        if hasattr(os, "sched_getaffinity"):
+            assert visible_cpus() == max(1, len(os.sched_getaffinity(0)))
+        else:
+            assert visible_cpus() == (os.cpu_count() or 1)
 
-    def test_requested_capped(self):
-        assert available_workers(10_000) <= (os.cpu_count() or 1)
+    def test_at_least_one(self):
+        assert visible_cpus() >= 1
+
+
+class TestAvailableWorkers:
+    def test_default_is_visible_budget(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert available_workers(None) == visible_cpus()
+
+    def test_requested_capped(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert available_workers(10_000) <= visible_cpus()
 
     def test_at_least_one(self):
         assert available_workers(0) >= 1
+
+    def test_env_override_is_the_budget(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert available_workers(None) == 3
+        assert available_workers(2) == 2
+        # The override is an explicit operator decision: it is not capped by
+        # the visible CPUs (CI forces 2 on one-core runners).
+        assert available_workers(8) == 3
+
+    def test_env_override_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert available_workers(None) == 1
+
+    def test_invalid_env_override_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            available_workers(None)
 
 
 class TestParallelMap:
@@ -35,10 +75,59 @@ class TestParallelMap:
     def test_single_item_short_circuits(self):
         assert parallel_map(_square, [7], workers=4) == [49]
 
-    def test_multiprocess_matches_serial(self):
+    def test_multiprocess_matches_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
         items = list(range(8))
         expected = [x * x for x in items]
         assert parallel_map(_square, items, workers=2) == expected
 
     def test_accepts_generator_input(self):
         assert parallel_map(_square, (i for i in range(4)), workers=1) == [0, 1, 4, 9]
+
+
+def _pool_init(value):
+    global _POOL_PAYLOAD
+    _POOL_PAYLOAD = value * 2
+
+
+def _pool_task(x):
+    return _POOL_PAYLOAD + x
+
+
+def _failing_init():
+    raise RuntimeError("worker init boom")
+
+
+class TestWorkerPool:
+    def test_initializer_runs_per_worker(self):
+        with WorkerPool(2, initializer=_pool_init, initargs=(21,)) as pool:
+            futures = [pool.submit(_pool_task, i) for i in range(6)]
+            assert sorted(f.result() for f in futures) == [42 + i for i in range(6)]
+
+    def test_start_is_eager_and_idempotent(self):
+        pool = WorkerPool(2, initializer=_pool_init, initargs=(0,))
+        assert not pool.is_running
+        assert pool.start() is pool
+        assert pool.is_running
+        assert pool.start() is pool
+        pool.close()
+        assert not pool.is_running
+        pool.close()  # idempotent
+
+    def test_submit_lazily_starts(self):
+        pool = WorkerPool(1, initializer=_pool_init, initargs=(1,))
+        try:
+            assert pool.submit(_pool_task, 0).result() == 2
+            assert pool.is_running
+        finally:
+            pool.close()
+
+    def test_initializer_failure_surfaces_at_start(self):
+        pool = WorkerPool(1, initializer=_failing_init)
+        with pytest.raises(Exception):
+            pool.start()
+        pool.close()
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            WorkerPool(0)
