@@ -66,7 +66,7 @@ from repro.scheduler.broker import LeastLoadedBroker  # noqa: E402
 from repro.scheduler.cluster import GridCluster  # noqa: E402
 from repro.scheduler.jobs import SimulatedJob, jobs_from_table  # noqa: E402
 from repro.scheduler.simulator import GridSimulator  # noqa: E402
-from repro.serve import ShardedSampler  # noqa: E402
+from repro.serve import Fault, FaultPlan, ShardedSampler  # noqa: E402
 from repro.tabular.schema import TableSchema  # noqa: E402
 from repro.tabular.table import Table  # noqa: E402
 from repro.utils.profiling import BenchmarkRegistry  # noqa: E402
@@ -476,6 +476,58 @@ def bench_serve_sharded(registry: BenchmarkRegistry, tvae_sizes, ddpm_sizes, rep
                 registry.measure(kernel, "optimized", size, run_sharded, repeats=repeats)
 
 
+def bench_serve_faulty(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    """Serving throughput *under failure*: one worker kill per measured run.
+
+    Same shape as ``serve_sharded_tvae`` — the single-worker exact
+    ``sample_batches`` concatenation as the ``"seed"`` variant, the warm
+    4-worker sharded fast path as ``"optimized"`` — except a ``kill@1``
+    fault plan is re-armed before every optimized run, so each measurement
+    pays exactly one worker crash: pool teardown, executor rebuild, the
+    snapshot/warm-cache initializer, and resubmission of the chunks queued
+    behind the crash.  The recorded speedup is therefore the *recovery-
+    inclusive* serving contract, and the perf gate guards the overhead of
+    supervision itself: a regression that makes recovery slow (or worse,
+    makes the supervised happy path slow) shows up here even if the
+    fault-free kernels hold.  The output is still byte-checked against the
+    fault-free plan by ``tests/test_serve_faults.py``; this kernel only
+    times it.
+    """
+    repeats = max(repeats, 2)
+    table = serving_mixed_table(2000)
+    model = TVAESurrogate(
+        TVAEConfig(latent_dim=16, hidden_dims=(64,), epochs=1, batch_size=256), seed=0
+    )
+    model.fit(table)
+    plan = FaultPlan([Fault("kill", 1)])
+    try:
+        with ShardedSampler(
+            model,
+            workers=SERVE_WORKERS,
+            chunk_size=SERVE_CHUNK,
+            fault_plan=plan,
+            max_pool_restarts=repeats + 8,  # one restart per armed run + warm-up
+        ) as sampler:
+            for n_rows in sizes:
+                size = f"n={n_rows}"
+
+                def run_single_worker():
+                    return Table.concat(list(model.sample_batches(n_rows, SERVE_CHUNK, seed=1)))
+
+                def run_faulty():
+                    plan.arm()  # the kill fires afresh inside every timed run
+                    return sampler.sample(n_rows, seed=1, sampling_mode="fast")
+
+                Table.concat(list(model.sample_batches(SERVE_CHUNK, SERVE_CHUNK, seed=1)))
+                run_faulty()  # warm pool + one full recovery before timing
+                registry.measure("serve_sharded_tvae_faulty", "seed", size, run_single_worker)
+                registry.measure(
+                    "serve_sharded_tvae_faulty", "optimized", size, run_faulty, repeats=repeats
+                )
+    finally:
+        plan.cleanup()
+
+
 def _broker_jobs(n_jobs: int = 3000) -> list:
     rng = np.random.default_rng(7)
     arrivals = np.sort(rng.uniform(0.0, 2.0, n_jobs))
@@ -578,6 +630,10 @@ def run_benchmarks(
         (
             ("serve_sharded_tvae", "serve_sharded_tabddpm"),
             lambda: bench_serve_sharded(registry, serve_tvae_sizes, serve_ddpm_sizes, repeats),
+        ),
+        (
+            ("serve_sharded_tvae_faulty",),
+            lambda: bench_serve_faulty(registry, serve_tvae_sizes, repeats),
         ),
     ]
     if kernels is not None:

@@ -57,6 +57,10 @@ REQUIRED_KERNELS = frozenset(
         # bench_hotpaths.bench_serve_sharded for the contract).
         "serve_sharded_tvae",
         "serve_sharded_tabddpm",
+        # Fault-recovery kernel: the same sharded contract with one injected
+        # worker kill per measured run (see bench_hotpaths.bench_serve_faulty)
+        # — guards the overhead of pool supervision itself.
+        "serve_sharded_tvae_faulty",
     }
 )
 

@@ -99,6 +99,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--registry", default=None,
         help="model-registry directory (default: a temporary directory)",
     )
+    serve_group.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="deterministic chaos: comma-separated kind@chunk[:value][*times] "
+        "faults injected into the workers, e.g. 'kill@1,delay@3:0.25,fail@0*2' "
+        "(kinds: kill = crash the worker, delay = sleep value seconds, "
+        "fail = raise once per budgeted time).  The run must still produce "
+        "byte-identical output; fault counters land in the stats output",
+    )
+    serve_group.add_argument(
+        "--chunk-timeout", type=float, default=None,
+        help="per-chunk attempt deadline in seconds (timed-out chunks are resubmitted)",
+    )
+    serve_group.add_argument(
+        "--hedge-multiplier", type=float, default=None,
+        help="hedge a chunk once it is this multiple of the median chunk latency",
+    )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -205,7 +221,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         import tempfile
 
         from repro.experiments.table1 import build_model
-        from repro.serve import ModelRegistry, SamplingService
+        from repro.serve import ChunkPolicy, FaultPlan, ModelRegistry, SamplingService
         from repro.utils.rng import derive_seed
 
         sampling_mode = args.sampling_mode or "fast"
@@ -213,13 +229,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         data = build_dataset(config)
         model = build_model(name, config).fit(data.train)
 
+        fault_plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+        chunk_policy = None
+        if args.chunk_timeout is not None or args.hedge_multiplier is not None:
+            chunk_policy = ChunkPolicy(
+                timeout=args.chunk_timeout, hedge_multiplier=args.hedge_multiplier
+            )
+
         with tempfile.TemporaryDirectory() as scratch:
             registry = ModelRegistry(args.registry or scratch, warm_chunk_rows=args.chunk_size)
             version = registry.register(name, model)
             n_requests = max(1, args.requests)
             per_request = max(1, args.serve_rows // n_requests)
             with SamplingService(
-                registry.get(name), workers=args.workers, chunk_size=args.chunk_size
+                registry.get(name),
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                chunk_policy=chunk_policy,
+                fault_plan=fault_plan,
             ) as service:
                 requests = [
                     service.submit(
@@ -242,7 +269,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "rows_per_second": round(stats.rows_per_second, 1),
                     "p50_latency_s": round(stats.p50_latency, 4),
                     "p95_latency_s": round(stats.p95_latency, 4),
+                    "fault_plan": args.fault_plan,
+                    "pool_restarts": stats.pool_restarts,
+                    "chunk_retries": stats.chunk_retries,
+                    "chunk_timeouts": stats.chunk_timeouts,
+                    "hedges": stats.hedges,
+                    "hedge_wins": stats.hedge_wins,
+                    "degraded_passes": stats.degraded_passes,
                 }
+            if fault_plan is not None:
+                fault_plan.cleanup()
         if args.json:
             print(json.dumps(payload, indent=2))
         else:
@@ -256,6 +292,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"latency p50 {payload['p50_latency_s']*1e3:.1f} ms / "
                 f"p95 {payload['p95_latency_s']*1e3:.1f} ms"
             )
+            if args.fault_plan:
+                print(
+                    f"  faults: plan={args.fault_plan!r} "
+                    f"restarts={payload['pool_restarts']} "
+                    f"retries={payload['chunk_retries']} "
+                    f"timeouts={payload['chunk_timeouts']} "
+                    f"hedge_wins={payload['hedge_wins']}/{payload['hedges']} "
+                    f"degraded_passes={payload['degraded_passes']}"
+                )
         return 0
 
     if args.experiment == "ablations":

@@ -27,7 +27,42 @@ package is the machinery that cashes the invariant in:
     requests queued at a dispatch tick coalesce into one sharded pool pass),
     per-request seeds (coalescing is invisible in the bytes), backpressure
     via a bounded in-flight row budget, and a stats endpoint (rows/s, queue
-    depth, p50/p95 latency).
+    depth, p50/p95 latency, fault counters).
+
+The fault-tolerance contract
+----------------------------
+Because chunk ``i`` draws only from the ``i``-th seed child, a re-executed
+chunk regenerates **identical bytes** — so every recovery mechanism below is
+proven by equality against the fault-free run (``tests/test_serve_faults.py``),
+not by statistics:
+
+* **Supervised worker pool** — a worker death (``BrokenProcessPool``)
+  rebuilds the executor, re-runs the snapshot/warm-cache initializer, and
+  resubmits every chunk queued behind the crash; ``max_pool_restarts``
+  bounds the budget and restart counts are reported in the stats.
+* **Per-chunk retry / timeout / hedging**
+  (:class:`~repro.serve.sharded.ChunkPolicy`) — failed chunks are
+  resubmitted with exponential backoff up to ``max_retries``; a chunk past
+  its per-attempt ``timeout`` is abandoned and resubmitted; with
+  ``hedge_multiplier`` set, a chunk slower than that multiple of the run's
+  median chunk latency gets a duplicate raced against it, first success
+  wins (both finishing is asserted byte-equal).  Exhausted budgets raise
+  :class:`~repro.serve.sharded.ChunkError` carrying the chunk index/size,
+  after in-flight siblings are cancelled.
+* **Degraded mode** — if pool supervision itself gives up
+  (:class:`~repro.utils.parallel.WorkerPoolBroken`), the service's
+  dispatcher serves the affected micro-batch (and subsequent ones) with
+  in-process serial generation: slower, byte-identical, zero queued
+  requests lost.  ``ServiceStats.degraded_passes`` counts these.
+* **Cancellation** — :meth:`~repro.serve.service.SampleRequest.cancel`
+  releases an abandoned request's backpressure budget exactly once (the
+  companion to ``result(timeout=...)``), so a stuck or slow request cannot
+  consume admission capacity forever.
+* **Deterministic chaos** — :class:`~repro.serve.faults.FaultPlan` injects
+  worker kills, chunk delays and one-shot failures at named chunk indices
+  through the worker initializer, with cross-process exactly-once token
+  latches; ``repro-experiments serve --fault-plan "kill@1,delay@3:0.2"``
+  replays a chaos run end to end.
 
 Quickstart::
 
@@ -43,9 +78,11 @@ Quickstart::
 ``repro-experiments serve`` (see :mod:`repro.experiments.cli`) drives the
 whole stack end to end, and ``examples/serving_throughput.py`` is the
 narrated version.  Throughput is guarded by the ``serve_sharded_*`` kernels
-in ``benchmarks/BENCH_hotpaths.json``.
+in ``benchmarks/BENCH_hotpaths.json``; recovery overhead is guarded by
+``serve_sharded_tvae_faulty`` (one injected worker kill per measured run).
 """
 
+from repro.serve.faults import Fault, FaultPlan, InjectedFault
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import (
     SampleRequest,
@@ -53,9 +90,15 @@ from repro.serve.service import (
     ServiceOverloaded,
     ServiceStats,
 )
-from repro.serve.sharded import ShardedSampler
+from repro.serve.sharded import ChunkError, ChunkFaultStats, ChunkPolicy, ShardedSampler
 
 __all__ = [
+    "ChunkError",
+    "ChunkFaultStats",
+    "ChunkPolicy",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
     "ModelRegistry",
     "SampleRequest",
     "SamplingService",

@@ -19,8 +19,25 @@ pool pass instead of waiting for ``k`` sequential ones.
 Backpressure is a bounded in-flight budget (rows admitted but not yet
 delivered): :meth:`submit` blocks — or raises :class:`ServiceOverloaded`
 with ``wait=False`` — until the budget has room, so a burst of producers
-cannot queue unbounded work.  :meth:`stats` reports throughput (rows/s),
-queue depth and p50/p95 request latency over a sliding window.
+cannot queue unbounded work.  A caller that stops waiting on a request
+(e.g. its ``result(timeout=...)`` expired) should :meth:`SampleRequest.cancel`
+it: cancellation removes the request from the queue when still possible,
+resolves the handle with :class:`CancelledError`, and — crucially —
+releases the request's backpressure budget exactly once, so an abandoned
+request cannot consume admission capacity forever.
+
+Fault tolerance: chunk failures, timeouts and stragglers are absorbed by the
+sharded engine's :class:`~repro.serve.sharded.ChunkPolicy` (retry / deadline
+/ hedging; see that module's fault-tolerance contract), and worker death is
+absorbed by pool supervision.  When the pool itself is beyond saving
+(:class:`~repro.utils.parallel.WorkerPoolBroken` — restart budget exhausted)
+the dispatcher *degrades instead of erroring*: the affected micro-batch (and
+every batch after it, until the service is rebuilt) is generated serially
+in-process — byte-identical output by the seed contract, slower, but zero
+queued requests are lost.  :meth:`stats` reports throughput (rows/s), queue
+depth, p50/p95 request latency, and the fault-path counters
+(pool restarts, chunk retries/timeouts, hedges and hedge wins, degraded
+passes, cancellations).
 """
 
 from __future__ import annotations
@@ -28,12 +45,15 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from concurrent.futures import BrokenExecutor, CancelledError
 from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 from repro.models.base import SAMPLING_MODES, Surrogate
-from repro.serve.sharded import ShardedSampler
+from repro.serve.faults import FaultPlan
+from repro.serve.sharded import ChunkPolicy, ShardedSampler
 from repro.tabular.table import Table
+from repro.utils.parallel import WorkerPoolBroken
 from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 __all__ = ["SampleRequest", "SamplingService", "ServiceOverloaded", "ServiceStats"]
@@ -55,24 +75,57 @@ class SampleRequest:
         self._result: Optional[Table] = None
         self._error: Optional[BaseException] = None
         self.latency: Optional[float] = None
+        self.cancelled = False
+        self._budget_released = False
+        self._service: Optional["SamplingService"] = None
 
     def done(self) -> bool:
         return self._done.is_set()
 
     def result(self, timeout: Optional[float] = None) -> Table:
-        """Block until the request is served; returns the sampled table."""
+        """Block until the request is served; returns the sampled table.
+
+        A caller that gives up after a timeout should follow with
+        :meth:`cancel` — otherwise the admitted rows keep occupying the
+        service's backpressure budget until the dispatcher reaches the
+        request.
+        """
         if not self._done.wait(timeout):
-            raise TimeoutError(f"request of {self.n} rows not served within {timeout}s")
+            raise TimeoutError(
+                f"request of {self.n} rows not served within {timeout}s "
+                "(cancel() it to release its admission budget)"
+            )
         if self._error is not None:
             raise self._error
         assert self._result is not None
         return self._result
 
-    def _resolve(self, result: Optional[Table], error: Optional[BaseException]) -> None:
+    def cancel(self) -> bool:
+        """Abandon the request, releasing its backpressure budget.
+
+        Returns ``True`` when the request was cancelled (it resolves
+        immediately; :meth:`result` raises :class:`CancelledError`), and
+        ``False`` when it had already completed.  A request the dispatcher
+        is currently generating cannot be un-generated: its handle still
+        resolves as cancelled right away, the budget is still released, and
+        the eventually produced table is discarded.
+        """
+        service = self._service
+        if service is None:
+            return False
+        return service._cancel_request(self)
+
+    def _resolve(
+        self, result: Optional[Table], error: Optional[BaseException]
+    ) -> bool:
+        """Deliver an outcome once; late outcomes are discarded (→ False)."""
+        if self._done.is_set():
+            return False
         self.latency = time.perf_counter() - self.submitted_at
         self._result = result
         self._error = error
         self._done.set()
+        return True
 
 
 @dataclass(frozen=True)
@@ -91,6 +144,19 @@ class ServiceStats:
     total_requests: int
     total_rows: int
     uptime: float
+    #: Supervised worker-pool rebuilds after worker death.
+    pool_restarts: int = 0
+    #: Chunk resubmissions after task failures or deadline expiries.
+    chunk_retries: int = 0
+    #: Chunk attempts abandoned at their per-chunk deadline.
+    chunk_timeouts: int = 0
+    #: Straggler duplicates submitted / duplicates that beat their primary.
+    hedges: int = 0
+    hedge_wins: int = 0
+    #: Requests served by the in-process fallback after pool collapse.
+    degraded_passes: int = 0
+    #: Requests abandoned via :meth:`SampleRequest.cancel`.
+    cancelled_requests: int = 0
 
 
 class SamplingService:
@@ -109,6 +175,10 @@ class SamplingService:
         alongside other work, but must not deadlock alone).
     latency_window:
         Number of recent request latencies kept for the p50/p95 stats.
+    chunk_policy / fault_plan / max_pool_restarts:
+        Forwarded to the sharded engine: the per-chunk resilience policy,
+        an optional deterministic fault-injection plan (chaos runs), and the
+        pool supervision restart budget.
 
     The service starts its pool and dispatcher on construction and is a
     context manager; :meth:`close` drains the queue and shuts down.
@@ -122,10 +192,20 @@ class SamplingService:
         chunk_size: int = ShardedSampler.DEFAULT_CHUNK_SIZE,
         max_inflight_rows: int = 4_000_000,
         latency_window: int = 512,
+        chunk_policy: Optional[ChunkPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_pool_restarts: int = 5,
     ) -> None:
         if max_inflight_rows < 1:
             raise ValueError(f"max_inflight_rows must be positive, got {max_inflight_rows}")
-        self._sampler = ShardedSampler(model, workers=workers, chunk_size=chunk_size)
+        self._sampler = ShardedSampler(
+            model,
+            workers=workers,
+            chunk_size=chunk_size,
+            chunk_policy=chunk_policy,
+            fault_plan=fault_plan,
+            max_pool_restarts=max_pool_restarts,
+        )
         self.max_inflight_rows = int(max_inflight_rows)
         self._lock = threading.Condition()
         self._queue: Deque[SampleRequest] = deque()
@@ -141,6 +221,8 @@ class SamplingService:
         self._latencies: Deque[float] = deque(maxlen=latency_window)
         self._total_requests = 0
         self._total_rows = 0
+        self._degraded_passes = 0
+        self._cancelled_requests = 0
         self._started_at = time.perf_counter()
         # Spawn the worker pool *before* the dispatcher thread exists: the
         # pool forks at start on platforms where fork is the default, and
@@ -159,6 +241,11 @@ class SamplingService:
     @property
     def chunk_size(self) -> int:
         return self._sampler.chunk_size
+
+    @property
+    def degraded(self) -> bool:
+        """True once the pool collapsed and the service runs in-process."""
+        return self._sampler.pool_broken
 
     def submit(
         self,
@@ -186,6 +273,7 @@ class SamplingService:
         # bad one must not surface there.
         spawn_seed_sequences(seed, 0)
         request = SampleRequest(n, seed, sampling_mode)
+        request._service = self
         with self._lock:
             ticket = self._ticket_counter
             self._ticket_counter += 1
@@ -227,6 +315,9 @@ class SamplingService:
             in_flight = self._in_flight_rows
             total_requests = self._total_requests
             total_rows = self._total_rows
+            degraded_passes = self._degraded_passes
+            cancelled = self._cancelled_requests
+        faults = self._sampler.fault_stats()
         uptime = time.perf_counter() - self._started_at
         return ServiceStats(
             rows_per_second=total_rows / uptime if uptime > 0 else 0.0,
@@ -237,6 +328,13 @@ class SamplingService:
             total_requests=total_requests,
             total_rows=total_rows,
             uptime=uptime,
+            pool_restarts=faults.pool_restarts,
+            chunk_retries=faults.chunk_retries,
+            chunk_timeouts=faults.chunk_timeouts,
+            hedges=faults.hedges,
+            hedge_wins=faults.hedge_wins,
+            degraded_passes=degraded_passes,
+            cancelled_requests=cancelled,
         )
 
     def close(self) -> None:
@@ -254,6 +352,30 @@ class SamplingService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- cancellation ------------------------------------------------------------
+    def _cancel_request(self, request: SampleRequest) -> bool:
+        with self._lock:
+            if request.done():
+                return False
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass  # already picked up by a dispatch tick; outcome discarded
+            request.cancelled = True
+            resolved = request._resolve(None, CancelledError("request cancelled"))
+            if resolved:
+                self._release_budget_locked(request)
+                self._cancelled_requests += 1
+            self._lock.notify_all()  # budget freed: wake blocked submitters
+            return resolved
+
+    def _release_budget_locked(self, request: SampleRequest) -> None:
+        """Release the request's admitted rows exactly once (cancel + finish
+        can both reach here)."""
+        if not request._budget_released:
+            request._budget_released = True
+            self._in_flight_rows -= request.n
 
     # -- dispatcher --------------------------------------------------------------
     def _admissible(self, n: int) -> bool:
@@ -279,40 +401,55 @@ class SamplingService:
         """One sharded pass over the chunks of every request in the batch.
 
         All requests' chunks are submitted to the pool up front (that *is*
-        the micro-batch), then each request resolves independently: a
-        failure affects only the request whose chunk raised.
+        the micro-batch), then each request resolves independently: a chunk
+        failure affects only the request whose chunk exhausted its budget.
+        Pool-level collapse (supervision out of restarts) downgrades the
+        affected request — and every one after it — to the in-process
+        serial path instead of erroring: degraded, never dropped.
         """
-        pooled = self._sampler.workers > 1
-        jobs = []  # (request, sizes, children, chunk futures | None, submit error)
+        pooled = self._sampler.workers > 1 and not self._sampler.pool_broken
+        run = self._sampler.chunk_run() if pooled else None
+        jobs = []  # (request, sizes, children, chunk handles | None, submit error)
         for request in batch:
-            sizes, children, futures = [], [], None
+            sizes, children, handles = [], [], None
             error: Optional[BaseException] = None
             # Everything per-request stays inside a per-request guard: one
             # bad request must never take the dispatcher thread (and with it
             # the whole service) down.
             try:
                 sizes, children = self._sampler.chunk_plan(request.n, request.seed)
-                if pooled:
-                    futures = [
-                        self._sampler.submit_chunk(size, child, request.sampling_mode)
-                        for size, child in zip(sizes, children)
+                if run is not None:
+                    handles = [
+                        run.submit(index, size, child, request.sampling_mode)
+                        for index, (size, child) in enumerate(zip(sizes, children))
                     ]
+            except (WorkerPoolBroken, BrokenExecutor):
+                handles = None  # pool died at submission: serve this one serially
             except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
                 error = exc
-            jobs.append((request, sizes, children, futures, error))
+            jobs.append((request, sizes, children, handles, error))
 
-        for request, sizes, children, futures, error in jobs:
+        for request, sizes, children, handles, error in jobs:
             if error is not None:
                 self._finish(request, None, error)
                 continue
             try:
-                if pooled:
-                    chunks = [future.result() for future in futures]
+                if handles is not None:
+                    try:
+                        chunks = self._gather(handles)
+                    except (WorkerPoolBroken, BrokenExecutor):
+                        chunks = self._degraded_pass(request, sizes, children)
                 else:
-                    chunks = [
-                        self._sampler.sample_chunk_local(size, child, request.sampling_mode)
-                        for size, child in zip(sizes, children)
-                    ]
+                    if pooled:
+                        # Submission already found the pool dead.
+                        chunks = self._degraded_pass(request, sizes, children)
+                    else:
+                        chunks = [
+                            self._sampler.sample_chunk_local(
+                                size, child, request.sampling_mode
+                            )
+                            for size, child in zip(sizes, children)
+                        ]
                 table = self._sampler.assemble(
                     chunks, seed=request.seed, sampling_mode=request.sampling_mode
                 )
@@ -321,17 +458,44 @@ class SamplingService:
                 continue
             self._finish(request, table, None)
 
+    @staticmethod
+    def _gather(handles) -> List[Table]:
+        """Resolve a request's chunk handles; cancel the rest on failure."""
+        chunks = []
+        for position, handle in enumerate(handles):
+            try:
+                chunks.append(handle.result())
+            except BaseException:
+                for sibling in handles[position + 1:]:
+                    sibling.cancel()
+                raise
+        return chunks
+
+    def _degraded_pass(self, request: SampleRequest, sizes, children) -> List[Table]:
+        """Serve one request in-process after the pool collapsed.
+
+        Byte-identical to the pooled pass by the seed contract — the chunks
+        draw from the same child streams regardless of where they run.
+        """
+        with self._lock:
+            self._degraded_passes += 1
+        return [
+            self._sampler.sample_chunk_local(size, child, request.sampling_mode)
+            for size, child in zip(sizes, children)
+        ]
+
     def _finish(
         self, request: SampleRequest, table: Optional[Table], error: Optional[BaseException]
     ) -> None:
-        request._resolve(table, error)
         with self._lock:
-            self._in_flight_rows -= request.n
-            self._total_requests += 1
-            if table is not None:
-                self._total_rows += request.n
-            if request.latency is not None and error is None:
-                self._latencies.append(request.latency)
+            delivered = request._resolve(table, error)
+            self._release_budget_locked(request)
+            if delivered:
+                self._total_requests += 1
+                if table is not None:
+                    self._total_rows += request.n
+                if request.latency is not None and error is None:
+                    self._latencies.append(request.latency)
 
     @staticmethod
     def _percentile(sorted_values: List[float], q: float) -> float:

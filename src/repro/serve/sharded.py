@@ -23,40 +23,365 @@ steady-state requests ship only ``(rows, seed-sequence, mode)`` descriptors
 and receive chunk tables back.  Chunk submission is windowed, so a
 million-row streaming request keeps at most a few chunks in flight and peak
 parent memory stays bounded exactly as in the single-process streaming API.
+
+The fault-tolerance contract
+----------------------------
+The same seed contract that makes chunks parallel makes them *re-executable*:
+a chunk run again — on another worker, after a crash, or as a hedged
+duplicate — regenerates **identical bytes**.  Recovery is therefore provable
+equality, not a statistical claim, and the engine leans on it at three
+levels:
+
+* **Worker death** is handled below this module: the
+  :class:`~repro.utils.parallel.WorkerPool` supervises its executor, rebuilds
+  it after a crash (re-running the snapshot/warm-cache initializer), and
+  resubmits every chunk that was queued behind the crash — nothing is lost,
+  and the resubmitted chunks are byte-identical by the seed contract.
+* **Per-chunk resilience** is governed by a :class:`ChunkPolicy`: each chunk
+  attempt carries an optional deadline (``timeout``); a timed-out or failed
+  attempt is resubmitted with exponential backoff up to ``max_retries``
+  times; and with ``hedge_multiplier`` set, a chunk whose in-flight time
+  exceeds that multiple of the run's median completed-chunk latency is
+  *hedged* — a duplicate is submitted and the first successful result wins
+  (when both finish, their tables are asserted equal).
+* **Failure context**: a chunk that exhausts its budget raises
+  :class:`ChunkError` naming the chunk index and size (chaining the last
+  underlying error), after the remaining in-flight chunks of the request
+  are cancelled — no abandoned siblings.  Pool-level collapse (the
+  supervision budget itself exhausted) surfaces as
+  :class:`~repro.utils.parallel.WorkerPoolBroken`, the signal the service
+  layer uses to degrade to in-process generation.
+
+Deterministic chaos tests drive all of these paths through the
+:mod:`repro.serve.faults` plan installed via ``fault_plan=``; see
+``tests/test_serve_faults.py`` for the byte-equality proofs.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import deque
-from typing import Iterator, Optional
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from repro.models.base import SAMPLING_MODES, Surrogate
+from repro.serve import faults as fault_injection
+from repro.serve.faults import FaultPlan
 from repro.tabular.table import Table
-from repro.utils.parallel import WorkerPool, available_workers
+from repro.utils.parallel import (
+    SupervisedFuture,
+    WorkerPool,
+    WorkerPoolBroken,
+    available_workers,
+)
 from repro.utils.rng import SeedLike, spawn_seed_sequences
 
-__all__ = ["ShardedSampler"]
+__all__ = ["ChunkError", "ChunkFaultStats", "ChunkPolicy", "ShardedSampler"]
 
 #: The worker-process model snapshot, set once by :func:`_init_worker`.
 _WORKER_MODEL: Optional[Surrogate] = None
 
 
-def _init_worker(snapshot: bytes, chunk_rows: int) -> None:
-    """One-time worker setup: deserialize the model, warm its serving caches."""
+def _init_worker(
+    snapshot: bytes, chunk_rows: int, fault_plan: Optional[FaultPlan] = None
+) -> None:
+    """One-time worker setup: deserialize the model, warm its serving caches.
+
+    Re-run by pool supervision after every executor rebuild, so recovered
+    workers are exactly as warm as freshly started ones.  When a fault plan
+    is provided (chaos tests, ``--fault-plan`` runs) it is installed here —
+    the plan's exactly-once token latch lives on disk, so a rebuilt worker
+    does not re-inject already-claimed faults.
+    """
     global _WORKER_MODEL
     model = Surrogate.from_snapshot(snapshot)
     model.warm_serving_caches(chunk_rows)
     _WORKER_MODEL = model
+    fault_injection.install(fault_plan)
 
 
 def _sample_chunk(size: int, child: np.random.SeedSequence, sampling_mode: str) -> Table:
-    """Generate one chunk in the worker — the same call the parent would make."""
+    """Generate one chunk in the worker — the same call the parent would make.
+
+    The chunk's index is recoverable from the seed contract itself (it is
+    the last element of the child's spawn key), which is what lets the fault
+    harness target "chunk i" without widening the task descriptor.
+    """
     assert _WORKER_MODEL is not None, "worker used before initialization"
+    spawn_key = getattr(child, "spawn_key", ())
+    fault_injection.maybe_inject(int(spawn_key[-1]) if spawn_key else 0)
     return _WORKER_MODEL.sample(
         size, seed=np.random.default_rng(child), sampling_mode=sampling_mode
     )
+
+
+class ChunkError(RuntimeError):
+    """A chunk failed beyond its retry budget; carries the chunk's identity."""
+
+    def __init__(self, index: int, size: int, message: str) -> None:
+        super().__init__(f"chunk {index} ({size} rows) {message}")
+        self.index = index
+        self.size = size
+
+
+@dataclass(frozen=True)
+class ChunkPolicy:
+    """Per-chunk resilience knobs for the sharded engine.
+
+    timeout:
+        Per-attempt deadline in seconds.  An attempt that exceeds it is
+        abandoned (the worker keeps running; its late result is discarded)
+        and the chunk is resubmitted.  ``None`` disables deadlines.
+    max_retries:
+        Resubmissions allowed per chunk for task failures and timeouts
+        combined.  Worker-crash resubmissions do not count — those are the
+        pool supervisor's budget (``max_pool_restarts``), not the chunk's.
+    backoff:
+        Base of the exponential backoff slept before retry ``k``:
+        ``backoff * 2**(k-1)`` seconds.
+    hedge_multiplier:
+        Straggler hedging: once a chunk's in-flight time exceeds
+        ``hedge_multiplier * median(completed chunk latencies)`` a duplicate
+        attempt is submitted and the first success wins (both finishing is
+        asserted byte-equal).  ``None`` disables hedging.
+    min_hedge_latency:
+        Floor (seconds) under which hedging never triggers, so micro-chunks
+        do not hedge on scheduling noise.
+    poll:
+        Progress-check quantum (seconds) while waiting with deadlines or
+        hedging enabled; with neither, waits block directly on the future.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.05
+    hedge_multiplier: Optional[float] = None
+    min_hedge_latency: float = 0.05
+    poll: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff}")
+        if self.hedge_multiplier is not None and self.hedge_multiplier <= 0:
+            raise ValueError(
+                f"hedge_multiplier must be positive or None, got {self.hedge_multiplier}"
+            )
+        if self.poll <= 0:
+            raise ValueError(f"poll must be positive, got {self.poll}")
+
+
+@dataclass(frozen=True)
+class ChunkFaultStats:
+    """Cumulative fault-path counters of one :class:`ShardedSampler`."""
+
+    #: Supervised executor rebuilds of the current pool (0 without a pool).
+    pool_restarts: int
+    #: Chunk resubmissions after task failures.
+    chunk_retries: int
+    #: Chunk attempts abandoned at their deadline (each also retries).
+    chunk_timeouts: int
+    #: Hedged duplicates submitted for straggler chunks.
+    hedges: int
+    #: Hedged duplicates that finished before their primary.
+    hedge_wins: int
+
+
+class _ChunkRun:
+    """Shared state of one resilient multi-chunk pass (request or micro-batch).
+
+    Tracks completed-chunk latencies so hedging can compare each in-flight
+    chunk against the run's median.  A run is consumed by a single thread
+    (the request iterator or the service dispatcher); the sampler-level
+    counters it updates are lock-protected.
+    """
+
+    def __init__(self, sampler: "ShardedSampler") -> None:
+        self.sampler = sampler
+        self.policy = sampler.chunk_policy
+        self._latencies: List[float] = []
+
+    def submit(
+        self, index: int, size: int, child: np.random.SeedSequence, sampling_mode: str
+    ) -> "_ChunkHandle":
+        return _ChunkHandle(self, index, size, child, sampling_mode)
+
+    def record_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def median_latency(self) -> Optional[float]:
+        if not self._latencies:
+            return None
+        ordered = sorted(self._latencies)
+        return ordered[len(ordered) // 2]
+
+
+class _ChunkHandle:
+    """One chunk's fault-tolerant execution: deadline, retries, hedging."""
+
+    def __init__(
+        self,
+        run: _ChunkRun,
+        index: int,
+        size: int,
+        child: np.random.SeedSequence,
+        sampling_mode: str,
+    ) -> None:
+        self._run = run
+        self.index = index
+        self.size = size
+        self._child = child
+        self._mode = sampling_mode
+        self._attempts = 0  # failures + timeouts charged against max_retries
+        self._primary: SupervisedFuture = self._submit()
+        self._primary_started = time.monotonic()
+        self._hedge: Optional[SupervisedFuture] = None
+        self._hedge_started = 0.0
+        self._consumed = False
+
+    def _submit(self) -> SupervisedFuture:
+        pool = self._run.sampler._require_pool()
+        return pool.submit(_sample_chunk, self.size, self._child, self._mode)
+
+    def cancel(self) -> None:
+        self._consumed = True
+        self._primary.cancel()
+        if self._hedge is not None:
+            self._hedge.cancel()
+
+    # -- the resolution loop -----------------------------------------------------
+    def result(self) -> Table:
+        """Block until the chunk resolves; retries/hedges per the policy.
+
+        Raises :class:`ChunkError` (with the last underlying error chained)
+        when the retry budget is exhausted, or lets
+        :class:`~repro.utils.parallel.WorkerPoolBroken` pass through
+        unwrapped — that is a pool-level verdict, not a chunk-level one.
+        """
+        policy = self._run.policy
+        simple = policy.timeout is None and policy.hedge_multiplier is None
+        while True:
+            if simple:
+                # No deadline, no hedging: block straight on the attempt.
+                try:
+                    table = self._primary.result()
+                except Exception as exc:
+                    self._handle_failure(exc)
+                    continue
+                return self._finish(table, self._primary_started, hedged_win=False)
+
+            outcome = self._poll_once()
+            if outcome is not None:
+                return outcome
+
+    @staticmethod
+    def _outcome(future: Optional[SupervisedFuture]):
+        """``(done, error)`` without blocking; pending (or rebound) → not done."""
+        if future is None or not future.done():
+            return False, None
+        try:
+            return True, future.exception(0)
+        except FuturesTimeoutError:  # rebound by a concurrent pool recovery
+            return False, None
+
+    def _poll_once(self) -> Optional[Table]:
+        """One supervision tick: winners, failures, deadline, hedge trigger."""
+        policy = self._run.policy
+        now = time.monotonic()
+
+        primary_done, primary_error = self._outcome(self._primary)
+        hedge_done, hedge_error = self._outcome(self._hedge)
+
+        # First-success-wins (and byte-equality assertion when both landed).
+        if primary_done and primary_error is None:
+            table = self._primary.result(0)
+            if hedge_done and hedge_error is None and self._hedge is not None:
+                assert self._hedge.result(0) == table, (
+                    f"hedged chunk {self.index} diverged from its primary — "
+                    "the seed contract was violated"
+                )
+            if self._hedge is not None:
+                self._hedge.cancel()
+            return self._finish(table, self._primary_started, hedged_win=False)
+        if hedge_done and hedge_error is None and self._hedge is not None:
+            table = self._hedge.result(0)
+            self._primary.cancel()
+            return self._finish(table, self._hedge_started, hedged_win=True)
+
+        # A failed hedge is simply dropped; a failed primary is promoted or
+        # retried.
+        if hedge_done and self._hedge is not None:
+            self._hedge = None
+        if primary_done:
+            exc = primary_error
+            assert exc is not None
+            if self._hedge is not None:
+                # The duplicate is already racing: make it the attempt.
+                self._primary, self._hedge = self._hedge, None
+                self._primary_started = self._hedge_started
+            else:
+                self._handle_failure(exc)
+            return None
+
+        # Deadline enforcement (per attempt).
+        if policy.timeout is not None and now - self._primary_started > policy.timeout:
+            if self._hedge is not None:
+                # The younger duplicate inherits the attempt.
+                self._primary.cancel()
+                self._primary, self._hedge = self._hedge, None
+                self._primary_started = self._hedge_started
+                return None
+            self._run.sampler._count(timeouts=1)
+            self._primary.cancel()
+            self._handle_failure(
+                TimeoutError(f"attempt exceeded the {policy.timeout}s chunk deadline")
+            )
+            return None
+
+        # Straggler hedging.
+        if self._hedge is None and policy.hedge_multiplier is not None:
+            median = self._run.median_latency()
+            if median is not None:
+                trigger = max(policy.min_hedge_latency, policy.hedge_multiplier * median)
+                if now - self._primary_started > trigger:
+                    self._hedge = self._submit()
+                    self._hedge_started = time.monotonic()
+                    self._run.sampler._count(hedges=1)
+
+        time.sleep(policy.poll)
+        return None
+
+    def _handle_failure(self, exc: BaseException) -> None:
+        """Charge a failure against the retry budget and resubmit (or raise)."""
+        if isinstance(exc, WorkerPoolBroken):
+            raise exc  # pool-level: not retryable at chunk granularity
+        policy = self._run.policy
+        self._attempts += 1
+        if self._attempts > policy.max_retries:
+            raise ChunkError(
+                self.index, self.size,
+                f"failed after {policy.max_retries} retr"
+                f"{'y' if policy.max_retries == 1 else 'ies'}: {exc}",
+            ) from exc
+        self._run.sampler._count(retries=1)
+        if policy.backoff > 0:
+            time.sleep(policy.backoff * (2 ** (self._attempts - 1)))
+        self._primary = self._submit()
+        self._primary_started = time.monotonic()
+
+    def _finish(self, table: Table, started_at: float, *, hedged_win: bool) -> Table:
+        self._consumed = True
+        self._run.record_latency(time.monotonic() - started_at)
+        if hedged_win:
+            self._run.sampler._count(hedge_wins=1)
+        return table
 
 
 class ShardedSampler:
@@ -75,6 +400,15 @@ class ShardedSampler:
         on a one-core box.  ``1`` runs in-process with no pool at all.
     chunk_size:
         Rows per chunk (the sharding grain and the streaming memory bound).
+    chunk_policy:
+        Per-chunk deadline / retry / hedging policy (:class:`ChunkPolicy`);
+        the default retries failures twice and disables deadlines/hedging.
+    fault_plan:
+        A :class:`~repro.serve.faults.FaultPlan` installed in every worker —
+        deterministic chaos for tests, benchmarks and ``--fault-plan`` runs.
+    max_pool_restarts:
+        Supervised executor rebuilds tolerated before the pool declares
+        itself broken (:class:`~repro.utils.parallel.WorkerPoolBroken`).
 
     The sampler is a context manager; :meth:`close` shuts the pool down.
     """
@@ -87,6 +421,9 @@ class ShardedSampler:
         *,
         workers: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        chunk_policy: Optional[ChunkPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_pool_restarts: int = 5,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
@@ -97,7 +434,12 @@ class ShardedSampler:
         self._model = model
         self.workers = available_workers(None) if workers is None else max(1, int(workers))
         self.chunk_size = int(chunk_size)
+        self.chunk_policy = chunk_policy if chunk_policy is not None else ChunkPolicy()
+        self.fault_plan = fault_plan
+        self.max_pool_restarts = int(max_pool_restarts)
         self._pool: Optional[WorkerPool] = None
+        self._counter_lock = threading.Lock()
+        self._counters = {"retries": 0, "timeouts": 0, "hedges": 0, "hedge_wins": 0}
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -108,6 +450,11 @@ class ShardedSampler:
     @property
     def is_running(self) -> bool:
         return self._pool is not None
+
+    @property
+    def pool_broken(self) -> bool:
+        """True when pool supervision gave up (the degraded-mode signal)."""
+        return self._pool is not None and self._pool.is_broken
 
     def start(self) -> "ShardedSampler":
         """Snapshot the model and spawn + warm the worker pool (idempotent).
@@ -120,7 +467,8 @@ class ShardedSampler:
             self._pool = WorkerPool(
                 self.workers,
                 initializer=_init_worker,
-                initargs=(snapshot, self.chunk_size),
+                initargs=(snapshot, self.chunk_size, self.fault_plan),
+                max_restarts=self.max_pool_restarts,
             ).start()
         return self
 
@@ -140,6 +488,24 @@ class ShardedSampler:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- fault accounting --------------------------------------------------------
+    def _count(self, **deltas: int) -> None:
+        with self._counter_lock:
+            for key, delta in deltas.items():
+                self._counters[key] += delta
+
+    def fault_stats(self) -> ChunkFaultStats:
+        """Point-in-time fault counters (pool restarts + chunk resilience)."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return ChunkFaultStats(
+            pool_restarts=self._pool.restarts if self._pool is not None else 0,
+            chunk_retries=counters["retries"],
+            chunk_timeouts=counters["timeouts"],
+            hedges=counters["hedges"],
+            hedge_wins=counters["hedge_wins"],
+        )
+
     # -- the chunk plan (the single source of the sharding arithmetic) -----------
     def chunk_plan(self, n: int, seed: SeedLike):
         """The request's chunk sizes and their ``SeedSequence`` child streams.
@@ -158,7 +524,11 @@ class ShardedSampler:
     def sample_chunk_local(
         self, size: int, child: np.random.SeedSequence, sampling_mode: str
     ) -> Table:
-        """Generate one chunk in this process — the workers' exact call."""
+        """Generate one chunk in this process — the workers' exact call.
+
+        (Minus fault injection: the harness targets pool workers only, and
+        this is also the degraded-mode path the service falls back to.)
+        """
         return self._model.sample(
             size, seed=np.random.default_rng(child), sampling_mode=sampling_mode
         )
@@ -180,7 +550,8 @@ class ShardedSampler:
 
         Byte-identical to
         ``Table.concat(list(model.sample_batches(n, chunk_size, seed=seed,
-        sampling_mode=sampling_mode)))`` for every worker count.
+        sampling_mode=sampling_mode)))`` for every worker count — and, by
+        the fault-tolerance contract above, for every recovered fault.
         """
         return self.assemble(
             self.sample_batches(n, seed=seed, sampling_mode=sampling_mode),
@@ -195,40 +566,62 @@ class ShardedSampler:
 
         Chunks are yielded in index order.  Submission is windowed (a small
         multiple of the worker count), so the pool stays saturated while the
-        parent holds only a bounded number of undelivered chunks.
+        parent holds only a bounded number of undelivered chunks.  A chunk
+        that exhausts its resilience budget raises :class:`ChunkError` with
+        its index/size after the window's in-flight siblings are cancelled.
         """
         self._check_request(n, sampling_mode)
         sizes, children = self.chunk_plan(n, seed)
 
         if self.workers == 1 or len(sizes) <= 1:
             def _generate_serial() -> Iterator[Table]:
-                for size, child in zip(sizes, children):
-                    yield self.sample_chunk_local(size, child, sampling_mode)
+                for index, (size, child) in enumerate(zip(sizes, children)):
+                    try:
+                        yield self.sample_chunk_local(size, child, sampling_mode)
+                    except Exception as exc:
+                        raise ChunkError(index, size, f"failed: {exc}") from exc
 
             return _generate_serial()
 
         self.start()
-        pool = self._pool
-        assert pool is not None
         window = 2 * self.workers
 
         def _generate_sharded() -> Iterator[Table]:
+            run = self.chunk_run()
             in_flight: deque = deque()
-            for size, child in zip(sizes, children):
-                in_flight.append(pool.submit(_sample_chunk, size, child, sampling_mode))
-                if len(in_flight) >= window:
+            try:
+                for index, (size, child) in enumerate(zip(sizes, children)):
+                    in_flight.append(run.submit(index, size, child, sampling_mode))
+                    if len(in_flight) >= window:
+                        yield in_flight.popleft().result()
+                while in_flight:
                     yield in_flight.popleft().result()
-            while in_flight:
-                yield in_flight.popleft().result()
+            finally:
+                # Error or early consumer exit: no abandoned siblings.
+                for handle in in_flight:
+                    handle.cancel()
 
         return _generate_sharded()
 
-    def submit_chunk(self, size: int, child: np.random.SeedSequence, sampling_mode: str):
-        """Submit one chunk to the worker pool; returns its future.
+    def chunk_run(self) -> _ChunkRun:
+        """A resilient chunk-submission context over the worker pool.
 
         The low-level entry the sampling service's micro-batcher uses to
         interleave the chunks of several coalesced requests in one pool
-        pass.  Requires ``workers > 1`` (the pool is started on demand).
+        pass: ``run.submit(index, size, child, mode)`` returns a handle whose
+        ``result()`` applies the sampler's :class:`ChunkPolicy` (deadline,
+        retries, hedging).  Requires ``workers > 1``.
+        """
+        if self.workers == 1:
+            raise RuntimeError("chunk_run needs a worker pool (workers > 1)")
+        self.start()
+        return _ChunkRun(self)
+
+    def submit_chunk(self, size: int, child: np.random.SeedSequence, sampling_mode: str):
+        """Submit one raw chunk to the worker pool; returns its future.
+
+        Bypasses the per-chunk resilience policy (the future is still
+        supervised against worker death).  Prefer :meth:`chunk_run`.
         """
         if self.workers == 1:
             raise RuntimeError("submit_chunk needs a worker pool (workers > 1)")
@@ -237,6 +630,11 @@ class ShardedSampler:
         return self._pool.submit(_sample_chunk, size, child, sampling_mode)
 
     # -- helpers -----------------------------------------------------------------
+    def _require_pool(self) -> WorkerPool:
+        self.start()
+        assert self._pool is not None
+        return self._pool
+
     def _check_request(self, n: int, sampling_mode: str) -> None:
         if sampling_mode not in SAMPLING_MODES:
             raise ValueError(

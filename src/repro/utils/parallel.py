@@ -1,5 +1,5 @@
 """Process-parallel plumbing: worker-count resolution, a one-shot parallel
-map, and a persistent worker pool for serving.
+map, and a supervised persistent worker pool for serving.
 
 Heavy experiment sweeps (training several surrogate models, benchmarking many
 scheduler policies) are embarrassingly parallel at the task level.  This
@@ -21,14 +21,45 @@ path is exercised even on single-core runners).
 whose workers run a one-time initializer (deserialize a model snapshot, warm
 its packed caches) and then stay hot across requests, so steady-state
 dispatch pays per-task IPC only.
+
+Supervision
+-----------
+A plain :class:`~concurrent.futures.ProcessPoolExecutor` is brittle: one
+worker dying (OOM kill, segfault, ``os._exit``) marks the whole executor
+broken, fails **every** queued future with
+:class:`~concurrent.futures.process.BrokenProcessPool`, and leaves the
+executor unusable.  :class:`WorkerPool` supervises instead of propagating:
+
+* :meth:`WorkerPool.submit` returns a :class:`SupervisedFuture` that
+  remembers its task descriptor ``(fn, args, kwargs)``;
+* the first waiter to observe a :class:`BrokenExecutor` triggers
+  :meth:`recovery <WorkerPool._recover>`: the dead executor is discarded, a
+  fresh one is spawned, the per-worker initializer re-runs (warm-up included,
+  exactly like :meth:`WorkerPool.start`), and **every unresolved supervised
+  future is resubmitted** — tasks queued behind the crash are re-executed,
+  not lost;
+* each successful recovery increments :attr:`WorkerPool.restarts`; once
+  :attr:`WorkerPool.max_restarts` is exceeded the pool declares itself
+  permanently broken (:attr:`WorkerPool.is_broken`) and every pending or
+  future operation raises :class:`WorkerPoolBroken`, which callers (the
+  sampling service) use to fall back to in-process execution.
+
+Resubmission is only byte-safe when tasks are deterministic pure functions
+of their arguments — which the serving layer's chunk tasks are by the
+sharding seed contract (chunk ``i`` draws from the ``i``-th ``SeedSequence``
+child, so a re-executed chunk regenerates identical bytes).  A task that
+deterministically kills its worker on *every* execution is bounded by the
+restart budget rather than looping forever.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
@@ -120,8 +151,138 @@ def _worker_warmup(hold_seconds: float) -> int:
     return os.getpid()
 
 
+class WorkerPoolBroken(RuntimeError):
+    """The pool exhausted its restart budget (or could not rebuild).
+
+    Raised by every pending :class:`SupervisedFuture` and by any further
+    :meth:`WorkerPool.submit` once supervision gives up.  Catching it is the
+    signal to degrade to in-process execution (the sampling service does).
+    """
+
+
+class SupervisedFuture:
+    """A future whose task survives worker-pool breakage.
+
+    Wraps the executor future of one submitted task together with the task
+    descriptor itself, so the owning :class:`WorkerPool` can resubmit the
+    task onto a rebuilt executor after a worker crash.  The inner future is
+    rebound during recovery; waiters blocked in :meth:`result` observe the
+    old future fail with :class:`BrokenExecutor` (the executor fails all its
+    futures when it breaks), drive the pool's recovery, and transparently
+    continue waiting on the resubmitted attempt.
+
+    Only the subset of the :class:`concurrent.futures.Future` interface the
+    serving layer needs is provided: :meth:`result`, :meth:`exception`,
+    :meth:`done`, :meth:`cancel`, :meth:`cancelled`.
+    """
+
+    __slots__ = ("_pool", "_task", "_lock", "_inner", "_generation",
+                 "_cancelled", "resubmissions")
+
+    def __init__(self, pool: "WorkerPool", fn: Callable[..., R], args, kwargs) -> None:
+        self._pool = pool
+        self._task = (fn, args, kwargs)
+        self._lock = threading.Lock()
+        self._inner: Optional[Future] = None
+        self._generation = -1
+        self._cancelled = False
+        #: Times this task was resubmitted after a pool breakage.
+        self.resubmissions = 0
+
+    # -- pool-side plumbing ------------------------------------------------------
+    def _bind(self, inner: Future, generation: int) -> None:
+        with self._lock:
+            self._inner = inner
+            self._generation = generation
+
+    def _snapshot(self) -> Tuple[Future, int]:
+        with self._lock:
+            assert self._inner is not None
+            return self._inner, self._generation
+
+    def _is_resolved(self) -> bool:
+        """True when the inner future carries a real outcome (not breakage)."""
+        inner, _ = self._snapshot()
+        if self._cancelled or inner.cancelled():
+            return True
+        if not inner.done():
+            return False
+        return not isinstance(inner.exception(), BrokenExecutor)
+
+    # -- Future-like API ---------------------------------------------------------
+    def cancel(self) -> bool:
+        """Give the task up: it will not be resubmitted by recovery.
+
+        Returns whether the *current* attempt could still be cancelled; a
+        running attempt keeps running but its result is abandoned either way.
+        """
+        with self._lock:
+            self._cancelled = True
+            inner = self._inner
+        self._pool._deregister(self)
+        return inner.cancel() if inner is not None else True
+
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def done(self) -> bool:
+        """True once the task has a real outcome (result or task exception).
+
+        Observing a broken attempt triggers pool recovery as a side effect —
+        after a successful rebuild the task is pending again and ``done()``
+        is ``False``; after a terminal failure it is ``True`` and
+        :meth:`result` raises :class:`WorkerPoolBroken`.
+        """
+        inner, generation = self._snapshot()
+        if not inner.done():
+            return False
+        if inner.cancelled():
+            return True
+        if isinstance(inner.exception(), BrokenExecutor) and not self._cancelled:
+            try:
+                self._pool._recover(generation)
+            except Exception:
+                return True  # terminal: result()/exception() surface the error
+            inner2, _ = self._snapshot()
+            return inner2.done()
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> R:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            inner, generation = self._snapshot()
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0 and not inner.done():
+                raise FuturesTimeoutError(f"task not done within {timeout}s")
+            try:
+                value = inner.result(remaining)
+            except FuturesTimeoutError:
+                raise
+            except BrokenExecutor:
+                if self._cancelled:
+                    raise
+                # Drive recovery; raises WorkerPoolBroken when supervision
+                # gives up, otherwise this future was rebound — keep waiting.
+                self._pool._recover(generation)
+                continue
+            except BaseException:
+                self._pool._deregister(self)
+                raise
+            self._pool._deregister(self)
+            return value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        try:
+            self.result(timeout)
+        except FuturesTimeoutError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - mirror Future.exception
+            return exc
+        return None
+
+
 class WorkerPool:
-    """A persistent process pool with one-time per-worker initialization.
+    """A supervised persistent process pool with one-time per-worker init.
 
     Unlike :func:`parallel_map` (which builds and tears down an executor per
     call), a :class:`WorkerPool` lives for the duration of a serving session:
@@ -134,6 +295,11 @@ class WorkerPool:
     owner) spawns and initializes every worker up front, so the first real
     request does not pay process startup or model deserialization.  The pool
     is a context manager; :meth:`close` shuts the workers down.
+
+    Worker death is supervised (see the module docstring): the executor is
+    rebuilt, the initializer re-runs, unresolved tasks are resubmitted, and
+    :attr:`restarts` counts the rebuilds.  ``max_restarts`` bounds the
+    budget; beyond it the pool raises :class:`WorkerPoolBroken` everywhere.
     """
 
     def __init__(
@@ -142,17 +308,36 @@ class WorkerPool:
         *,
         initializer: Optional[Callable[..., object]] = None,
         initargs: Tuple = (),
+        max_restarts: int = 5,
     ) -> None:
         if workers < 1:
             raise ValueError(f"WorkerPool needs at least 1 worker, got {workers}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be non-negative, got {max_restarts}")
         self.workers = int(workers)
+        self.max_restarts = int(max_restarts)
         self._initializer = initializer
         self._initargs = initargs
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._restarts = 0
+        self._broken: Optional[BaseException] = None
+        self._registry: set = set()
 
     @property
     def is_running(self) -> bool:
         return self._executor is not None
+
+    @property
+    def restarts(self) -> int:
+        """Completed supervision rebuilds since the pool (re)started."""
+        return self._restarts
+
+    @property
+    def is_broken(self) -> bool:
+        """True once supervision gave up; :meth:`close` resets the state."""
+        return self._broken is not None
 
     #: Warm-up rounds before :meth:`start` gives up on reaching every worker
     #: (best effort; see below).
@@ -172,8 +357,17 @@ class WorkerPool:
         pathologically slow machine start() degrades to best-effort warm
         rather than hanging.
         """
-        if self._executor is not None:
-            return self
+        with self._lock:
+            if self._broken is not None:
+                raise WorkerPoolBroken(
+                    "worker pool is permanently broken; close() it before reuse"
+                ) from self._broken
+            if self._executor is None:
+                self._spawn()
+        return self
+
+    def _spawn(self) -> None:
+        """Build a fresh executor and warm every worker (caller holds the lock)."""
         context = multiprocessing.get_context()
         self._executor = ProcessPoolExecutor(
             max_workers=self.workers,
@@ -193,18 +387,96 @@ class WorkerPool:
             done, _pending = wait(warmups)
             for future in done:
                 seen_pids.add(future.result())  # surfaces initializer failures
-        return self
 
-    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
-        """Schedule ``fn(*args, **kwargs)`` on a worker; returns its future."""
-        if self._executor is None:
-            self.start()
-        assert self._executor is not None
-        return self._executor.submit(fn, *args, **kwargs)
+    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> SupervisedFuture:
+        """Schedule ``fn(*args, **kwargs)``; returns its supervised future.
+
+        ``fn`` must be a deterministic picklable function of its arguments:
+        supervision re-executes it after a worker crash, and only a pure
+        task makes the re-execution indistinguishable from the first run.
+        """
+        supervised = SupervisedFuture(self, fn, args, kwargs)
+        with self._lock:
+            if self._executor is None:
+                self.start()
+            while True:
+                assert self._executor is not None
+                try:
+                    inner = self._executor.submit(fn, *args, **kwargs)
+                except BrokenExecutor:
+                    self._recover(self._generation)  # raises when terminal
+                    continue
+                break
+            supervised._bind(inner, self._generation)
+            self._registry.add(supervised)
+        return supervised
+
+    def _recover(self, broken_generation: int) -> None:
+        """Rebuild after a breakage observed on ``broken_generation``.
+
+        Any number of waiter threads may race here; only the first to hold
+        the lock for the still-current generation performs the rebuild (and
+        the resubmission of every unresolved supervised task).  Late
+        arrivals see an advanced generation and return immediately — their
+        futures were already rebound.  Raises :class:`WorkerPoolBroken`
+        when the restart budget is exhausted or the rebuild itself fails.
+        """
+        with self._lock:
+            if self._broken is not None:
+                raise WorkerPoolBroken(
+                    f"worker pool gave up after {self._restarts} restart(s)"
+                ) from self._broken
+            if broken_generation != self._generation:
+                return  # another waiter already recovered this breakage
+            old, self._executor = self._executor, None
+            self._generation += 1
+            if old is not None:
+                old.shutdown(wait=False, cancel_futures=True)
+            if self._restarts >= self.max_restarts:
+                self._broken = WorkerPoolBroken(
+                    f"worker pool broke again after {self._restarts} restart(s) "
+                    f"(max_restarts={self.max_restarts})"
+                )
+                self._registry.clear()
+                raise self._broken
+            try:
+                self._spawn()
+            except BaseException as exc:
+                self._broken = exc
+                self._registry.clear()
+                raise WorkerPoolBroken(
+                    "worker pool could not be rebuilt after a crash"
+                ) from exc
+            self._restarts += 1
+            # Resubmit everything the crash invalidated; tasks that already
+            # resolved (real result or real task exception) keep their
+            # outcome, and consumed tasks were deregistered long ago.
+            for supervised in list(self._registry):
+                if supervised._is_resolved():
+                    self._registry.discard(supervised)
+                    continue
+                fn, args, kwargs = supervised._task
+                assert self._executor is not None
+                inner = self._executor.submit(fn, *args, **kwargs)
+                supervised._bind(inner, self._generation)
+                supervised.resubmissions += 1
+
+    def _deregister(self, supervised: SupervisedFuture) -> None:
+        with self._lock:
+            self._registry.discard(supervised)
 
     def close(self) -> None:
-        """Shut the workers down (idempotent); pending futures are cancelled."""
-        executor, self._executor = self._executor, None
+        """Shut the workers down (idempotent); pending futures are cancelled.
+
+        Also clears the broken state and the restart budget: an explicit
+        close + start is a deliberate fresh pool, not a supervised rebuild.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._generation += 1
+            self._restarts = 0
+            self._broken = None
+            self._registry.clear()
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
 

@@ -71,6 +71,20 @@ class TestWorkflowDocument:
         for suite in ("tests/test_serve_sharded.py", "tests/test_serve_service.py"):
             assert os.path.exists(os.path.join(REPO_ROOT, suite))
 
+    def test_test_job_gates_fault_injection_with_forced_workers(self, workflow):
+        # The chaos suite must run as its own named step with REPRO_WORKERS=2:
+        # supervision, retry/timeout/hedging and degraded mode only mean
+        # anything over a real multi-process pool.
+        steps = workflow["jobs"]["tests"]["steps"]
+        fault_steps = [
+            step for step in steps if "tests/test_serve_faults.py" in step.get("run", "")
+        ]
+        assert fault_steps, "no named step runs tests/test_serve_faults.py"
+        assert fault_steps[0].get("name"), "the fault-injection step must be named"
+        env = fault_steps[0].get("env") or {}
+        assert str(env.get("REPRO_WORKERS")) == "2"
+        assert os.path.exists(os.path.join(REPO_ROOT, "tests", "test_serve_faults.py"))
+
     def test_perf_gate_required_kernels_cover_the_serving_stack(self):
         # The committed baseline must keep measuring the serving kernels: a
         # refactor that silently drops them should fail the perf gate, not
@@ -82,7 +96,11 @@ class TestWorkflowDocument:
         )
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
-        assert {"serve_sharded_tvae", "serve_sharded_tabddpm"} <= module.REQUIRED_KERNELS
+        assert {
+            "serve_sharded_tvae",
+            "serve_sharded_tabddpm",
+            "serve_sharded_tvae_faulty",
+        } <= module.REQUIRED_KERNELS
         import json
 
         with open(os.path.join(REPO_ROOT, "benchmarks", "BENCH_hotpaths.json")) as fh:

@@ -7,6 +7,7 @@ import pytest
 from repro.utils.parallel import (
     WORKERS_ENV,
     WorkerPool,
+    WorkerPoolBroken,
     available_workers,
     parallel_map,
     visible_cpus,
@@ -131,3 +132,75 @@ class TestWorkerPool:
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError, match="at least 1"):
             WorkerPool(0)
+
+
+def _die_once(latch_path):
+    """Crash the worker the first time only (a cross-process once-latch)."""
+    try:
+        fd = os.open(latch_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return os.getpid()
+    os.close(fd)
+    os._exit(87)
+
+
+def _die_always():
+    os._exit(87)
+
+
+class TestWorkerPoolSupervision:
+    """A worker death must cost a restart, never a queued task."""
+
+    def test_crash_recovers_and_resubmits_queued_tasks(self, tmp_path):
+        latch = str(tmp_path / "crash.latch")
+        with WorkerPool(2, initializer=_pool_init, initargs=(21,)) as pool:
+            doomed = pool.submit(_die_once, latch)
+            queued = [pool.submit(_pool_task, i) for i in range(6)]
+            # The crash poisons the whole executor; supervision rebuilds it,
+            # re-runs the initializer and replays every unresolved future.
+            assert doomed.result(timeout=60) > 0
+            assert sorted(f.result(timeout=60) for f in queued) == [
+                42 + i for i in range(6)
+            ]
+            assert pool.restarts >= 1
+            assert not pool.is_broken
+            # The pool stays serviceable after recovery.
+            assert pool.submit(_pool_task, 100).result(timeout=60) == 142
+
+    def test_resubmission_counter_records_replays(self, tmp_path):
+        latch = str(tmp_path / "replay.latch")
+        with WorkerPool(2) as pool:
+            doomed = pool.submit(_die_once, latch)
+            assert doomed.result(timeout=60) > 0
+            assert doomed.resubmissions >= 1
+
+    def test_restart_budget_exhaustion_breaks_the_pool(self):
+        pool = WorkerPool(2, max_restarts=0)
+        try:
+            future = pool.submit(_die_always)
+            with pytest.raises(WorkerPoolBroken):
+                future.result(timeout=60)
+            assert pool.is_broken
+            with pytest.raises(WorkerPoolBroken):
+                pool.submit(_square, 3)
+            with pytest.raises(WorkerPoolBroken):
+                pool.start()
+        finally:
+            pool.close()
+
+    def test_close_resets_the_broken_state(self):
+        pool = WorkerPool(2, max_restarts=0)
+        try:
+            with pytest.raises(WorkerPoolBroken):
+                pool.submit(_die_always).result(timeout=60)
+            assert pool.is_broken
+            pool.close()
+            assert not pool.is_broken
+            # A fresh start after close is a brand-new supervision budget.
+            assert pool.submit(_square, 4).result(timeout=60) == 16
+        finally:
+            pool.close()
+
+    def test_rejects_negative_restart_budget(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            WorkerPool(1, max_restarts=-1)
