@@ -6,6 +6,7 @@ Regenerates any paper artefact from the terminal, e.g.::
     repro-experiments fig3 --raw-jobs 20000
     repro-experiments fig2 --models tabddpm
     repro-experiments ablations --which smote_k
+    repro-experiments scenario chaos-drift --seed 7 --report report.json
 
 (Equivalently: ``python -m repro.experiments.cli ...``.)
 """
@@ -33,7 +34,7 @@ from repro.experiments.figures import (
 from repro.experiments.table1 import run_table1
 from repro.utils.logging import set_verbosity
 
-EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "ablations", "serve")
+EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "ablations", "serve", "scenario")
 
 
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -64,6 +65,11 @@ def _print_matrix(matrix: np.ndarray, labels: Sequence[str]) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("experiment", choices=EXPERIMENTS, help="which paper artefact to regenerate")
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="experiment-specific target (for 'scenario': the catalog name; "
+        "omit it to list the catalog)",
+    )
     parser.add_argument("--preset", choices=("ci", "default", "paper"), default="ci")
     parser.add_argument("--raw-jobs", type=int, default=None, help="override the number of raw records")
     parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
@@ -114,6 +120,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve_group.add_argument(
         "--hedge-multiplier", type=float, default=None,
         help="hedge a chunk once it is this multiple of the median chunk latency",
+    )
+    scenario_group = parser.add_argument_group(
+        "scenario", "options for the 'scenario' experiment (replay + drift/canary loop)"
+    )
+    scenario_group.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the full scenario report (deterministic core + timing) as JSON",
+    )
+    scenario_group.add_argument(
+        "--ticks", type=int, default=None, help="override the scenario's replay horizon"
+    )
+    scenario_group.add_argument(
+        "--window-rows", type=int, default=None,
+        help="override rows per observed drift-monitor window",
+    )
+    scenario_group.add_argument(
+        "--train-rows", type=int, default=None,
+        help="override the initial training-corpus size",
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     parser.add_argument("--verbose", action="store_true")
@@ -301,6 +325,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"hedge_wins={payload['hedge_wins']}/{payload['hedges']} "
                     f"degraded_passes={payload['degraded_passes']}"
                 )
+        return 0
+
+    if args.experiment == "scenario":
+        from repro.scenarios import ScenarioEngine, get_scenario, scenario_names, SCENARIOS
+
+        if args.target is None:
+            print("available scenarios (run with: repro-experiments scenario <name>):")
+            for scenario_name in scenario_names():
+                print(f"  {scenario_name:<20} {SCENARIOS[scenario_name].description}")
+            return 0
+        spec = get_scenario(args.target)
+        overrides = {}
+        if args.ticks is not None:
+            overrides["ticks"] = args.ticks
+            # Keep the chaos schedule valid when the horizon shrinks.
+            overrides["fault_arm_ticks"] = tuple(
+                t for t in spec.fault_arm_ticks if t < args.ticks
+            )
+        if args.window_rows is not None:
+            overrides["window_rows"] = args.window_rows
+        if args.train_rows is not None:
+            overrides["train_rows"] = args.train_rows
+        if overrides:
+            spec = spec.scaled(**overrides)
+        engine = ScenarioEngine(
+            spec,
+            seed=args.seed if args.seed is not None else 7,
+            workers=args.workers,
+            registry_root=args.registry,
+        )
+        report = engine.run()
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json() + "\n")
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.summary())
+            if args.report:
+                print(f"  report written to {args.report}")
         return 0
 
     if args.experiment == "ablations":

@@ -22,9 +22,14 @@ one :class:`~repro.metrics.report.SurrogateScore` (one Table I row).
 """
 
 from repro.metrics.distribution import (
+    DriftConfig,
+    DriftEvent,
+    DriftMonitor,
     categorical_frequencies,
+    chi_squared_statistic,
     histogram_series,
     jensen_shannon_divergence,
+    ks_statistic,
     mean_jsd,
     mean_wasserstein,
     top_k_frequencies,
@@ -55,6 +60,11 @@ __all__ = [
     "categorical_frequencies",
     "top_k_frequencies",
     "histogram_series",
+    "ks_statistic",
+    "chi_squared_statistic",
+    "DriftConfig",
+    "DriftEvent",
+    "DriftMonitor",
     "pearson_correlation",
     "correlation_ratio",
     "theils_u",

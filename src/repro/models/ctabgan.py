@@ -51,7 +51,7 @@ from repro.tabular.encoding import OneHotEncoder
 from repro.tabular.schema import ColumnKind
 from repro.tabular.table import Table
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedLike, as_rng, derive_seed
+from repro.utils.rng import SeedLike, as_rng, derive_seed, fused_column_draws
 
 logger = get_logger(__name__)
 
@@ -512,7 +512,12 @@ class _ConditionSampler:
     * a scalar ``rng.integers(0, high)`` loop consumes the stream exactly
       like one vectorised ``rng.integers(0, highs)`` call over the same
       bounds (numpy applies the bounded-integer rejection per element in
-      order).
+      order);
+    * the per-column ``rng.random`` + ``rng.integers`` call pairs are fused
+      into three batched generator calls by
+      :func:`repro.utils.rng.fused_column_draws`, which replays numpy's raw
+      word consumption bit-exactly (and falls back to the literal legacy
+      calls whenever it cannot).
     """
 
     def __init__(self, table: Table, layout: List[Tuple[str, int, int]], encoders: Dict[str, OneHotEncoder]):
@@ -570,10 +575,21 @@ class _ConditionSampler:
             self._sizes_pad[j, :width] = self._pool_sizes[j]
             self._highs_pad[j, :width] = self._pool_highs[j]
             self._starts_pad[j, :width] = self._pool_starts[j]
+        # Fit-time screen for the fused exact-mode draw path: fusing needs
+        # every pool bounded-draw-capable (high > 1) and 32-bit.  Pools are
+        # fit-time constants, so checking here keeps the per-batch screen
+        # out of the sampling hot path entirely.
+        self._fused_ok = all(
+            int(h.min()) > 1 and int(h.max()) < 2**32 for h in self._pool_highs
+        )
 
     def sample(
-        self, batch_size: int, rng: np.random.Generator, mode: str = "exact"
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        self,
+        batch_size: int,
+        rng: np.random.Generator,
+        mode: str = "exact",
+        need_rows: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
         """Return (condition matrix, column index, category index, matching row index).
 
         ``mode="exact"`` (default) draws the historical per-column RNG stream;
@@ -583,6 +599,12 @@ class _ConditionSampler:
         row), so streams — and therefore exact outputs — differ from the
         seed while condition frequencies match (chi-squared-tested in
         ``tests/test_sampling_equivalence.py``).
+
+        ``need_rows=False`` skips the matching-row gather (``row_choice`` is
+        returned as ``None``) for callers that only consume the condition
+        matrix (generation).  Every RNG draw still happens — the bounded
+        integer draws are part of the pinned stream — so outputs are
+        byte-identical either way.
         """
         if mode not in ("exact", "fast"):
             raise ValueError(f"unknown condition sampling mode {mode!r}; use 'exact' or 'fast'")
@@ -592,10 +614,12 @@ class _ConditionSampler:
         if mode == "fast":
             uniforms = rng.random(batch_size)
             cats = (self._cdf_pad[col_choice] <= uniforms[:, None]).sum(axis=1)
-            sizes = self._sizes_pad[col_choice, cats]
             draws = rng.integers(0, self._highs_pad[col_choice, cats])
-            starts = self._starts_pad[col_choice, cats] + self._pool_offsets[col_choice]
             cond[np.arange(batch_size), self.offsets[col_choice] + cats] = 1.0
+            if not need_rows:
+                return cond, col_choice, cats.astype(np.int64), None
+            sizes = self._sizes_pad[col_choice, cats]
+            starts = self._starts_pad[col_choice, cats] + self._pool_offsets[col_choice]
             if self._all_pools.size:
                 picks = self._all_pools[np.minimum(starts + draws, self._all_pools.size - 1)]
                 row_choice = np.where(sizes > 0, picks, draws)
@@ -603,34 +627,45 @@ class _ConditionSampler:
                 row_choice = draws
             return cond, col_choice, cats.astype(np.int64), row_choice
         # Group the batch rows by conditioned column once (stable sort keeps
-        # the ascending row order of the historical per-column masks); the
-        # per-column loop below then only performs the RNG draws — which must
-        # stay interleaved per column to preserve the seed stream — plus one
-        # CDF lookup, with all gather/scatter work batched afterwards.
+        # the ascending row order of the historical per-column masks).  The
+        # per-column uniform + bounded-integer draw pairs — which must stay
+        # interleaved per column to preserve the seed stream — are fused into
+        # one raw block draw plus one stream advance by ``fused_column_draws``
+        # (pools screened at fit time; non-PCG64 generators, singleton or
+        # 64-bit pools, and a detected bounded-integer rejection all fall
+        # back to the literal legacy calls), with all gather/scatter work
+        # batched afterwards.
         rows_by_col = np.argsort(col_choice, kind="stable")
         counts = np.bincount(col_choice, minlength=n_columns)
+        active_cols = [j for j in range(n_columns) if counts[j]]
+        fused = None
+        if self._fused_ok:
+            plans = [(int(counts[j]), self._cdfs[j], self._pool_highs[j]) for j in active_cols]
+            fused = fused_column_draws(rng, plans, prescreened=True)
+        if fused is None:
+            fused = []
+            for j in active_cols:
+                cats = self._cdfs[j].searchsorted(rng.random(int(counts[j])), side="right")
+                fused.append((cats, rng.integers(0, self._pool_highs[j][cats])))
         cats_parts: List[np.ndarray] = []
         draws_parts: List[np.ndarray] = []
         sizes_parts: List[np.ndarray] = []
         starts_parts: List[np.ndarray] = []
-        for j in range(n_columns):
-            count = counts[j]
-            if count == 0:
-                continue
-            cats = self._cdfs[j].searchsorted(rng.random(count), side="right")
-            sizes = self._pool_sizes[j][cats]
-            draws = rng.integers(0, self._pool_highs[j][cats])
+        for j, (cats, column_draws) in zip(active_cols, fused):
             cats_parts.append(self.offsets[j] + cats)
-            sizes_parts.append(sizes)
-            draws_parts.append(draws)
-            starts_parts.append(self._pool_starts[j][cats] + self._pool_offsets[j])
+            draws_parts.append(column_draws)
+            if need_rows:
+                sizes_parts.append(self._pool_sizes[j][cats])
+                starts_parts.append(self._pool_starts[j][cats] + self._pool_offsets[j])
         cat_cols = np.concatenate(cats_parts) if cats_parts else np.empty(0, dtype=np.int64)
-        sizes = np.concatenate(sizes_parts) if sizes_parts else np.empty(0, dtype=np.int64)
-        draws = np.concatenate(draws_parts) if draws_parts else np.empty(0, dtype=np.int64)
-        starts = np.concatenate(starts_parts) if starts_parts else np.empty(0, dtype=np.intp)
         cond[rows_by_col, cat_cols] = 1.0
         cat_choice = np.empty(batch_size, dtype=np.int64)
         cat_choice[rows_by_col] = cat_cols - self._cond_col_offset[cat_cols]
+        if not need_rows:
+            return cond, col_choice, cat_choice, None
+        draws = np.concatenate(draws_parts) if draws_parts else np.empty(0, dtype=np.int64)
+        sizes = np.concatenate(sizes_parts) if sizes_parts else np.empty(0, dtype=np.int64)
+        starts = np.concatenate(starts_parts) if starts_parts else np.empty(0, dtype=np.intp)
         row_choice = np.empty(batch_size, dtype=np.int64)
         if self._all_pools.size:
             picks = self._all_pools[np.minimum(starts + draws, self._all_pools.size - 1)]
@@ -862,7 +897,9 @@ class CTABGANPlusSurrogate(Surrogate):
                     if condition_mode == "fast"
                     else min(cfg.batch_size, remaining)
                 )
-                cond, _, _, _ = self._condition.sample(batch, rng, mode=condition_mode)
+                cond, _, _, _ = self._condition.sample(
+                    batch, rng, mode=condition_mode, need_rows=False
+                )
                 noise = rng.standard_normal((batch, cfg.noise_dim))
                 raw = self._generator(Tensor(np.concatenate([noise, cond], axis=1)))
                 outputs.append(raw.numpy())
@@ -896,7 +933,7 @@ class CTABGANPlusSurrogate(Surrogate):
         raw_matrix = np.empty((n, self._encoder.n_features), dtype=np.float32)
         for r0 in range(0, n, self._FAST_FORWARD_CHUNK):
             batch = min(self._FAST_FORWARD_CHUNK, n - r0)
-            cond, _, _, _ = self._condition.sample(batch, rng, mode="fast")
+            cond, _, _, _ = self._condition.sample(batch, rng, mode="fast", need_rows=False)
             noise = rng.standard_normal((batch, cfg.noise_dim))
             # The forward returns a reused buffer; the store into the request
             # matrix is the consuming copy.

@@ -112,11 +112,17 @@ class PandaWorkloadGenerator:
         tasktype = np.where(is_analysis, "analysis", "production")
 
         # Site choice with mild project/region affinity: hash the project onto a
-        # preferred site subset and boost its probability.
+        # preferred site subset and boost its probability.  The hash must be
+        # stable across processes (builtin ``hash`` is salted per interpreter,
+        # which would break cross-run replay determinism), so it goes through
+        # the SHA-256-backed ``derive_seed``.
         site_names = self.sites.sample_sites(n, rng)
         # Hash once per catalog dataset, then gather per row.
         catalog_codes = np.array(
-            [hash(p) % len(self.sites) for p in self.datasets.project_array]
+            [
+                derive_seed(0, "project-affinity", p) % len(self.sites)
+                for p in self.datasets.project_array
+            ]
         )
         project_codes = catalog_codes[dataset_idx]
         affinity = rng.random(n) < 0.25

@@ -1,0 +1,362 @@
+"""The scenario engine: replay a spec through the full serving stack.
+
+One :meth:`ScenarioEngine.run` drives, tick by tick:
+
+1. **Traffic** — the tick's :class:`~repro.scenarios.streams.TrafficRequest`
+   batch is submitted to a live :class:`~repro.serve.service.SamplingService`
+   (micro-batching, backpressure, chunk resilience and pool supervision all
+   active), every result is collected, fingerprinted, and counted — a lost
+   or erroneous request is a reportable defect, never a silent skip.
+2. **Chaos** — at scheduled ticks the spec's
+   :class:`~repro.serve.faults.FaultPlan` is re-armed, so worker kills /
+   transient failures land *inside* live traffic; recovery is the serving
+   stack's job and byte-determinism is asserted over the whole run.
+3. **Observation** — the tick's window from the
+   :class:`~repro.scenarios.streams.WindowStream` feeds the
+   :class:`~repro.metrics.distribution.DriftMonitor`.
+4. **The loop** — on sustained drift: retrain on the recent drifted
+   windows, register the new version under the ``canary`` stage, compare
+   canary vs ``prod`` fidelity on a held-out window, then promote (registry
+   pointer swap + zero-downtime hot model swap + monitor rebaseline) or
+   roll back (canary stage cleared, prod keeps serving).
+
+Every random choice derives from the scenario seed, so the deterministic
+core of the resulting :class:`~repro.scenarios.report.ScenarioReport` —
+fingerprint included — is identical across reruns, worker counts, and
+injected faults.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional, Tuple, Union
+
+from repro.metrics.distribution import DriftMonitor
+from repro.metrics.distribution import mean_jsd, mean_wasserstein
+from repro.models import Surrogate, create_surrogate
+from repro.panda.generator import GeneratorConfig
+from repro.scenarios.catalog import ScenarioSpec, get_scenario
+from repro.scenarios.report import ScenarioReport, table_fingerprint
+from repro.scenarios.streams import TrafficModel, WindowStream
+from repro.serve.faults import FaultPlan
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import SampleRequest, SamplingService
+from repro.tabular.table import Table
+from repro.utils.rng import derive_seed
+
+__all__ = ["ScenarioEngine", "run_scenario"]
+
+
+class ScenarioEngine:
+    """Run one :class:`ScenarioSpec` end to end.
+
+    Parameters
+    ----------
+    spec:
+        The scenario (a catalog name or a :class:`ScenarioSpec`).
+    seed:
+        Master seed; every stream, request, retrain and comparison derives
+        from it.
+    workers:
+        Worker processes for the sampling service (``None`` = autodetect,
+        honouring ``REPRO_WORKERS``).
+    registry_root:
+        Directory for the :class:`ModelRegistry`.  ``None`` uses a run-local
+        temporary directory (removed afterwards).
+    """
+
+    def __init__(
+        self,
+        spec: Union[str, ScenarioSpec],
+        *,
+        seed: int = 7,
+        workers: Optional[int] = None,
+        registry_root: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.spec = get_scenario(spec) if isinstance(spec, str) else spec
+        self.seed = int(seed)
+        self.workers = workers
+        self.registry_root = registry_root
+
+    # -- pieces -------------------------------------------------------------------
+    def _generator_config(self) -> GeneratorConfig:
+        spec = self.spec
+        return GeneratorConfig(
+            n_jobs=max(spec.train_rows * 3, 2000),
+            n_days=spec.n_days,
+            n_sites=12,
+            n_datasets=150,
+            n_users=spec.n_users,
+            seed=derive_seed(self.seed, "generator"),
+        )
+
+    def _window_stream(self) -> WindowStream:
+        spec = self.spec
+        return WindowStream(
+            window_rows=spec.window_rows,
+            seed=derive_seed(self.seed, "windows"),
+            generator=self._generator_config(),
+            drift_phases=spec.drift_phases,
+            degenerate_ticks=spec.degenerate_ticks,
+        )
+
+    def _traffic_model(self) -> TrafficModel:
+        spec = self.spec
+        return TrafficModel(
+            seed=derive_seed(self.seed, "traffic"),
+            ticks=spec.ticks,
+            n_days=spec.n_days,
+            requests_per_tick=spec.requests_per_tick,
+            base_rows=spec.base_rows,
+            min_rows=spec.min_rows,
+            max_rows=spec.max_rows,
+            n_tenants=spec.n_tenants,
+            n_users=spec.n_users,
+            n_bursts=spec.n_bursts,
+        )
+
+    def _fit_model(self, corpus: Table, *, purpose: str, tick: int = -1) -> Surrogate:
+        model = create_surrogate(self.spec.model)
+        model.fit(corpus)
+        return model
+
+    def _fidelity(self, model: Surrogate, holdout: Table, *, seed: int) -> float:
+        """Scalar fidelity of a model against held-out data (lower = better)."""
+        sample = model.sample(
+            self.spec.canary_rows, seed=seed, sampling_mode=self.spec.sampling_mode
+        )
+        wd, _ = mean_wasserstein(holdout, sample)
+        jsd, _ = mean_jsd(holdout, sample)
+        return float(wd + jsd)
+
+    # -- the run ------------------------------------------------------------------
+    def run(self) -> ScenarioReport:
+        spec = self.spec
+        started = time.perf_counter()
+        stream = self._window_stream()
+        traffic = self._traffic_model()
+
+        train_table = stream.training_table(spec.train_rows)
+        model = self._fit_model(train_table, purpose="initial")
+
+        plan: Optional[FaultPlan] = None
+        if spec.fault_plan:
+            plan = FaultPlan.parse(spec.fault_plan)
+            plan.disarm()  # quiet until the first scheduled arm tick
+
+        registry_dir: Optional[tempfile.TemporaryDirectory] = None
+        root = self.registry_root
+        if root is None:
+            registry_dir = tempfile.TemporaryDirectory(prefix="repro-scenario-registry-")
+            root = registry_dir.name
+        registry = ModelRegistry(root, warm_chunk_rows=spec.chunk_size)
+        model_name = spec.name
+        initial_version = registry.register(model_name, model, stage="prod")
+
+        monitor = DriftMonitor(train_table, config=spec.drift)
+        recent_windows: Deque[Table] = deque(maxlen=max(spec.retrain_windows, 1))
+
+        report = ScenarioReport(
+            scenario=spec.name,
+            seed=self.seed,
+            model=spec.model,
+            sampling_mode=spec.sampling_mode,
+            workers=0,  # filled below once the service resolved the count
+            ticks=spec.ticks,
+            initial_version=initial_version,
+        )
+        report.final_prod_version = initial_version
+        report.registry_versions.append(initial_version)
+        fingerprint = hashlib.sha256()
+        armed_interval_open = False
+
+        service = SamplingService(
+            model,
+            workers=self.workers,
+            chunk_size=spec.chunk_size,
+            fault_plan=plan,
+            max_pool_restarts=spec.max_pool_restarts,
+        )
+        report.workers = service.workers
+        try:
+            for tick in range(spec.ticks):
+                # 1. Chaos: (re-)arm the fault plan at scheduled ticks, closing
+                # the accounting interval of the previous arming first.
+                if plan is not None and tick in spec.fault_arm_ticks:
+                    if armed_interval_open:
+                        report.faults_injected += plan.spent()
+                    plan.arm()
+                    armed_interval_open = True
+                    report.faults_armed += 1
+                    report.timeline.append(
+                        {"tick": tick, "event": "faults_armed", "plan": spec.fault_plan}
+                    )
+
+                # 2. Traffic: submit the whole tick, then collect every result.
+                requests = traffic.requests(tick)
+                handles: List[Tuple[SampleRequest, int, str]] = []
+                for request in requests:
+                    handle = service.submit(
+                        request.rows,
+                        seed=request.seed,
+                        sampling_mode=spec.sampling_mode,
+                    )
+                    handles.append((handle, request.rows, request.tenant))
+                report.requests_submitted += len(requests)
+                for handle, rows, tenant in handles:
+                    report.rows_requested += rows
+                    report.requests_by_tenant[tenant] = (
+                        report.requests_by_tenant.get(tenant, 0) + 1
+                    )
+                    try:
+                        table = handle.result()
+                    except Exception as exc:
+                        report.request_errors += 1
+                        report.timeline.append(
+                            {"tick": tick, "event": "request_error", "error": str(exc)}
+                        )
+                        continue
+                    report.requests_served += 1
+                    report.rows_served += table.n_rows
+                    table_fingerprint(table, fingerprint)
+
+                # 3. Observation: one window through the drift monitor.
+                window = stream.window(tick)
+                recent_windows.append(window)
+                events = monitor.observe(window)
+                report.windows_observed += 1
+                for event in events:
+                    record = event.as_dict()
+                    record["tick"] = tick
+                    report.drift_events.append(record)
+                    report.timeline.append(
+                        {
+                            "tick": tick,
+                            "event": "drift_detected",
+                            "column": event.column,
+                            "statistic": event.statistic,
+                            "value": round(float(event.value), 12),
+                        }
+                    )
+
+                # 4. The retrain → canary → promote/rollback loop.
+                if events:
+                    self._retrain_and_compare(
+                        tick=tick,
+                        stream=stream,
+                        recent_windows=list(recent_windows),
+                        registry=registry,
+                        model_name=model_name,
+                        service=service,
+                        monitor=monitor,
+                        report=report,
+                    )
+
+            if plan is not None and armed_interval_open:
+                report.faults_injected += plan.spent()
+
+            stats = service.stats()
+            report.pool_restarts = stats.pool_restarts
+            report.chunk_retries = stats.chunk_retries
+            report.chunk_timeouts = stats.chunk_timeouts
+            report.hedges = stats.hedges
+            report.degraded_passes = stats.degraded_passes
+            report.cancelled_requests = stats.cancelled_requests
+            report.model_swaps = service.model_swaps
+            report.p50_latency = stats.p50_latency
+            report.p95_latency = stats.p95_latency
+        finally:
+            service.close()
+            if plan is not None:
+                plan.cleanup()
+            if registry_dir is not None:
+                registry_dir.cleanup()
+
+        report.output_fingerprint = fingerprint.hexdigest()
+        report.wall_seconds = time.perf_counter() - started
+        if report.wall_seconds > 0:
+            report.rows_per_second = report.rows_served / report.wall_seconds
+        return report
+
+    def _retrain_and_compare(
+        self,
+        *,
+        tick: int,
+        stream: WindowStream,
+        recent_windows: List[Table],
+        registry: ModelRegistry,
+        model_name: str,
+        service: SamplingService,
+        monitor: DriftMonitor,
+        report: ScenarioReport,
+    ) -> None:
+        """Auto-retrain on drifted windows; canary-compare; promote or roll back."""
+        spec = self.spec
+        corpus = Table.concat(recent_windows)
+        report.retrains += 1
+        report.timeline.append(
+            {
+                "tick": tick,
+                "event": "retrain_started",
+                "corpus_rows": corpus.n_rows,
+                "windows": len(recent_windows),
+            }
+        )
+        candidate = self._fit_model(corpus, purpose="retrain", tick=tick)
+        version = registry.register(model_name, candidate, stage="canary")
+        report.registry_versions.append(version)
+        report.timeline.append(
+            {"tick": tick, "event": "canary_registered", "version": version}
+        )
+
+        # Canary comparison on held-out replay traffic: both sides sample
+        # with their own derived seeds and score against the same holdout.
+        holdout = stream.holdout_window(tick, rows=spec.canary_rows)
+        canary_score = self._fidelity(
+            candidate, holdout, seed=derive_seed(self.seed, "canary-sample", tick)
+        )
+        prod_model = registry.get(model_name, "prod")
+        prod_score = self._fidelity(
+            prod_model, holdout, seed=derive_seed(self.seed, "prod-sample", tick)
+        )
+        comparison = {
+            "tick": tick,
+            "event": "canary_comparison",
+            "version": version,
+            "canary_score": round(canary_score, 12),
+            "prod_score": round(prod_score, 12),
+        }
+        report.timeline.append(comparison)
+
+        if canary_score <= prod_score:
+            registry.promote(model_name, version)
+            service.swap_model(candidate)  # zero-downtime: applied between batches
+            monitor.rebaseline(corpus)
+            report.promotions += 1
+            report.final_prod_version = version
+            report.timeline.append(
+                {"tick": tick, "event": "promoted", "version": version}
+            )
+        else:
+            registry.clear_stage(model_name, "canary")
+            report.rollbacks += 1
+            report.timeline.append(
+                {"tick": tick, "event": "rolled_back", "version": version}
+            )
+
+
+def run_scenario(
+    name: Union[str, ScenarioSpec],
+    *,
+    seed: int = 7,
+    workers: Optional[int] = None,
+    registry_root: Optional[Union[str, Path]] = None,
+) -> ScenarioReport:
+    """Convenience wrapper: build a :class:`ScenarioEngine` and run it."""
+    return ScenarioEngine(
+        name, seed=seed, workers=workers, registry_root=registry_root
+    ).run()

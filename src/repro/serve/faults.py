@@ -199,6 +199,18 @@ class FaultPlan:
             os.makedirs(self.token_dir, exist_ok=True)
         return self
 
+    def disarm(self) -> "FaultPlan":
+        """Claim every remaining token so nothing injects until :meth:`arm`.
+
+        The scenario engine installs a plan at pool start but only wants it
+        firing at scheduled ticks: disarm right after construction, then
+        ``arm()`` at each scheduled tick.
+        """
+        for fault_index, fault in enumerate(self.faults):
+            while self._claim(fault_index, fault.times):
+                pass
+        return self
+
     def cleanup(self) -> None:
         """Remove the token directory (plans made from parse/random own one)."""
         shutil.rmtree(self.token_dir, ignore_errors=True)

@@ -7,30 +7,80 @@ registry is deliberately plain — a directory tree
 .. code-block:: text
 
     <root>/<name>/v1.pkl
+    <root>/<name>/v1.pkl.sha256
     <root>/<name>/v2.pkl
-    ...
+    <root>/<name>/v2.pkl.sha256
+    <root>/<name>/stages.json
 
 with monotonically increasing versions per name, the highest version being
-"latest".  Snapshots go through :meth:`Surrogate.save`/:meth:`Surrogate.load`
-(transient serving caches are dropped on disk), and every model the registry
-hands out has been **warm-started**: its packed serving caches are built and
-pre-sized for the serving chunk size at registration / load time
+"latest".  Every model the registry hands out has been **warm-started**: its
+packed serving caches are built and pre-sized for the serving chunk size at
+registration / load time
 (:meth:`~repro.models.base.Surrogate.warm_serving_caches`), so the first
 request against a registered model pays the same latency as the thousandth.
+
+Durability contract
+-------------------
+Snapshots are written *atomically*: the pickle payload lands in a temporary
+file in the destination directory and is moved into place with
+:func:`os.replace`, so a crash mid-write can never leave a half-written
+``vN.pkl`` behind — a version either exists completely or not at all.  Each
+snapshot carries a ``vN.pkl.sha256`` sidecar (hex digest of the payload)
+that is verified on every disk load; a digest mismatch, or a payload that
+fails to unpickle, raises :class:`RegistryCorrupted` naming the snapshot
+instead of surfacing a raw ``pickle`` error.  Sidecar-less snapshots
+(pre-integrity registries) load unverified for backward compatibility.
+
+Stages
+------
+Versions are immutable; *stages* are mutable aliases over them — the
+rollout states a serving fleet needs (``prod``, ``canary``, or any other
+label).  ``stages.json`` maps stage → version and is itself written
+atomically, so a promotion is a single atomic pointer swap:
+``registry.get(name, "prod")`` resolves through it.  The canary loop of
+:mod:`repro.scenarios` drives exactly this surface: register under
+``canary``, compare, then :meth:`ModelRegistry.promote` or
+:meth:`ModelRegistry.clear_stage`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import re
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.models.base import Surrogate
 
-__all__ = ["ModelRegistry"]
+__all__ = ["ModelRegistry", "RegistryCorrupted"]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._+-]*$")
 _VERSION_RE = re.compile(r"^v(\d+)$")
+_STAGE_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_-]*$")
+
+
+class RegistryCorrupted(RuntimeError):
+    """A snapshot on disk failed integrity verification or unpickling."""
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via a same-directory temp + ``os.replace``."""
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed replace
+            tmp.unlink()
 
 
 class ModelRegistry:
@@ -38,7 +88,8 @@ class ModelRegistry:
 
     Loaded models are cached in memory per ``(name, version)``, so repeated
     :meth:`get` calls (and the sampling service resolving its model on every
-    restart) hit the disk once.
+    restart) hit the disk once.  ``version`` arguments accept a stage alias
+    (``"prod"``, ``"canary"``, ...) anywhere a literal ``"vN"`` is accepted.
     """
 
     def __init__(
@@ -55,13 +106,22 @@ class ModelRegistry:
         self._cache: Dict[Tuple[str, str], Tuple[Surrogate, bool]] = {}
 
     # -- write side --------------------------------------------------------------
-    def register(self, name: str, model: Surrogate, *, warm: bool = True) -> str:
+    def register(
+        self,
+        name: str,
+        model: Surrogate,
+        *,
+        warm: bool = True,
+        stage: Optional[str] = None,
+    ) -> str:
         """Snapshot a fitted ``model`` as the next version of ``name``.
 
-        Returns the assigned version (``"v1"``, ``"v2"``, ...).  With
-        ``warm=True`` (the default) the in-memory instance is warm-started
-        before it is cached, so serving can begin immediately with flat
-        first-request latency.
+        Returns the assigned version (``"v1"``, ``"v2"``, ...).  The snapshot
+        is written atomically with its SHA-256 sidecar.  With ``warm=True``
+        (the default) the in-memory instance is warm-started before it is
+        cached, so serving can begin immediately with flat first-request
+        latency.  ``stage`` optionally points that stage alias at the new
+        version in the same call (e.g. ``stage="canary"``).
         """
         self._check_name(name)
         if not model.is_fitted:
@@ -72,22 +132,83 @@ class ModelRegistry:
             model.warm_serving_caches(self.warm_chunk_rows)
         version = f"v{self._latest_number(name) + 1}"
         path = self.path_of(name, version)
-        model.save(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = model.serving_snapshot()
+        _atomic_write_bytes(path, payload)
+        _atomic_write_bytes(
+            self.digest_path_of(name, version), (_sha256(payload) + "\n").encode("ascii")
+        )
         self._cache[(name, version)] = (model, warm)
+        if stage is not None:
+            self.set_stage(name, stage, version)
         return version
+
+    # -- stages ------------------------------------------------------------------
+    def stages(self, name: str) -> Dict[str, str]:
+        """The ``stage -> version`` alias map of ``name`` (may be empty)."""
+        self._check_name(name)
+        path = self.root / name / "stages.json"
+        if not path.exists():
+            return {}
+        with path.open("r", encoding="utf-8") as fh:
+            return dict(json.load(fh))
+
+    def stage_version(self, name: str, stage: str) -> Optional[str]:
+        """The version a stage points at, or ``None`` when unset."""
+        return self.stages(name).get(self._check_stage(stage))
+
+    def set_stage(self, name: str, stage: str, version: str) -> None:
+        """Point ``stage`` at an existing ``version`` (atomic pointer swap)."""
+        stage = self._check_stage(stage)
+        version = self._resolve_version(name, version)
+        mapping = self.stages(name)
+        mapping[stage] = version
+        self._write_stages(name, mapping)
+
+    def clear_stage(self, name: str, stage: str) -> bool:
+        """Remove a stage alias (canary rollback); returns whether it existed."""
+        stage = self._check_stage(stage)
+        mapping = self.stages(name)
+        existed = mapping.pop(stage, None) is not None
+        if existed:
+            self._write_stages(name, mapping)
+        return existed
+
+    def promote(self, name: str, version: str, *, stage: str = "prod") -> str:
+        """Point ``stage`` (default ``prod``) at ``version``; clears ``canary``
+        when promoting a canary version to something else.
+
+        Returns the resolved version, so ``promote(name, "canary")`` both
+        flips prod and reports what it now serves.
+        """
+        resolved = self._resolve_version(name, version)
+        self.set_stage(name, stage, resolved)
+        if stage != "canary" and self.stage_version(name, "canary") == resolved:
+            self.clear_stage(name, "canary")
+        return resolved
+
+    def _write_stages(self, name: str, mapping: Dict[str, str]) -> None:
+        directory = self.root / name
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = (json.dumps(dict(sorted(mapping.items())), indent=2) + "\n").encode(
+            "utf-8"
+        )
+        _atomic_write_bytes(directory / "stages.json", payload)
 
     # -- read side ---------------------------------------------------------------
     def get(self, name: str, version: Optional[str] = None, *, warm: bool = True) -> Surrogate:
         """The model registered as ``name``/``version`` (latest when omitted).
 
-        Loads from disk on first access (warm-starting the caches the pickle
-        dropped), then serves from the in-memory cache.
+        ``version`` may be a literal ``"vN"`` or a stage alias.  Loads from
+        disk on first access — verifying the snapshot's SHA-256 sidecar and
+        raising :class:`RegistryCorrupted` on tampering or pickle failure —
+        then serves from the in-memory cache.
         """
         version = self._resolve_version(name, version)
         key = (name, version)
         cached = self._cache.get(key)
         if cached is None:
-            model, warmed = Surrogate.load(self.path_of(name, version)), False
+            model, warmed = self._load_verified(name, version), False
         else:
             model, warmed = cached
         if warm and not warmed:
@@ -95,6 +216,50 @@ class ModelRegistry:
             warmed = True
         self._cache[key] = (model, warmed)
         return model
+
+    def verify(self, name: str, version: Optional[str] = None) -> str:
+        """Re-hash a snapshot on disk against its sidecar; returns the digest.
+
+        Raises :class:`RegistryCorrupted` on mismatch (or a missing sidecar —
+        an explicit verify demands provable integrity, unlike the lenient
+        legacy path of :meth:`get`).
+        """
+        version = self._resolve_version(name, version)
+        payload = self.path_of(name, version).read_bytes()
+        digest = _sha256(payload)
+        sidecar = self.digest_path_of(name, version)
+        if not sidecar.exists():
+            raise RegistryCorrupted(
+                f"{name}/{version} has no SHA-256 sidecar to verify against"
+            )
+        expected = sidecar.read_text(encoding="ascii").strip()
+        if digest != expected:
+            raise RegistryCorrupted(
+                f"{name}/{version} snapshot is corrupted: SHA-256 {digest} != "
+                f"recorded {expected}"
+            )
+        return digest
+
+    def _load_verified(self, name: str, version: str) -> Surrogate:
+        path = self.path_of(name, version)
+        payload = path.read_bytes()
+        sidecar = self.digest_path_of(name, version)
+        if sidecar.exists():
+            expected = sidecar.read_text(encoding="ascii").strip()
+            digest = _sha256(payload)
+            if digest != expected:
+                raise RegistryCorrupted(
+                    f"{name}/{version} snapshot is corrupted: SHA-256 {digest} != "
+                    f"recorded {expected}"
+                )
+        try:
+            return Surrogate.from_snapshot(payload)
+        except RegistryCorrupted:
+            raise
+        except Exception as exc:
+            raise RegistryCorrupted(
+                f"{name}/{version} snapshot failed to unpickle: {exc}"
+            ) from exc
 
     def names(self) -> List[str]:
         """Registered model names, sorted."""
@@ -116,6 +281,10 @@ class ModelRegistry:
         """Filesystem path of one snapshot."""
         return self.root / name / f"{version}.pkl"
 
+    def digest_path_of(self, name: str, version: str) -> Path:
+        """Filesystem path of one snapshot's SHA-256 sidecar."""
+        return self.root / name / f"{version}.pkl.sha256"
+
     # -- helpers -----------------------------------------------------------------
     @staticmethod
     def _check_name(name: str) -> None:
@@ -123,6 +292,15 @@ class ModelRegistry:
             raise ValueError(
                 f"invalid model name {name!r}: use letters, digits, '.', '_', '+', '-'"
             )
+
+    @staticmethod
+    def _check_stage(stage: str) -> str:
+        if _VERSION_RE.match(stage) or not _STAGE_RE.match(stage):
+            raise ValueError(
+                f"invalid stage {stage!r}: a letter then letters/digits/'_'/'-' "
+                "(and not a version literal)"
+            )
+        return stage
 
     def _version_numbers(self, name: str) -> List[int]:
         directory = self.root / name
@@ -146,7 +324,17 @@ class ModelRegistry:
             if not numbers:
                 raise KeyError(f"no model registered under {name!r}")
             return f"v{numbers[-1]}"
-        if not _VERSION_RE.match(version) or int(version[1:]) not in numbers:
+        if not _VERSION_RE.match(version):
+            # A stage alias: resolve it through stages.json, then recurse on
+            # the literal version it points at.
+            staged = self.stages(name).get(version)
+            if staged is None:
+                known = ", ".join(sorted(self.stages(name))) or "none"
+                raise KeyError(
+                    f"{name!r} has no stage {version!r} (stages: {known})"
+                )
+            version = staged
+        if int(version[1:]) not in numbers:
             known = ", ".join(f"v{n}" for n in numbers) or "none"
             raise KeyError(f"{name!r} has no version {version!r} (known: {known})")
         return version

@@ -59,6 +59,19 @@ from repro.utils.rng import SeedLike, spawn_seed_sequences
 __all__ = ["SampleRequest", "SamplingService", "ServiceOverloaded", "ServiceStats"]
 
 
+class _SwapTicket:
+    """One pending hot-swap: the new model plus a completion event."""
+
+    def __init__(self, model: Surrogate) -> None:
+        self.model = model
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, error: Optional[BaseException]) -> None:
+        self.error = error
+        self.done.set()
+
+
 class ServiceOverloaded(RuntimeError):
     """Raised by non-blocking submission when the in-flight budget is full."""
 
@@ -217,6 +230,8 @@ class SamplingService:
         # the tickets still waiting; only its front may admit.
         self._ticket_counter = 0
         self._admission_waiters: Deque[int] = deque()
+        self._pending_swaps: Deque[_SwapTicket] = deque()
+        self._model_swaps = 0
         self._closing = False
         self._latencies: Deque[float] = deque(maxlen=latency_window)
         self._total_requests = 0
@@ -246,6 +261,46 @@ class SamplingService:
     def degraded(self) -> bool:
         """True once the pool collapsed and the service runs in-process."""
         return self._sampler.pool_broken
+
+    @property
+    def model(self) -> Surrogate:
+        """The surrogate currently being served."""
+        return self._sampler.model
+
+    @property
+    def model_swaps(self) -> int:
+        """Hot model swaps applied since the service started."""
+        return self._model_swaps
+
+    def swap_model(
+        self, model: Surrogate, *, wait: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Hot-swap the served model with **zero lost requests**.
+
+        The swap is queued to the dispatcher, which applies it at the safe
+        point between micro-batches: requests already submitted keep their
+        admission slots and are served (by whichever model the dispatcher
+        holds when their batch runs — submit-then-swap ordering is only
+        deterministic across a drained queue, which is how the scenario
+        engine drives it), and the worker pool is rebuilt from the new
+        model's snapshot.  With ``wait=True`` (default) blocks until the
+        swap has been applied; raises the swap's error if the rebuild fails.
+        """
+        if not model.is_fitted:
+            raise RuntimeError(
+                f"{type(model).__name__} is not fitted; fit() it before serving"
+            )
+        ticket = _SwapTicket(model)
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("service is closed")
+            self._pending_swaps.append(ticket)
+            self._lock.notify_all()  # wake an idle dispatcher
+        if wait:
+            if not ticket.done.wait(timeout):
+                raise TimeoutError(f"model swap not applied within {timeout}s")
+            if ticket.error is not None:
+                raise ticket.error
 
     def submit(
         self,
@@ -386,16 +441,40 @@ class SamplingService:
     def _dispatch_loop(self) -> None:
         while True:
             with self._lock:
-                while not self._queue and not self._closing:
+                while not self._queue and not self._pending_swaps and not self._closing:
                     self._lock.wait()
-                if not self._queue and self._closing:
+                # Swaps apply at this safe point — no micro-batch in flight.
+                swaps = list(self._pending_swaps)
+                self._pending_swaps.clear()
+                if not self._queue and not swaps and self._closing:
                     return
                 # The micro-batch: everything queued right now.
                 batch = list(self._queue)
                 self._queue.clear()
-            self._serve_batch(batch)
+            if swaps:
+                self._apply_swaps(swaps)
+            if batch:
+                self._serve_batch(batch)
             with self._lock:
                 self._lock.notify_all()  # budget freed: wake blocked submitters
+
+    def _apply_swaps(self, swaps: List[_SwapTicket]) -> None:
+        """Install the most recent pending model (earlier ones are superseded).
+
+        One pool rebuild regardless of how many swaps raced in; every ticket
+        resolves with the rebuild's outcome.  A failed rebuild must not take
+        the dispatcher down — the error goes to the swap's waiters, and the
+        service keeps serving on whatever model survived.
+        """
+        error: Optional[BaseException] = None
+        try:
+            self._sampler.swap_model(swaps[-1].model)
+            with self._lock:
+                self._model_swaps += 1
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the waiters
+            error = exc
+        for ticket in swaps:
+            ticket.resolve(error)
 
     def _serve_batch(self, batch: List[SampleRequest]) -> None:
         """One sharded pass over the chunks of every request in the batch.

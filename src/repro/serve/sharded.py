@@ -440,6 +440,9 @@ class ShardedSampler:
         self._pool: Optional[WorkerPool] = None
         self._counter_lock = threading.Lock()
         self._counters = {"retries": 0, "timeouts": 0, "hedges": 0, "hedge_wins": 0}
+        #: Restarts of pools already torn down (restart / hot swap) — keeps
+        #: the cumulative fault counters monotonic across pool generations.
+        self._retired_restarts = 0
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -477,9 +480,31 @@ class ShardedSampler:
         self.close()
         return self.start()
 
+    def swap_model(self, model: Surrogate) -> "ShardedSampler":
+        """Replace the served model with a freshly fitted one (hot swap).
+
+        Tears the pool down, installs ``model``, and — when a pool was
+        running — starts a new one from the new model's snapshot.  Callers
+        must not have chunks in flight (the service dispatcher swaps between
+        micro-batches, which guarantees exactly that).  A broken pool is
+        also cleared here: a swap is a rebuild, so the degraded-mode flag
+        resets with it.
+        """
+        if not model.is_fitted:
+            raise RuntimeError(
+                f"{type(model).__name__} is not fitted; fit() it before serving"
+            )
+        was_running = self._pool is not None
+        self.close()
+        self._model = model
+        if was_running:
+            self.start()
+        return self
+
     def close(self) -> None:
         pool, self._pool = self._pool, None
         if pool is not None:
+            self._retired_restarts += pool.restarts
             pool.close()
 
     def __enter__(self) -> "ShardedSampler":
@@ -499,7 +524,8 @@ class ShardedSampler:
         with self._counter_lock:
             counters = dict(self._counters)
         return ChunkFaultStats(
-            pool_restarts=self._pool.restarts if self._pool is not None else 0,
+            pool_restarts=self._retired_restarts
+            + (self._pool.restarts if self._pool is not None else 0),
             chunk_retries=counters["retries"],
             chunk_timeouts=counters["timeouts"],
             hedges=counters["hedges"],

@@ -85,6 +85,26 @@ class TestWorkflowDocument:
         assert str(env.get("REPRO_WORKERS")) == "2"
         assert os.path.exists(os.path.join(REPO_ROOT, "tests", "test_serve_faults.py"))
 
+    def test_test_job_runs_scenario_smoke_with_forced_workers(self, workflow):
+        # One short fixed-seed chaos-drift scenario runs through the real
+        # CLI as its own named step: the full drift -> retrain -> canary ->
+        # promote loop plus a worker kill, on every matrix version, with
+        # REPRO_WORKERS=2 forcing the genuine multi-process recovery path.
+        steps = workflow["jobs"]["tests"]["steps"]
+        scenario_steps = [
+            step
+            for step in steps
+            if "repro.experiments.cli scenario" in step.get("run", "")
+        ]
+        assert scenario_steps, "no named step runs the scenario smoke"
+        step = scenario_steps[0]
+        assert step.get("name"), "the scenario smoke step must be named"
+        assert "chaos-drift" in step["run"]
+        assert "--seed" in step["run"], "the smoke must pin its seed"
+        env = step.get("env") or {}
+        assert str(env.get("REPRO_WORKERS")) == "2"
+        assert env.get("PYTHONPATH") == "src"
+
     def test_perf_gate_required_kernels_cover_the_serving_stack(self):
         # The committed baseline must keep measuring the serving kernels: a
         # refactor that silently drops them should fail the perf gate, not

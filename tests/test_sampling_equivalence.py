@@ -266,3 +266,57 @@ class TestFastConditionMode:
         sampled = model.sample(700, seed=5)
         assert len(sampled) == 700
         assert sampled.schema == mixed_table.schema
+
+class TestFusedExactConditionDraws:
+    """The fused exact-mode draw path: fewer RNG calls, identical stream."""
+
+    def _sampler(self, table):
+        encoder = _ModeSpecificEncoder(3, 0).fit(table)
+        return _ConditionSampler(table, encoder.categorical_layout, encoder.categorical_encoders)
+
+    def test_fused_path_is_taken_on_real_fit(self, mixed_table):
+        live = self._sampler(mixed_table)
+        assert live._fused_ok, "fit-time screen should accept the mixed table's pools"
+
+    def test_fused_matches_forced_legacy(self, mixed_table):
+        live = self._sampler(mixed_table)
+        for need_rows in (True, False):
+            rng_a, rng_b = np.random.default_rng(17), np.random.default_rng(17)
+            live._fused_ok = True
+            fused_out = [live.sample(96, rng_a, mode="exact", need_rows=need_rows)
+                         for _ in range(6)]
+            live._fused_ok = False
+            legacy_out = [live.sample(96, rng_b, mode="exact", need_rows=need_rows)
+                          for _ in range(6)]
+            live._fused_ok = True
+            for fo, lo in zip(fused_out, legacy_out):
+                for a, b in zip(fo, lo):
+                    if a is None:
+                        assert b is None
+                    else:
+                        np.testing.assert_array_equal(a, b)
+            assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_singleton_pool_fit_falls_back(self):
+        # One category appearing exactly once makes its pool size 1 — numpy
+        # consumes nothing for such draws, so the fused layout cannot be
+        # pinned and the fit-time screen must route to the legacy calls.
+        rng = np.random.default_rng(5)
+        n = 300
+        cats = rng.choice(["a", "b", "c"], n).astype(object)
+        cats[0] = "lonely"  # exactly one row in this category's pool
+        table = Table(
+            {"x0": rng.normal(size=n), "cat": cats},
+            TableSchema.from_columns(numerical=["x0"], categorical=["cat"]),
+        )
+        live = self._sampler(table)
+        assert not live._fused_ok
+        seed = SeedConditionSampler(
+            table,
+            _ModeSpecificEncoder(3, 0).fit(table).categorical_layout,
+            _ModeSpecificEncoder(3, 0).fit(table).categorical_encoders,
+        )
+        rng_a, rng_b = np.random.default_rng(4), np.random.default_rng(4)
+        for a, b in zip(live.sample(80, rng_a, mode="exact"), seed.sample(80, rng_b)):
+            np.testing.assert_array_equal(a, b)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state

@@ -278,3 +278,91 @@ class TestSamplingService:
             service.submit(5, seed=1)
         with pytest.raises(ValueError, match="positive"):
             SamplingService(tvae, workers=1, max_inflight_rows=0)
+
+
+class TestRegistryStagesAndIntegrity:
+    def test_stage_aliases_resolve_and_promote_flips_prod(self, tvae, table, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        v1 = registry.register("m", tvae, stage="prod")
+        candidate = SMOTESurrogate().fit(table)
+        v2 = registry.register("m", candidate, stage="canary")
+        assert registry.stages("m") == {"prod": v1, "canary": v2}
+        assert registry.get("m", "canary") is registry.get("m", v2)
+        # Promoting the canary alias flips prod atomically and clears canary.
+        assert registry.promote("m", "canary") == v2
+        assert registry.stage_version("m", "prod") == v2
+        assert registry.stage_version("m", "canary") is None
+
+    def test_clear_stage_is_the_rollback_path(self, tvae, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        registry.register("m", tvae, stage="canary")
+        assert registry.clear_stage("m", "canary") is True
+        assert registry.clear_stage("m", "canary") is False
+        with pytest.raises(KeyError, match="no stage 'canary'"):
+            registry.get("m", "canary")
+
+    def test_stage_names_are_validated(self, tvae, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        version = registry.register("m", tvae)
+        for bad in ("v3", "9lives", "pro d"):
+            with pytest.raises(ValueError, match="invalid stage"):
+                registry.set_stage("m", bad, version)
+        with pytest.raises(KeyError, match="no version"):
+            registry.set_stage("m", "prod", "v99")
+
+    def test_corrupted_snapshot_raises_not_unpickles(self, tvae, tmp_path):
+        from repro.serve.registry import RegistryCorrupted
+
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        version = registry.register("m", tvae)
+        registry.verify("m", version)  # intact snapshot passes
+        path = registry.path_of("m", version)
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        with pytest.raises(RegistryCorrupted, match="SHA-256"):
+            registry.verify("m", version)
+        # A fresh registry (cold cache) must refuse to load the tampered bytes.
+        with pytest.raises(RegistryCorrupted, match="SHA-256"):
+            ModelRegistry(tmp_path, warm_chunk_rows=CHUNK).get("m", version)
+
+    def test_sidecarless_legacy_snapshot_loads_but_fails_explicit_verify(
+        self, tvae, tmp_path
+    ):
+        from repro.serve.registry import RegistryCorrupted
+
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        version = registry.register("m", tvae)
+        registry.digest_path_of("m", version).unlink()
+        fresh = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        assert fresh.get("m", version).is_fitted  # lenient legacy load
+        with pytest.raises(RegistryCorrupted, match="no SHA-256 sidecar"):
+            fresh.verify("m", version)
+
+    def test_writes_leave_no_temp_files(self, tvae, tmp_path):
+        registry = ModelRegistry(tmp_path, warm_chunk_rows=CHUNK)
+        registry.register("m", tvae, stage="prod")
+        leftovers = [p for p in (tmp_path / "m").iterdir() if ".tmp-" in p.name]
+        assert leftovers == []
+
+
+class TestHotSwap:
+    def test_swap_serves_the_new_model_with_no_lost_requests(self, tvae, table):
+        replacement = SMOTESurrogate().fit(table)
+        with SamplingService(tvae, workers=1, chunk_size=CHUNK) as service:
+            before = service.sample(70, seed=21, sampling_mode="fast")
+            service.swap_model(replacement)
+            after = service.sample(70, seed=21, sampling_mode="fast")
+            assert service.model_swaps == 1
+        with ShardedSampler(tvae, workers=1, chunk_size=CHUNK) as solo:
+            assert before == solo.sample(70, seed=21, sampling_mode="fast")
+        with ShardedSampler(replacement, workers=1, chunk_size=CHUNK) as solo:
+            assert after == solo.sample(70, seed=21, sampling_mode="fast")
+
+    def test_swap_rejects_unfitted_and_closed(self, tvae, table):
+        service = SamplingService(tvae, workers=1, chunk_size=CHUNK)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            service.swap_model(SMOTESurrogate())
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.swap_model(SMOTESurrogate().fit(table))
