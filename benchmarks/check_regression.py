@@ -61,6 +61,11 @@ REQUIRED_KERNELS = frozenset(
         # worker kill per measured run (see bench_hotpaths.bench_serve_faulty)
         # — guards the overhead of pool supervision itself.
         "serve_sharded_tvae_faulty",
+        # Front-door kernel: the coalescing dispatch path (FrontDoor routing
+        # + micro-batched fair queueing) against a one-request-at-a-time
+        # client loop (see bench_hotpaths.bench_front_door) — guards the
+        # per-request plumbing the multi-tenant front door adds.
+        "serve_front_door",
     }
 )
 

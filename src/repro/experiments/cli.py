@@ -86,7 +86,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stack's own default)",
     )
     parser.add_argument("--which", nargs="+", default=None, help="ablation sweeps to run")
+    request_group = parser.add_argument_group(
+        "request",
+        "unified RequestSpec knobs (shared by 'serve' and 'scenario'): every "
+        "serving entry point — submit(), the HTTP front door and these CLIs — "
+        "parses the same fields",
+    )
+    request_group.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="fairness principal for the requests.  serve: label all demo "
+        "requests with this tenant (default: a rotating tenant00..tenant03 "
+        "mix).  scenario: combined with --priority, pin that one tenant's "
+        "service class",
+    )
+    request_group.add_argument(
+        "--priority", choices=("interactive", "normal", "batch"), default=None,
+        help="service class (weighted-fair-queueing weight 4/2/1).  serve: "
+        "class of the demo requests (default: a rotating mix).  scenario: "
+        "the default class for all traffic, or — with --tenant — one "
+        "tenant's class",
+    )
+    request_group.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request SLO: admission control rejects a request whose "
+        "estimated queue wait already exceeds this deadline (HTTP 429)",
+    )
     serve_group = parser.add_argument_group("serve", "options for the 'serve' experiment")
+    serve_group.add_argument(
+        "--http", action="store_true",
+        help="front-door smoke: start the asyncio HTTP endpoint, replay the "
+        "demo requests over HTTP (fingerprint_only), and verify every "
+        "fingerprint against the in-process service — exits non-zero on any "
+        "mismatch",
+    )
     serve_group.add_argument(
         "--workers", type=int, default=None,
         help="serving worker processes (default: the visible CPU budget / REPRO_WORKERS)",
@@ -242,10 +274,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.experiment == "serve":
+        import hashlib
         import tempfile
+        import urllib.request
 
         from repro.experiments.table1 import build_model
         from repro.serve import ChunkPolicy, FaultPlan, ModelRegistry, SamplingService
+        from repro.serve.api import RequestSpec, table_fingerprint
+        from repro.serve.http import FrontDoor
         from repro.utils.rng import derive_seed
 
         sampling_mode = args.sampling_mode or "fast"
@@ -260,6 +296,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 timeout=args.chunk_timeout, hedge_multiplier=args.hedge_multiplier
             )
 
+        # Every demo request is a RequestSpec — the unified contract.  With no
+        # explicit --tenant/--priority the demo rotates through a mixed-tenant,
+        # mixed-class population so fairness and WFQ ordering are exercised.
+        priorities = ("interactive", "normal", "batch")
+
+        def request_spec(i: int, rows: int) -> RequestSpec:
+            return RequestSpec(
+                n=rows,
+                seed=derive_seed(config.seed, "serve", str(i)),
+                sampling_mode=sampling_mode,
+                tenant=args.tenant if args.tenant else f"tenant{i % 4:02d}",
+                priority=args.priority if args.priority else priorities[i % 3],
+                deadline=args.deadline,
+            )
+
+        http_report = None
         with tempfile.TemporaryDirectory() as scratch:
             registry = ModelRegistry(args.registry or scratch, warm_chunk_rows=args.chunk_size)
             version = registry.register(name, model)
@@ -272,15 +324,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 chunk_policy=chunk_policy,
                 fault_plan=fault_plan,
             ) as service:
-                requests = [
-                    service.submit(
-                        per_request,
-                        seed=derive_seed(config.seed, "serve", str(i)),
-                        sampling_mode=sampling_mode,
-                    )
-                    for i in range(n_requests)
-                ]
+                specs = [request_spec(i, per_request) for i in range(n_requests)]
+                requests = [service.submit(spec) for spec in specs]
                 served = sum(len(r.result()) for r in requests)
+                if args.http:
+                    # Front-door smoke: the same specs replayed over live
+                    # HTTP must fingerprint identically to the in-process
+                    # service (the byte contract, end to end).
+                    front_door = FrontDoor({name: service})
+                    host, port = front_door.start_http()
+                    url = f"http://{host}:{port}/sample"
+                    digest = hashlib.sha256()
+                    mismatches = 0
+                    try:
+                        for spec in specs:
+                            body = dict(spec.to_dict())
+                            body["fingerprint_only"] = True
+                            raw = urllib.request.urlopen(
+                                urllib.request.Request(
+                                    url,
+                                    data=json.dumps(body).encode("utf-8"),
+                                    method="POST",
+                                )
+                            ).read()
+                            remote = json.loads(raw)["fingerprint"]
+                            local = table_fingerprint(service.sample(spec))
+                            if remote != local:
+                                mismatches += 1
+                            digest.update(remote.encode("ascii"))
+                    finally:
+                        front_door.stop_http()
+                    http_report = {
+                        "requests": n_requests,
+                        "fingerprint": digest.hexdigest(),
+                        "mismatches": mismatches,
+                        "verified": mismatches == 0,
+                    }
                 stats = service.stats()
                 payload = {
                     "model": name,
@@ -300,7 +379,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "hedges": stats.hedges,
                     "hedge_wins": stats.hedge_wins,
                     "degraded_passes": stats.degraded_passes,
+                    # The unified stats tree (same shape as HTTP /stats and
+                    # the scenario reports' timing.service block).
+                    "stats": stats.to_dict(),
                 }
+                if http_report is not None:
+                    payload["http"] = http_report
             if fault_plan is not None:
                 fault_plan.cleanup()
         if args.json:
@@ -325,6 +409,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"hedge_wins={payload['hedge_wins']}/{payload['hedges']} "
                     f"degraded_passes={payload['degraded_passes']}"
                 )
+            if http_report is not None:
+                print(
+                    f"  http front door: {http_report['requests']} requests, "
+                    f"fingerprint {http_report['fingerprint'][:16]}…, "
+                    f"{'verified' if http_report['verified'] else 'MISMATCH'}"
+                )
+        if http_report is not None and not http_report["verified"]:
+            print(
+                f"error: {http_report['mismatches']} HTTP fingerprint(s) diverged "
+                "from the in-process service",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
     if args.experiment == "scenario":
@@ -347,6 +444,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             overrides["window_rows"] = args.window_rows
         if args.train_rows is not None:
             overrides["train_rows"] = args.train_rows
+        # The unified request knobs: --priority sets the default service
+        # class (or one tenant's class, with --tenant); --deadline attaches
+        # an SLO to every generated request.
+        if args.priority is not None:
+            if args.tenant is not None:
+                overrides["tenant_priorities"] = {
+                    **spec.tenant_priorities,
+                    args.tenant: args.priority,
+                }
+            else:
+                overrides["default_priority"] = args.priority
+        elif args.tenant is not None:
+            parser.error("scenario: --tenant needs --priority (the class to pin)")
+        if args.deadline is not None:
+            overrides["request_deadline"] = args.deadline
         if overrides:
             spec = spec.scaled(**overrides)
         engine = ScenarioEngine(

@@ -14,6 +14,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.metrics.distribution import DriftConfig
 from repro.scenarios.streams import DriftPhase
+from repro.serve.api import PRIORITY_CLASSES
 
 __all__ = ["ScenarioSpec", "get_scenario", "scenario_names", "SCENARIOS"]
 
@@ -58,6 +59,25 @@ class ScenarioSpec:
     #: rows sampled per side for the canary fidelity comparison.
     retrain_windows: int = 3
     canary_rows: int = 1024
+    #: Multi-tenant front-door knobs.  ``tenant_priorities`` maps tenants to
+    #: service classes (unlisted tenants get ``default_priority``);
+    #: ``request_deadline`` is the SLO every request carries into admission
+    #: control; ``microbatch_rows`` bounds the dispatcher's coalescing so the
+    #: weighted fair ordering matters across ticks.
+    tenant_priorities: Mapping[str, str] = field(default_factory=dict)
+    default_priority: str = "normal"
+    request_deadline: Optional[float] = None
+    microbatch_rows: Optional[int] = None
+    #: Admission bounds (None = that signal disabled).  Catalog entries use
+    #: generous values so deterministic replays admit everything — the report
+    #: proves it with ``requests_rejected == 0``.
+    admission_max_queue_depth: Optional[int] = None
+    admission_max_backlog_rows: Optional[int] = None
+    #: Front-door mode: serve the registry's ``prod`` *and* ``canary`` stages
+    #: concurrently behind a broker-routed FrontDoor, steering a seed-derived
+    #: ``canary_share`` of traffic to the canary backend.
+    front_door: bool = False
+    canary_share: float = 0.0
 
     def __post_init__(self) -> None:
         if self.ticks < 1:
@@ -67,6 +87,14 @@ class ScenarioSpec:
         bad = [t for t in self.fault_arm_ticks if not 0 <= t < self.ticks]
         if bad:
             raise ValueError(f"fault_arm_ticks outside [0, {self.ticks}): {bad}")
+        for priority in (self.default_priority, *self.tenant_priorities.values()):
+            if priority not in PRIORITY_CLASSES:
+                known = ", ".join(PRIORITY_CLASSES)
+                raise ValueError(f"unknown priority {priority!r}; use one of: {known}")
+        if not 0.0 <= self.canary_share < 1.0:
+            raise ValueError(f"canary_share must be in [0, 1), got {self.canary_share}")
+        if self.canary_share > 0 and not self.front_door:
+            raise ValueError("canary_share needs front_door=True (two serving stages)")
 
     def scaled(self, **overrides: object) -> "ScenarioSpec":
         """A copy with fields overridden (the CLI's scaling hook)."""
@@ -104,6 +132,39 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             n_bursts=6,
             base_rows=384,
             max_rows=2048,
+            microbatch_rows=1024,
+        ),
+        _spec(
+            name="multi-tenant-slo",
+            description=(
+                "The front-door proving ground: six tenants across the three "
+                "service classes drive broker-routed traffic through prod and "
+                "canary stages serving concurrently, with SLO deadlines, "
+                "admission bounds and bounded micro-batches active.  "
+                "Expected: zero rejections, zero lost requests, and a report "
+                "fingerprint invariant across reruns and worker counts."
+            ),
+            ticks=20,
+            requests_per_tick=6,
+            n_tenants=6,
+            n_users=72,
+            n_bursts=4,
+            base_rows=384,
+            max_rows=1536,
+            tenant_priorities={
+                "project00": "interactive",
+                "project01": "interactive",
+                "project02": "normal",
+                "project03": "normal",
+                "project04": "batch",
+                "project05": "batch",
+            },
+            request_deadline=900.0,
+            microbatch_rows=2048,
+            admission_max_queue_depth=4096,
+            admission_max_backlog_rows=8_000_000,
+            front_door=True,
+            canary_share=0.25,
         ),
         _spec(
             name="gradual-drift",

@@ -3,10 +3,17 @@
 One :meth:`ScenarioEngine.run` drives, tick by tick:
 
 1. **Traffic** — the tick's :class:`~repro.scenarios.streams.TrafficRequest`
-   batch is submitted to a live :class:`~repro.serve.service.SamplingService`
-   (micro-batching, backpressure, chunk resilience and pool supervision all
-   active), every result is collected, fingerprinted, and counted — a lost
-   or erroneous request is a reportable defect, never a silent skip.
+   batch is submitted as :class:`~repro.serve.api.RequestSpec` objects to a
+   live :class:`~repro.serve.service.SamplingService` (weighted fair
+   queueing, admission control, micro-batching, backpressure, chunk
+   resilience and pool supervision all active), every result is collected,
+   fingerprinted, and counted — a lost or erroneous request is a reportable
+   defect, never a silent skip.  Front-door specs route the same traffic
+   through a :class:`~repro.serve.http.FrontDoor` across ``prod`` *and*
+   ``canary`` backend services, steering a seed-derived share of requests
+   to the canary stage — stage choice is pinned per request (never load- or
+   time-dependent), which is what keeps the report fingerprint invariant
+   across reruns and worker counts.
 2. **Chaos** — at scheduled ticks the spec's
    :class:`~repro.serve.faults.FaultPlan` is re-armed, so worker kills /
    transient failures land *inside* live traffic; recovery is the serving
@@ -33,7 +40,7 @@ import tempfile
 import time
 from collections import deque
 from pathlib import Path
-from typing import Deque, List, Optional, Tuple, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.metrics.distribution import DriftMonitor
 from repro.metrics.distribution import mean_jsd, mean_wasserstein
@@ -41,14 +48,26 @@ from repro.models import Surrogate, create_surrogate
 from repro.panda.generator import GeneratorConfig
 from repro.scenarios.catalog import ScenarioSpec, get_scenario
 from repro.scenarios.report import ScenarioReport, table_fingerprint
-from repro.scenarios.streams import TrafficModel, WindowStream
+from repro.scenarios.streams import TrafficModel, TrafficRequest, WindowStream
+from repro.serve.admission import AdmissionPolicy, ServiceOverloaded
+from repro.serve.api import RequestSpec
 from repro.serve.faults import FaultPlan
+from repro.serve.http import FrontDoor
 from repro.serve.registry import ModelRegistry
-from repro.serve.service import SampleRequest, SamplingService
+from repro.serve.service import SamplingService
 from repro.tabular.table import Table
 from repro.utils.rng import derive_seed
 
 __all__ = ["ScenarioEngine", "run_scenario"]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (the service's convention); 0.0 when empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
 
 
 class ScenarioEngine:
@@ -117,7 +136,27 @@ class ScenarioEngine:
             n_tenants=spec.n_tenants,
             n_users=spec.n_users,
             n_bursts=spec.n_bursts,
+            tenant_priorities=spec.tenant_priorities,
+            default_priority=spec.default_priority,
+            deadline=spec.request_deadline,
         )
+
+    def _admission_policy(self) -> Optional[AdmissionPolicy]:
+        spec = self.spec
+        if spec.admission_max_queue_depth is None and spec.admission_max_backlog_rows is None:
+            return None
+        return AdmissionPolicy(
+            max_queue_depth=spec.admission_max_queue_depth,
+            max_backlog_rows=spec.admission_max_backlog_rows,
+        )
+
+    def _request_stage(self, tick: int, position: int) -> str:
+        """Deterministic prod/canary split: derived from the seed, never from
+        load or timing (the fingerprint-invariance requirement)."""
+        if self.spec.canary_share <= 0:
+            return "prod"
+        draw = derive_seed(self.seed, "stage", tick, position) % 1_000_000
+        return "canary" if draw / 1_000_000 < self.spec.canary_share else "prod"
 
     def _fit_model(self, corpus: Table, *, purpose: str, tick: int = -1) -> Surrogate:
         model = create_surrogate(self.spec.model)
@@ -173,15 +212,38 @@ class ScenarioEngine:
         report.registry_versions.append(initial_version)
         fingerprint = hashlib.sha256()
         armed_interval_open = False
+        admission = self._admission_policy()
 
-        service = SamplingService(
-            model,
-            workers=self.workers,
-            chunk_size=spec.chunk_size,
-            fault_plan=plan,
-            max_pool_restarts=spec.max_pool_restarts,
-        )
-        report.workers = service.workers
+        # The serving backends: always a ``prod`` service; front-door specs
+        # add a ``canary`` service over the same initial model and route both
+        # through a broker-backed FrontDoor.
+        services: Dict[str, SamplingService] = {
+            "prod": SamplingService(
+                model,
+                workers=self.workers,
+                chunk_size=spec.chunk_size,
+                fault_plan=plan,
+                max_pool_restarts=spec.max_pool_restarts,
+                admission=admission,
+                microbatch_rows=spec.microbatch_rows,
+            )
+        }
+        front_door: Optional[FrontDoor] = None
+        if spec.front_door:
+            services["canary"] = SamplingService(
+                model,
+                workers=self.workers,
+                chunk_size=spec.chunk_size,
+                max_pool_restarts=spec.max_pool_restarts,
+                admission=admission,
+                microbatch_rows=spec.microbatch_rows,
+            )
+            canary_version = registry.register(model_name, model, stage="canary")
+            report.registry_versions.append(canary_version)
+            front_door = FrontDoor(services)
+        report.workers = services["prod"].workers
+        tenant_waits: Dict[str, List[float]] = {}
+        all_waits: List[float] = []
         try:
             for tick in range(spec.ticks):
                 # 1. Chaos: (re-)arm the fault plan at scheduled ticks, closing
@@ -198,20 +260,43 @@ class ScenarioEngine:
 
                 # 2. Traffic: submit the whole tick, then collect every result.
                 requests = traffic.requests(tick)
-                handles: List[Tuple[SampleRequest, int, str]] = []
-                for request in requests:
-                    handle = service.submit(
-                        request.rows,
+                handles: List[Tuple[object, TrafficRequest]] = []
+                report.requests_submitted += len(requests)
+                for position, request in enumerate(requests):
+                    request_spec = RequestSpec(
+                        n=request.rows,
                         seed=request.seed,
                         sampling_mode=spec.sampling_mode,
+                        tenant=request.tenant,
+                        priority=request.priority,
+                        deadline=request.deadline,
                     )
-                    handles.append((handle, request.rows, request.tenant))
-                report.requests_submitted += len(requests)
-                for handle, rows, tenant in handles:
-                    report.rows_requested += rows
-                    report.requests_by_tenant[tenant] = (
-                        report.requests_by_tenant.get(tenant, 0) + 1
+                    stage = self._request_stage(tick, position)
+                    report.rows_requested += request.rows
+                    report.requests_by_tenant[request.tenant] = (
+                        report.requests_by_tenant.get(request.tenant, 0) + 1
                     )
+                    try:
+                        if front_door is not None:
+                            handle = front_door.submit(request_spec, model=stage)
+                        else:
+                            handle = services["prod"].submit(request_spec)
+                    except ServiceOverloaded as exc:
+                        report.requests_rejected += 1
+                        report.timeline.append(
+                            {
+                                "tick": tick,
+                                "event": "request_rejected",
+                                "tenant": request.tenant,
+                                "reason": getattr(exc, "reason", "overloaded"),
+                            }
+                        )
+                        continue
+                    report.requests_by_stage[stage] = (
+                        report.requests_by_stage.get(stage, 0) + 1
+                    )
+                    handles.append((handle, request))
+                for handle, request in handles:
                     try:
                         table = handle.result()
                     except Exception as exc:
@@ -223,6 +308,10 @@ class ScenarioEngine:
                     report.requests_served += 1
                     report.rows_served += table.n_rows
                     table_fingerprint(table, fingerprint)
+                    wait = handle.latency
+                    if wait is not None:
+                        all_waits.append(wait)
+                        tenant_waits.setdefault(request.tenant, []).append(wait)
 
                 # 3. Observation: one window through the drift monitor.
                 window = stream.window(tick)
@@ -251,7 +340,7 @@ class ScenarioEngine:
                         recent_windows=list(recent_windows),
                         registry=registry,
                         model_name=model_name,
-                        service=service,
+                        services=services,
                         monitor=monitor,
                         report=report,
                     )
@@ -259,18 +348,39 @@ class ScenarioEngine:
             if plan is not None and armed_interval_open:
                 report.faults_injected += plan.spent()
 
-            stats = service.stats()
-            report.pool_restarts = stats.pool_restarts
-            report.chunk_retries = stats.chunk_retries
-            report.chunk_timeouts = stats.chunk_timeouts
-            report.hedges = stats.hedges
-            report.degraded_passes = stats.degraded_passes
-            report.cancelled_requests = stats.cancelled_requests
-            report.model_swaps = service.model_swaps
-            report.p50_latency = stats.p50_latency
-            report.p95_latency = stats.p95_latency
+            all_stats = {name: svc.stats() for name, svc in services.items()}
+            report.pool_restarts = sum(s.pool_restarts for s in all_stats.values())
+            report.chunk_retries = sum(s.chunk_retries for s in all_stats.values())
+            report.chunk_timeouts = sum(s.chunk_timeouts for s in all_stats.values())
+            report.hedges = sum(s.hedges for s in all_stats.values())
+            report.degraded_passes = sum(s.degraded_passes for s in all_stats.values())
+            report.cancelled_requests = sum(
+                s.cancelled_requests for s in all_stats.values()
+            )
+            report.model_swaps = sum(svc.model_swaps for svc in services.values())
+            report.p50_latency = _percentile(all_waits, 0.50)
+            report.p95_latency = _percentile(all_waits, 0.95)
+            report.tenant_waits = {
+                tenant: {
+                    "requests": float(len(waits)),
+                    "p50_wait_s": _percentile(waits, 0.50),
+                    "p95_wait_s": _percentile(waits, 0.95),
+                }
+                for tenant, waits in sorted(tenant_waits.items())
+            }
+            if front_door is not None:
+                report.service_stats = front_door.stats()
+            else:
+                report.service_stats = {
+                    "models": {
+                        name: stats.to_dict() for name, stats in all_stats.items()
+                    }
+                }
         finally:
-            service.close()
+            if front_door is not None:
+                front_door.close()
+            for svc in services.values():
+                svc.close()
             if plan is not None:
                 plan.cleanup()
             if registry_dir is not None:
@@ -290,7 +400,7 @@ class ScenarioEngine:
         recent_windows: List[Table],
         registry: ModelRegistry,
         model_name: str,
-        service: SamplingService,
+        services: Dict[str, SamplingService],
         monitor: DriftMonitor,
         report: ScenarioReport,
     ) -> None:
@@ -312,6 +422,16 @@ class ScenarioEngine:
         report.timeline.append(
             {"tick": tick, "event": "canary_registered", "version": version}
         )
+        if "canary" in services:
+            # Front-door mode: the canary *backend* starts serving the
+            # candidate immediately — live traffic on the canary stage is the
+            # point of running two stages.  The queue is drained here (all
+            # tick results collected before observation), so the swap point
+            # is deterministic.
+            services["canary"].swap_model(candidate)
+            report.timeline.append(
+                {"tick": tick, "event": "canary_serving", "version": version}
+            )
 
         # Canary comparison on held-out replay traffic: both sides sample
         # with their own derived seeds and score against the same holdout.
@@ -334,7 +454,9 @@ class ScenarioEngine:
 
         if canary_score <= prod_score:
             registry.promote(model_name, version)
-            service.swap_model(candidate)  # zero-downtime: applied between batches
+            # Zero-downtime: applied between micro-batches.  The canary
+            # backend (if any) already serves the candidate.
+            services["prod"].swap_model(candidate)
             monitor.rebaseline(corpus)
             report.promotions += 1
             report.final_prod_version = version
@@ -343,6 +465,9 @@ class ScenarioEngine:
             )
         else:
             registry.clear_stage(model_name, "canary")
+            if "canary" in services:
+                # Roll the canary backend back to the surviving prod model.
+                services["canary"].swap_model(prod_model)
             report.rollbacks += 1
             report.timeline.append(
                 {"tick": tick, "event": "rolled_back", "version": version}

@@ -15,38 +15,15 @@ A :class:`ScenarioReport` splits into two layers:
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-import numpy as np
-
-from repro.tabular.table import Table
+# Canonical home: the serving layer owns the byte contract now.  Re-exported
+# here because the fingerprint's historical import path is this module.
+from repro.serve.api import table_fingerprint
 
 __all__ = ["ScenarioReport", "table_fingerprint"]
-
-
-def table_fingerprint(table: Table, state: Optional["hashlib._Hash"] = None) -> str:
-    """SHA-256 over a table's schema and exact column bytes.
-
-    Numerical columns hash their float64 buffer (bit-exact), categorical
-    columns their NUL-joined string values — so two tables fingerprint
-    equal iff they are byte-identical in every cell.  Passing a running
-    ``state`` folds the table into an existing digest (the engine streams
-    every served request through one hash).
-    """
-    own = state is None
-    h = hashlib.sha256() if own else state
-    schema = table.schema
-    h.update(("|".join(schema.names) + f"#{table.n_rows}").encode("utf-8"))
-    for name in schema.numerical:
-        h.update(name.encode("utf-8"))
-        h.update(np.ascontiguousarray(np.asarray(table[name], dtype=np.float64)).tobytes())
-    for name in schema.categorical:
-        h.update(name.encode("utf-8"))
-        h.update("\x00".join(np.asarray(table[name]).astype(str).tolist()).encode("utf-8"))
-    return h.hexdigest() if own else ""
 
 
 @dataclass
@@ -64,9 +41,13 @@ class ScenarioReport:
     requests_submitted: int = 0
     requests_served: int = 0
     request_errors: int = 0
+    #: Requests refused by admission control (0 unless the spec's bounds bite).
+    requests_rejected: int = 0
     rows_requested: int = 0
     rows_served: int = 0
     requests_by_tenant: Dict[str, int] = field(default_factory=dict)
+    #: Requests per serving stage (front-door scenarios: ``prod``/``canary``).
+    requests_by_stage: Dict[str, int] = field(default_factory=dict)
     #: SHA-256 over every served table, in submission order.
     output_fingerprint: str = ""
     windows_observed: int = 0
@@ -95,8 +76,21 @@ class ScenarioReport:
     rows_per_second: float = 0.0
     p50_latency: float = 0.0
     p95_latency: float = 0.0
+    #: Per-tenant ``{"requests", "p50_wait_s", "p95_wait_s"}`` (the fairness
+    #: evidence: wall-clock waits vary run to run, their *bounds* are asserted).
+    tenant_waits: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: The serving stats tree (:meth:`ServiceStats.to_dict` per backend), the
+    #: same shape the CLI ``--json`` payloads and HTTP ``/stats`` report.
+    service_stats: Dict[str, object] = field(default_factory=dict)
 
-    _TIMING_FIELDS = ("wall_seconds", "rows_per_second", "p50_latency", "p95_latency")
+    _TIMING_FIELDS = (
+        "wall_seconds",
+        "rows_per_second",
+        "p50_latency",
+        "p95_latency",
+        "tenant_waits",
+        "service_stats",
+    )
 
     def as_dict(self) -> Dict[str, object]:
         """The full report (deterministic core + timing layer)."""
@@ -106,6 +100,11 @@ class ScenarioReport:
             "rows_per_second": round(self.rows_per_second, 3),
             "p50_latency": round(self.p50_latency, 6),
             "p95_latency": round(self.p95_latency, 6),
+            "tenant_waits": {
+                tenant: {key: round(value, 6) for key, value in waits.items()}
+                for tenant, waits in sorted(self.tenant_waits.items())
+            },
+            "service": dict(self.service_stats),
         }
         return out
 
@@ -121,9 +120,11 @@ class ScenarioReport:
             "requests_submitted": self.requests_submitted,
             "requests_served": self.requests_served,
             "request_errors": self.request_errors,
+            "requests_rejected": self.requests_rejected,
             "rows_requested": self.rows_requested,
             "rows_served": self.rows_served,
             "requests_by_tenant": dict(sorted(self.requests_by_tenant.items())),
+            "requests_by_stage": dict(sorted(self.requests_by_stage.items())),
             "output_fingerprint": self.output_fingerprint,
             "windows_observed": self.windows_observed,
             "drift_events": list(self.drift_events),

@@ -212,6 +212,11 @@ class TrafficRequest:
     rows: int
     tenant: str
     seed: int
+    #: Service class of the request (a :data:`repro.serve.api.PRIORITY_CLASSES`
+    #: name) — the tenant's configured class, never a random draw.
+    priority: str = "normal"
+    #: Optional SLO the request carries into admission control (seconds).
+    deadline: Optional[float] = None
 
 
 class TrafficModel:
@@ -240,6 +245,9 @@ class TrafficModel:
         n_tenants: int = 6,
         n_users: int = 48,
         n_bursts: int = 3,
+        tenant_priorities: Optional[Mapping[str, str]] = None,
+        default_priority: str = "normal",
+        deadline: Optional[float] = None,
     ) -> None:
         if ticks < 1:
             raise ValueError(f"ticks must be positive, got {ticks}")
@@ -261,6 +269,10 @@ class TrafficModel:
             n_users, n_projects=n_tenants, seed=derive_seed(self.seed, "tenants")
         )
         self._tenants = [f"project{i:02d}" for i in range(n_tenants)]
+        #: Tenant → service class; tenants not listed get ``default_priority``.
+        self.tenant_priorities = dict(tenant_priorities or {})
+        self.default_priority = str(default_priority)
+        self.deadline = deadline
         times = (np.arange(self.ticks) + 0.5) * (n_days / self.ticks)
         rates = self.arrivals.rate(times)
         self._multipliers = rates / float(np.mean(rates))
@@ -287,6 +299,8 @@ class TrafficModel:
                     rows=rows,
                     tenant=tenant,
                     seed=derive_seed(self.seed, "request", tick, position),
+                    priority=self.tenant_priorities.get(tenant, self.default_priority),
+                    deadline=self.deadline,
                 )
             )
         return requests

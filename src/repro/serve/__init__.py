@@ -75,14 +75,69 @@ Quickstart::
         table = service.sample(1_000_000, seed=7)          # one request
         stats = service.stats()                            # rows/s, p95, ...
 
+The serving API, request by request
+----------------------------------
+Every entry point accepts the same frozen
+:class:`~repro.serve.api.RequestSpec` — ``(n, seed, sampling_mode, tenant,
+priority, deadline)`` — and serves bytes that depend only on
+``(n, seed, sampling_mode)``; tenancy, priority and deadlines steer *when*
+a request is served, never *what*:
+
+:class:`~repro.serve.api.RequestSpec`
+    The unified request contract.  ``priority`` is one of the three
+    :data:`~repro.serve.api.PRIORITY_CLASSES` (``interactive`` weight 4 >
+    ``normal`` 2 > ``batch`` 1); the dispatcher runs start-time weighted
+    fair queueing over ``(tenant, priority)`` flows, so a bursty tenant
+    cannot starve a steady one.  The legacy positional
+    ``submit(n, seed=..., sampling_mode=...)`` surface still works and
+    emits a :class:`DeprecationWarning`.
+:class:`~repro.serve.admission.AdmissionPolicy` /
+:class:`~repro.serve.admission.AdmissionRejected`
+    SLO-aware admission control: reject (instead of queue) on queue-depth
+    or backlog-row caps, or when the EMA service-rate estimator says the
+    request's ``deadline`` is already blown.  Rejections carry a
+    ``reason`` and ``retry_after`` hint; the HTTP front door maps them to
+    ``429`` + ``Retry-After``.  Once admitted, a request is always served.
+:class:`~repro.serve.admission.AutoscalePolicy`
+    Queue-depth-driven autoscaling: the dispatcher resizes the worker pool
+    between ``min_workers``/``max_workers`` with demand.  Byte-safe by the
+    sharding contract — a resize changes wall clock, never data.
+:class:`~repro.serve.http.FrontDoor`
+    The async multi-tenant front door: routes requests across named
+    backend services (registry stages ``prod``/``canary`` serving
+    concurrently) via a :class:`~repro.scheduler.broker.BackendRouter`
+    driven by the scheduler's ``LeastLoadedBroker``, and optionally speaks
+    stdlib-only HTTP (``POST /sample``, ``GET /stats|/models|/healthz``)
+    from a background asyncio thread.
+:func:`~repro.serve.api.table_fingerprint`
+    The byte contract: a SHA-256 over schema + exact cell bytes, shared by
+    scenario reports, HTTP ``fingerprint_only`` responses and the CI
+    front-door smoke.
+
+Stats are one tree everywhere: :meth:`ServiceStats.to_dict` (throughput /
+queue / latency / workers / faults / admission / tenants) is what the CLI
+``--json`` payloads, HTTP ``GET /stats`` and ``ScenarioReport`` timing
+layers all embed.
+
 ``repro-experiments serve`` (see :mod:`repro.experiments.cli`) drives the
-whole stack end to end, and ``examples/serving_throughput.py`` is the
-narrated version.  Throughput is guarded by the ``serve_sharded_*`` kernels
-in ``benchmarks/BENCH_hotpaths.json``; recovery overhead is guarded by
-``serve_sharded_tvae_faulty`` (one injected worker kill per measured run).
+whole stack end to end (``--http`` adds a loopback front-door round-trip),
+and ``examples/serving_throughput.py`` is the narrated version.
+Throughput is guarded by the ``serve_sharded_*`` kernels in
+``benchmarks/BENCH_hotpaths.json``; recovery overhead by
+``serve_sharded_tvae_faulty`` (one injected worker kill per measured run);
+front-door dispatch by ``serve_front_door``.
 """
 
+from repro.serve.admission import AdmissionPolicy, AdmissionRejected, AutoscalePolicy
+from repro.serve.api import (
+    PRIORITY_CLASSES,
+    PriorityClass,
+    RequestSpec,
+    priority_weight,
+    table_fingerprint,
+)
 from repro.serve.faults import Fault, FaultPlan, InjectedFault
+from repro.serve.http import FrontDoor, FrontDoorTicket
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import (
     SampleRequest,
@@ -93,16 +148,26 @@ from repro.serve.service import (
 from repro.serve.sharded import ChunkError, ChunkFaultStats, ChunkPolicy, ShardedSampler
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "AutoscalePolicy",
     "ChunkError",
     "ChunkFaultStats",
     "ChunkPolicy",
     "Fault",
     "FaultPlan",
+    "FrontDoor",
+    "FrontDoorTicket",
     "InjectedFault",
     "ModelRegistry",
+    "PRIORITY_CLASSES",
+    "PriorityClass",
+    "RequestSpec",
     "SampleRequest",
     "SamplingService",
     "ServiceOverloaded",
     "ServiceStats",
     "ShardedSampler",
+    "priority_weight",
+    "table_fingerprint",
 ]

@@ -1,60 +1,79 @@
-"""The sampling service: a micro-batching request queue over the sharded engine.
+"""The sampling service: a fair, admission-controlled micro-batching queue.
 
-Serving traffic is many concurrent, mostly small requests, not one giant
-one.  :class:`SamplingService` accepts requests from any thread
+Serving traffic is many concurrent, mostly small requests from many
+tenants, not one giant request.  :class:`SamplingService` accepts
+:class:`~repro.serve.api.RequestSpec` submissions from any thread
 (:meth:`~SamplingService.submit` returns a :class:`SampleRequest` handle),
-and a dispatcher thread drains the queue in *micro-batches*: every request
-queued at the moment the dispatcher wakes is coalesced into one sharded pass
-— all requests' chunks are submitted to the worker pool together, so the
-pool pipelines across request boundaries instead of draining and refilling
-per request.
+and a dispatcher thread drains the queue in *micro-batches*: the requests
+the weighted fair queue yields at the moment the dispatcher wakes are
+coalesced into one sharded pass — all their chunks are submitted to the
+worker pool interleaved, so the pool pipelines across request boundaries
+instead of draining and refilling per request.
 
-Micro-batching is invisible in the bytes: each request's chunks draw from
-the request's **own** seed's chunk streams (the sharding contract of
-:mod:`repro.serve.sharded`), so a coalesced request returns exactly what it
-would have returned alone — proven in ``tests/test_serve_service.py``.  What
-coalescing changes is latency/throughput: queued small requests share one
-pool pass instead of waiting for ``k`` sequential ones.
+Fairness: queued requests are ordered by **start-time weighted fair
+queueing** over ``(tenant, priority)`` flows.  Each flow accumulates
+virtual finish times at a rate of ``rows / priority weight`` (see
+:data:`~repro.serve.api.PRIORITY_CLASSES`), so a tenant flooding the queue
+with bulk work advances its own virtual clock and later requests from other
+tenants overtake it — no flow starves, and an ``interactive`` flow gets 4×
+the share of a ``batch`` flow when both are backlogged.  Bound the
+micro-batch with ``microbatch_rows`` to make the fair ordering matter
+between dispatch ticks (unbounded batches drain everything at once, the
+legacy behaviour).  Scheduling never changes *bytes*: each request's chunks
+draw from the request's **own** seed streams (the sharding contract of
+:mod:`repro.serve.sharded`), so any serving order returns exactly what each
+request would have returned alone.
 
-Backpressure is a bounded in-flight budget (rows admitted but not yet
-delivered): :meth:`submit` blocks — or raises :class:`ServiceOverloaded`
-with ``wait=False`` — until the budget has room, so a burst of producers
-cannot queue unbounded work.  A caller that stops waiting on a request
-(e.g. its ``result(timeout=...)`` expired) should :meth:`SampleRequest.cancel`
-it: cancellation removes the request from the queue when still possible,
-resolves the handle with :class:`CancelledError`, and — crucially —
-releases the request's backpressure budget exactly once, so an abandoned
-request cannot consume admission capacity forever.
+Backpressure and admission: a bounded in-flight row budget makes
+:meth:`submit` block (or raise :class:`ServiceOverloaded` with
+``wait=False``) while full, exactly as before.  An optional
+:class:`~repro.serve.admission.AdmissionPolicy` generalizes that signal to
+up-front *rejection* — queue-depth and backlog-row caps plus per-request
+deadline (SLO) checks against an observed-service-rate estimate — raising
+:class:`~repro.serve.admission.AdmissionRejected` (a
+:class:`ServiceOverloaded` subclass; HTTP 429 at the front door).  Once a
+request is admitted it is always served.  A caller that stops waiting
+should :meth:`SampleRequest.cancel` to release its budget.
 
-Fault tolerance: chunk failures, timeouts and stragglers are absorbed by the
-sharded engine's :class:`~repro.serve.sharded.ChunkPolicy` (retry / deadline
-/ hedging; see that module's fault-tolerance contract), and worker death is
-absorbed by pool supervision.  When the pool itself is beyond saving
-(:class:`~repro.utils.parallel.WorkerPoolBroken` — restart budget exhausted)
-the dispatcher *degrades instead of erroring*: the affected micro-batch (and
-every batch after it, until the service is rebuilt) is generated serially
-in-process — byte-identical output by the seed contract, slower, but zero
-queued requests are lost.  :meth:`stats` reports throughput (rows/s), queue
-depth, p50/p95 request latency, and the fault-path counters
-(pool restarts, chunk retries/timeouts, hedges and hedge wins, degraded
-passes, cancellations).
+Autoscaling: with an :class:`~repro.serve.admission.AutoscalePolicy` the
+dispatcher resizes the worker pool toward the queue-depth demand
+(``ceil(demand rows / rows_per_worker)`` within ``[min_workers,
+max_workers]``) at its safe points — immediately up, patiently down.
+Byte-safe by the worker-count-invariance of the sharding contract.
+
+Fault tolerance is unchanged from PR 6: chunk failures / timeouts /
+stragglers are absorbed by :class:`~repro.serve.sharded.ChunkPolicy`,
+worker death by pool supervision, and pool collapse degrades to byte-
+identical in-process serving.  :meth:`stats` reports one unified tree
+(:meth:`ServiceStats.to_dict`): throughput, queue, latency, workers /
+autoscale, fault counters, admission counters and per-tenant latencies.
 """
 
 from __future__ import annotations
 
+import heapq
+import operator
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import BrokenExecutor, CancelledError
-from dataclasses import dataclass
-from typing import Deque, List, Optional
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
-from repro.models.base import SAMPLING_MODES, Surrogate
+from repro.models.base import Surrogate
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AutoscalePolicy,
+    ServiceOverloaded,
+)
+from repro.serve.api import RequestSpec, priority_weight
 from repro.serve.faults import FaultPlan
 from repro.serve.sharded import ChunkPolicy, ShardedSampler
 from repro.tabular.table import Table
 from repro.utils.parallel import WorkerPoolBroken
-from repro.utils.rng import SeedLike, spawn_seed_sequences
+from repro.utils.rng import SeedLike
 
 __all__ = ["SampleRequest", "SamplingService", "ServiceOverloaded", "ServiceStats"]
 
@@ -72,17 +91,11 @@ class _SwapTicket:
         self.done.set()
 
 
-class ServiceOverloaded(RuntimeError):
-    """Raised by non-blocking submission when the in-flight budget is full."""
-
-
 class SampleRequest:
     """Handle for one submitted request; resolves to a :class:`Table`."""
 
-    def __init__(self, n: int, seed: SeedLike, sampling_mode: str) -> None:
-        self.n = n
-        self.seed = seed
-        self.sampling_mode = sampling_mode
+    def __init__(self, spec: RequestSpec) -> None:
+        self.spec = spec
         self.submitted_at = time.perf_counter()
         self._done = threading.Event()
         self._result: Optional[Table] = None
@@ -91,6 +104,30 @@ class SampleRequest:
         self.cancelled = False
         self._budget_released = False
         self._service: Optional["SamplingService"] = None
+        # Weighted-fair-queue bookkeeping (owned by the service's queue).
+        self._queued = False
+        self._wfq_start = 0.0
+
+    # Legacy attribute views (the pre-RequestSpec handle surface).
+    @property
+    def n(self) -> int:
+        return self.spec.n
+
+    @property
+    def seed(self) -> SeedLike:
+        return self.spec.seed
+
+    @property
+    def sampling_mode(self) -> str:
+        return self.spec.sampling_mode
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def priority(self) -> str:
+        return self.spec.priority
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -105,7 +142,7 @@ class SampleRequest:
         """
         if not self._done.wait(timeout):
             raise TimeoutError(
-                f"request of {self.n} rows not served within {timeout}s "
+                f"request of {self.spec.n} rows not served within {timeout}s "
                 "(cancel() it to release its admission budget)"
             )
         if self._error is not None:
@@ -141,9 +178,93 @@ class SampleRequest:
         return True
 
 
+class _FairQueue:
+    """Start-time weighted fair queueing over ``(tenant, priority)`` flows.
+
+    Each pushed request receives a virtual *finish* tag::
+
+        start  = max(virtual_time, flow's previous finish)
+        finish = start + rows / priority_weight
+
+    and requests pop in finish order (ties: arrival order).  The virtual
+    clock advances to the start tag of whatever is being served, so a flow
+    that went idle re-enters at the current clock instead of catching up on
+    credit it never queued for.  Cancellation is lazy: a discarded request
+    stays in the heap and is skipped when it surfaces.  When the queue
+    fully drains, the clock and flow tags reset — a fresh backlog starts a
+    fresh round.  Not thread-safe; the service's lock guards every call.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, SampleRequest]] = []
+        self._seq = 0
+        self._vtime = 0.0
+        self._flow_finish: Dict[Tuple[str, str], float] = {}
+        self._live = 0
+        self._live_rows = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def rows(self) -> int:
+        """Rows queued (live requests only)."""
+        return self._live_rows
+
+    def push(self, request: SampleRequest) -> None:
+        spec = request.spec
+        flow = (spec.tenant, spec.priority)
+        start = max(self._vtime, self._flow_finish.get(flow, 0.0))
+        finish = start + max(spec.n, 1) / priority_weight(spec.priority)
+        self._flow_finish[flow] = finish
+        request._wfq_start = start
+        request._queued = True
+        heapq.heappush(self._heap, (finish, self._seq, request))
+        self._seq += 1
+        self._live += 1
+        self._live_rows += spec.n
+
+    def discard(self, request: SampleRequest) -> bool:
+        """Remove a queued request (lazy: its heap entry dies when popped)."""
+        if not request._queued:
+            return False
+        request._queued = False
+        self._live -= 1
+        self._live_rows -= request.spec.n
+        return True
+
+    def pop_batch(self, max_rows: Optional[int]) -> List[SampleRequest]:
+        """The next micro-batch in fair order, bounded by ``max_rows``.
+
+        Always yields at least one request when any is queued (a request
+        larger than the bound must not starve); ``None`` drains everything.
+        """
+        batch: List[SampleRequest] = []
+        rows = 0
+        while self._heap:
+            finish, seq, request = self._heap[0]
+            if not request._queued:
+                heapq.heappop(self._heap)
+                continue
+            if batch and max_rows is not None and rows + request.spec.n > max_rows:
+                break
+            heapq.heappop(self._heap)
+            request._queued = False
+            self._live -= 1
+            self._live_rows -= request.spec.n
+            self._vtime = max(self._vtime, request._wfq_start)
+            batch.append(request)
+            rows += request.spec.n
+        if self._live == 0:
+            self._heap.clear()
+            self._flow_finish.clear()
+            self._vtime = 0.0
+        return batch
+
+
 @dataclass(frozen=True)
 class ServiceStats:
-    """A point-in-time view of service health."""
+    """A point-in-time view of service health (see :meth:`to_dict`)."""
 
     #: Rows delivered per second of service uptime.
     rows_per_second: float
@@ -170,6 +291,60 @@ class ServiceStats:
     degraded_passes: int = 0
     #: Requests abandoned via :meth:`SampleRequest.cancel`.
     cancelled_requests: int = 0
+    #: Current worker count and autoscale activity.
+    workers: int = 1
+    scale_ups: int = 0
+    scale_downs: int = 0
+    #: True once the pool collapsed and the service runs in-process.
+    degraded: bool = False
+    #: Admission counters (empty mapping = admission control disabled).
+    admission: Mapping[str, int] = field(default_factory=dict)
+    #: Per-tenant ``{"requests", "rows", "p50_wait_s", "p95_wait_s"}``.
+    tenants: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The unified stats tree.
+
+        Stable field names shared by the CLI ``--json`` payloads, the HTTP
+        ``/stats`` route and the scenario reports' ``timing.service`` block
+        — one namespace for throughput, queue, latency, worker/autoscale,
+        fault, admission and per-tenant counters.
+        """
+        return {
+            "throughput": {
+                "rows_per_second": round(self.rows_per_second, 3),
+                "total_requests": self.total_requests,
+                "total_rows": self.total_rows,
+                "uptime_s": round(self.uptime, 6),
+            },
+            "queue": {
+                "depth": self.queue_depth,
+                "in_flight_rows": self.in_flight_rows,
+            },
+            "latency": {
+                "p50_s": round(self.p50_latency, 6),
+                "p95_s": round(self.p95_latency, 6),
+            },
+            "workers": {
+                "current": self.workers,
+                "scale_ups": self.scale_ups,
+                "scale_downs": self.scale_downs,
+                "degraded": self.degraded,
+            },
+            "faults": {
+                "pool_restarts": self.pool_restarts,
+                "chunk_retries": self.chunk_retries,
+                "chunk_timeouts": self.chunk_timeouts,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "degraded_passes": self.degraded_passes,
+                "cancelled_requests": self.cancelled_requests,
+            },
+            "admission": dict(self.admission),
+            "tenants": {
+                tenant: dict(values) for tenant, values in sorted(self.tenants.items())
+            },
+        }
 
 
 class SamplingService:
@@ -192,6 +367,17 @@ class SamplingService:
         Forwarded to the sharded engine: the per-chunk resilience policy,
         an optional deterministic fault-injection plan (chaos runs), and the
         pool supervision restart budget.
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionPolicy`: reject
+        (instead of queue) on queue-depth / backlog-row caps or a blown
+        per-request deadline estimate.  ``None`` admits everything.
+    autoscale:
+        Optional :class:`~repro.serve.admission.AutoscalePolicy`: the
+        dispatcher resizes the pool with queue demand between its bounds.
+    microbatch_rows:
+        Upper bound on rows coalesced per dispatch tick.  ``None`` (default)
+        drains the whole queue each tick; a bound makes the weighted fair
+        ordering effective across ticks under sustained backlog.
 
     The service starts its pool and dispatcher on construction and is a
     context manager; :meth:`close` drains the queue and shuts down.
@@ -208,9 +394,16 @@ class SamplingService:
         chunk_policy: Optional[ChunkPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         max_pool_restarts: int = 5,
+        admission: Optional[AdmissionPolicy] = None,
+        autoscale: Optional[AutoscalePolicy] = None,
+        microbatch_rows: Optional[int] = None,
     ) -> None:
         if max_inflight_rows < 1:
             raise ValueError(f"max_inflight_rows must be positive, got {max_inflight_rows}")
+        if microbatch_rows is not None and microbatch_rows < 1:
+            raise ValueError(f"microbatch_rows must be positive or None, got {microbatch_rows}")
+        if workers is None and autoscale is not None:
+            workers = autoscale.min_workers
         self._sampler = ShardedSampler(
             model,
             workers=workers,
@@ -220,9 +413,13 @@ class SamplingService:
             max_pool_restarts=max_pool_restarts,
         )
         self.max_inflight_rows = int(max_inflight_rows)
+        self._admission = AdmissionController(admission) if admission is not None else None
+        self._autoscale = autoscale
+        self._microbatch_rows = microbatch_rows
         self._lock = threading.Condition()
-        self._queue: Deque[SampleRequest] = deque()
+        self._queue = _FairQueue()
         self._in_flight_rows = 0
+        self._pending_requests = 0
         # FIFO admission tickets: submitters are admitted strictly in
         # arrival order, so an oversized request (admissible only when the
         # service drains) cannot be starved by a stream of small requests
@@ -233,11 +430,18 @@ class SamplingService:
         self._pending_swaps: Deque[_SwapTicket] = deque()
         self._model_swaps = 0
         self._closing = False
-        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._latency_window = int(latency_window)
+        self._latencies: Deque[float] = deque(maxlen=self._latency_window)
         self._total_requests = 0
         self._total_rows = 0
         self._degraded_passes = 0
         self._cancelled_requests = 0
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._shrink_streak = 0
+        self._tenant_requests: Dict[str, int] = {}
+        self._tenant_rows: Dict[str, int] = {}
+        self._tenant_latencies: Dict[str, Deque[float]] = {}
         self._started_at = time.perf_counter()
         # Spawn the worker pool *before* the dispatcher thread exists: the
         # pool forks at start on platforms where fork is the default, and
@@ -302,34 +506,100 @@ class SamplingService:
             if ticket.error is not None:
                 raise ticket.error
 
+    def _coerce_spec(
+        self,
+        request: object,
+        legacy: Tuple[object, ...],
+        seed: SeedLike,
+        sampling_mode: Optional[str],
+        tenant: Optional[str],
+        priority: Optional[str],
+        deadline: Optional[float],
+    ) -> RequestSpec:
+        """One :class:`RequestSpec` from any accepted calling convention.
+
+        Canonical: ``submit(RequestSpec(...))``.  Convenience: ``submit(n,
+        seed=..., sampling_mode=..., tenant=..., ...)`` (keyword-only knobs).
+        Deprecated: the original positional ``submit(n, seed, sampling_mode)``
+        — still byte-equivalent, now with a :class:`DeprecationWarning`.
+        """
+        if isinstance(request, RequestSpec):
+            if legacy or any(
+                value is not None
+                for value in (seed, sampling_mode, tenant, priority, deadline)
+            ):
+                raise TypeError(
+                    "pass either a RequestSpec or bare arguments, not both"
+                )
+            return request
+        try:
+            request = operator.index(request)  # int-likes (numpy ints) welcome
+        except TypeError:
+            raise TypeError(
+                f"expected a RequestSpec or a row count, got {type(request).__name__}"
+            ) from None
+        if legacy:
+            warnings.warn(
+                "positional seed/sampling_mode arguments are deprecated; pass a "
+                "RequestSpec (or use keyword arguments)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if len(legacy) > 2:
+                raise TypeError(
+                    f"at most (n, seed, sampling_mode) positionally; got {len(legacy) + 1} arguments"
+                )
+            if seed is not None or (len(legacy) == 2 and sampling_mode is not None):
+                raise TypeError("seed/sampling_mode given both positionally and by keyword")
+            seed = legacy[0]  # type: ignore[assignment]
+            if len(legacy) == 2:
+                sampling_mode = str(legacy[1])
+        return RequestSpec(
+            n=request,
+            seed=seed,
+            sampling_mode=sampling_mode if sampling_mode is not None else "fast",
+            tenant=tenant if tenant is not None else "default",
+            priority=priority if priority is not None else "normal",
+            deadline=deadline,
+        )
+
     def submit(
         self,
-        n: int,
-        *,
+        request: object,
+        *legacy: object,
         seed: SeedLike = None,
-        sampling_mode: str = "fast",
+        sampling_mode: Optional[str] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
         wait: bool = True,
     ) -> SampleRequest:
-        """Queue a request for ``n`` rows; returns its :class:`SampleRequest`.
+        """Queue a request; returns its :class:`SampleRequest` handle.
 
-        Serving defaults to the relaxed ``"fast"`` mode (request
-        ``sampling_mode="exact"`` for the bit-reproducible path).  Blocks
-        while the in-flight budget is full; with ``wait=False`` raises
-        :class:`ServiceOverloaded` instead.
+        Accepts a :class:`~repro.serve.api.RequestSpec` (the canonical
+        contract) or a row count with keyword knobs; serving defaults to the
+        relaxed ``"fast"`` mode (request ``sampling_mode="exact"`` for the
+        bit-reproducible path).  Blocks while the in-flight budget is full;
+        with ``wait=False`` raises :class:`ServiceOverloaded` instead.  With
+        an admission policy configured, over-limit or deadline-blown
+        requests raise :class:`~repro.serve.admission.AdmissionRejected`
+        regardless of ``wait``.
         """
-        if sampling_mode not in SAMPLING_MODES:
-            raise ValueError(
-                f"unknown sampling mode {sampling_mode!r}; use one of {SAMPLING_MODES}"
-            )
-        if n < 0:
-            raise ValueError(f"cannot sample a negative number of rows ({n})")
-        # Reject un-spawnable seeds here, in the caller's thread — the
-        # dispatcher derives the chunk streams from this seed later, and a
-        # bad one must not surface there.
-        spawn_seed_sequences(seed, 0)
-        request = SampleRequest(n, seed, sampling_mode)
-        request._service = self
+        spec = self._coerce_spec(
+            request, legacy, seed, sampling_mode, tenant, priority, deadline
+        )
+        handle = SampleRequest(spec)
+        handle._service = self
+        n = spec.n
         with self._lock:
+            if self._closing:
+                raise RuntimeError("service is closed")
+            if self._admission is not None:
+                self._admission.check(
+                    spec,
+                    pending_requests=self._pending_requests,
+                    backlog_rows=self._in_flight_rows,
+                )
             ticket = self._ticket_counter
             self._ticket_counter += 1
             self._admission_waiters.append(ticket)
@@ -349,19 +619,30 @@ class SamplingService:
                 if self._closing:
                     raise RuntimeError("service is closed")
                 self._in_flight_rows += n
-                self._queue.append(request)
+                self._pending_requests += 1
+                self._queue.push(handle)
             finally:
                 # The ticket leaves the line whether we admitted, refused or
                 # were closed; whoever is behind may now reach the front.
                 self._admission_waiters.remove(ticket)
                 self._lock.notify_all()
-        return request
+        return handle
 
     def sample(
-        self, n: int, *, seed: SeedLike = None, sampling_mode: str = "fast"
+        self,
+        request: object,
+        *legacy: object,
+        seed: SeedLike = None,
+        sampling_mode: Optional[str] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> Table:
         """Synchronous convenience: submit and wait for the table."""
-        return self.submit(n, seed=seed, sampling_mode=sampling_mode).result()
+        spec = self._coerce_spec(
+            request, legacy, seed, sampling_mode, tenant, priority, deadline
+        )
+        return self.submit(spec).result()
 
     def stats(self) -> ServiceStats:
         with self._lock:
@@ -372,6 +653,21 @@ class SamplingService:
             total_rows = self._total_rows
             degraded_passes = self._degraded_passes
             cancelled = self._cancelled_requests
+            scale_ups = self._scale_ups
+            scale_downs = self._scale_downs
+            tenants = {
+                tenant: {
+                    "requests": self._tenant_requests[tenant],
+                    "rows": self._tenant_rows[tenant],
+                    "p50_wait_s": self._percentile(
+                        sorted(self._tenant_latencies[tenant]), 0.50
+                    ),
+                    "p95_wait_s": self._percentile(
+                        sorted(self._tenant_latencies[tenant]), 0.95
+                    ),
+                }
+                for tenant in self._tenant_requests
+            }
         faults = self._sampler.fault_stats()
         uptime = time.perf_counter() - self._started_at
         return ServiceStats(
@@ -390,6 +686,12 @@ class SamplingService:
             hedge_wins=faults.hedge_wins,
             degraded_passes=degraded_passes,
             cancelled_requests=cancelled,
+            workers=self._sampler.workers,
+            scale_ups=scale_ups,
+            scale_downs=scale_downs,
+            degraded=self._sampler.pool_broken,
+            admission=self._admission.snapshot() if self._admission is not None else {},
+            tenants=tenants,
         )
 
     def close(self) -> None:
@@ -413,10 +715,7 @@ class SamplingService:
         with self._lock:
             if request.done():
                 return False
-            try:
-                self._queue.remove(request)
-            except ValueError:
-                pass  # already picked up by a dispatch tick; outcome discarded
+            self._queue.discard(request)  # no-op if a dispatch tick took it
             request.cancelled = True
             resolved = request._resolve(None, CancelledError("request cancelled"))
             if resolved:
@@ -430,7 +729,8 @@ class SamplingService:
         can both reach here)."""
         if not request._budget_released:
             request._budget_released = True
-            self._in_flight_rows -= request.n
+            self._in_flight_rows -= request.spec.n
+            self._pending_requests -= 1
 
     # -- dispatcher --------------------------------------------------------------
     def _admissible(self, n: int) -> bool:
@@ -448,15 +748,59 @@ class SamplingService:
                 self._pending_swaps.clear()
                 if not self._queue and not swaps and self._closing:
                     return
-                # The micro-batch: everything queued right now.
-                batch = list(self._queue)
-                self._queue.clear()
+                # The micro-batch: the fair queue's next slice (everything
+                # queued, unless microbatch_rows bounds the tick).
+                batch = self._queue.pop_batch(self._microbatch_rows)
+                backlog_rows = self._queue.rows
             if swaps:
                 self._apply_swaps(swaps)
+            batch_rows = sum(request.spec.n for request in batch)
+            self._autoscale_tick(batch_rows + backlog_rows)
             if batch:
+                batch_started = time.perf_counter()
                 self._serve_batch(batch)
+                if self._admission is not None:
+                    self._admission.observe_batch(
+                        batch_rows, time.perf_counter() - batch_started
+                    )
             with self._lock:
                 self._lock.notify_all()  # budget freed: wake blocked submitters
+
+    def _autoscale_tick(self, demand_rows: int) -> None:
+        """Resize the pool toward the demand, at the dispatcher's safe point.
+
+        Scale-up is immediate; scale-down waits for ``shrink_patience``
+        consecutive under-demand ticks.  A broken pool is never resized —
+        degraded mode is the supervisor's verdict, not a capacity problem.
+        Bytes are invariant either way (the sharding contract).
+        """
+        policy = self._autoscale
+        if policy is None or self._sampler.pool_broken:
+            return
+        target = policy.target_workers(demand_rows)
+        current = self._sampler.workers
+        if target > current:
+            self._shrink_streak = 0
+            if self._try_resize(target):
+                with self._lock:
+                    self._scale_ups += 1
+        elif target < current:
+            self._shrink_streak += 1
+            if self._shrink_streak >= policy.shrink_patience:
+                self._shrink_streak = 0
+                if self._try_resize(target):
+                    with self._lock:
+                        self._scale_downs += 1
+        else:
+            self._shrink_streak = 0
+
+    def _try_resize(self, workers: int) -> bool:
+        """Resize the sampler; a failed resize must not kill the dispatcher."""
+        try:
+            self._sampler.resize(workers)
+            return True
+        except Exception:
+            return False  # keep serving at the current size
 
     def _apply_swaps(self, swaps: List[_SwapTicket]) -> None:
         """Install the most recent pending model (earlier ones are superseded).
@@ -479,58 +823,84 @@ class SamplingService:
     def _serve_batch(self, batch: List[SampleRequest]) -> None:
         """One sharded pass over the chunks of every request in the batch.
 
-        All requests' chunks are submitted to the pool up front (that *is*
-        the micro-batch), then each request resolves independently: a chunk
-        failure affects only the request whose chunk exhausted its budget.
-        Pool-level collapse (supervision out of restarts) downgrades the
-        affected request — and every one after it — to the in-process
-        serial path instead of erroring: degraded, never dropped.
+        All requests' chunks are submitted to the pool up front and
+        *interleaved round-robin* across requests (that *is* the
+        micro-batch: no request's chunks all queue behind another's), then
+        each request resolves independently — a chunk failure affects only
+        the request whose chunk exhausted its budget.  Pool-level collapse
+        (supervision out of restarts) downgrades the affected request — and
+        every one after it — to the in-process serial path instead of
+        erroring: degraded, never dropped.
         """
         pooled = self._sampler.workers > 1 and not self._sampler.pool_broken
         run = self._sampler.chunk_run() if pooled else None
-        jobs = []  # (request, sizes, children, chunk handles | None, submit error)
+        # One plan per request: [request, sizes, children, handles, error].
+        # ``handles`` is None on the pool-free path, else the submitted
+        # chunk handles so far (shorter than ``sizes`` = submission died).
+        plans: List[list] = []
         for request in batch:
-            sizes, children, handles = [], [], None
+            sizes, children = [], []
             error: Optional[BaseException] = None
-            # Everything per-request stays inside a per-request guard: one
-            # bad request must never take the dispatcher thread (and with it
-            # the whole service) down.
             try:
-                sizes, children = self._sampler.chunk_plan(request.n, request.seed)
-                if run is not None:
-                    handles = [
-                        run.submit(index, size, child, request.sampling_mode)
-                        for index, (size, child) in enumerate(zip(sizes, children))
-                    ]
-            except (WorkerPoolBroken, BrokenExecutor):
-                handles = None  # pool died at submission: serve this one serially
+                sizes, children = self._sampler.chunk_plan(
+                    request.spec.n, request.spec.seed
+                )
             except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
                 error = exc
-            jobs.append((request, sizes, children, handles, error))
+            plans.append([request, sizes, children, [] if run is not None else None, error])
 
-        for request, sizes, children, handles, error in jobs:
+        if run is not None:
+            # Round-robin chunk submission across the batch's requests.
+            submitting = True
+            pool_died = False
+            while submitting and not pool_died:
+                submitting = False
+                for plan in plans:
+                    request, sizes, children, handles, error = plan
+                    if handles is None or error is not None:
+                        continue
+                    index = len(handles)
+                    if index >= len(sizes):
+                        continue
+                    try:
+                        handles.append(
+                            run.submit(
+                                index, sizes[index], children[index],
+                                request.spec.sampling_mode,
+                            )
+                        )
+                        submitting = True
+                    except (WorkerPoolBroken, BrokenExecutor):
+                        pool_died = True  # every incomplete plan degrades below
+                        break
+                    except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
+                        plan[4] = exc
+                        for handle in handles:
+                            handle.cancel()
+
+        for request, sizes, children, handles, error in plans:
             if error is not None:
                 self._finish(request, None, error)
                 continue
+            mode = request.spec.sampling_mode
             try:
-                if handles is not None:
+                if handles is not None and len(handles) == len(sizes):
                     try:
                         chunks = self._gather(handles)
                     except (WorkerPoolBroken, BrokenExecutor):
                         chunks = self._degraded_pass(request, sizes, children)
+                elif handles is not None:
+                    # The pool died while this request was still submitting.
+                    for handle in handles:
+                        handle.cancel()
+                    chunks = self._degraded_pass(request, sizes, children)
                 else:
-                    if pooled:
-                        # Submission already found the pool dead.
-                        chunks = self._degraded_pass(request, sizes, children)
-                    else:
-                        chunks = [
-                            self._sampler.sample_chunk_local(
-                                size, child, request.sampling_mode
-                            )
-                            for size, child in zip(sizes, children)
-                        ]
+                    chunks = [
+                        self._sampler.sample_chunk_local(size, child, mode)
+                        for size, child in zip(sizes, children)
+                    ]
                 table = self._sampler.assemble(
-                    chunks, seed=request.seed, sampling_mode=request.sampling_mode
+                    chunks, seed=request.spec.seed, sampling_mode=mode
                 )
             except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
                 self._finish(request, None, exc)
@@ -559,7 +929,7 @@ class SamplingService:
         with self._lock:
             self._degraded_passes += 1
         return [
-            self._sampler.sample_chunk_local(size, child, request.sampling_mode)
+            self._sampler.sample_chunk_local(size, child, request.spec.sampling_mode)
             for size, child in zip(sizes, children)
         ]
 
@@ -572,9 +942,15 @@ class SamplingService:
             if delivered:
                 self._total_requests += 1
                 if table is not None:
-                    self._total_rows += request.n
+                    self._total_rows += request.spec.n
                 if request.latency is not None and error is None:
                     self._latencies.append(request.latency)
+                    tenant = request.spec.tenant
+                    self._tenant_requests[tenant] = self._tenant_requests.get(tenant, 0) + 1
+                    self._tenant_rows[tenant] = self._tenant_rows.get(tenant, 0) + request.spec.n
+                    if tenant not in self._tenant_latencies:
+                        self._tenant_latencies[tenant] = deque(maxlen=self._latency_window)
+                    self._tenant_latencies[tenant].append(request.latency)
 
     @staticmethod
     def _percentile(sorted_values: List[float], q: float) -> float:

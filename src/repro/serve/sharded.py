@@ -70,6 +70,7 @@ import numpy as np
 
 from repro.models.base import SAMPLING_MODES, Surrogate
 from repro.serve import faults as fault_injection
+from repro.serve.api import RequestSpec
 from repro.serve.faults import FaultPlan
 from repro.tabular.table import Table
 from repro.utils.parallel import (
@@ -192,6 +193,20 @@ class ChunkFaultStats:
     hedges: int
     #: Hedged duplicates that finished before their primary.
     hedge_wins: int
+
+    def to_dict(self) -> dict:
+        """The ``faults`` subtree of the unified stats namespace.
+
+        Field names match :meth:`repro.serve.service.ServiceStats.to_dict`
+        (which extends this subtree with the service-level counters).
+        """
+        return {
+            "pool_restarts": self.pool_restarts,
+            "chunk_retries": self.chunk_retries,
+            "chunk_timeouts": self.chunk_timeouts,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+        }
 
 
 class _ChunkRun:
@@ -480,6 +495,23 @@ class ShardedSampler:
         self.close()
         return self.start()
 
+    def resize(self, workers: int) -> "ShardedSampler":
+        """Change the worker count at a safe point (no chunks in flight).
+
+        The autoscaling hook: the service dispatcher calls this between
+        micro-batches.  Byte-safe by the sharding contract — chunk streams
+        are worker-count-invariant, so a resized pool serves identical
+        bytes.  The current pool (if any) is torn down and a fresh one is
+        started at the new count (``1`` runs pool-free); the sampler is
+        started afterwards either way.
+        """
+        workers = max(1, int(workers))
+        if workers == self.workers:
+            return self
+        self.close()
+        self.workers = workers
+        return self.start()
+
     def swap_model(self, model: Surrogate) -> "ShardedSampler":
         """Replace the served model with a freshly fitted one (hot swap).
 
@@ -571,14 +603,26 @@ class ShardedSampler:
         return Table.concat(chunks)
 
     # -- sampling ----------------------------------------------------------------
-    def sample(self, n: int, *, seed: SeedLike = None, sampling_mode: str = "exact") -> Table:
-        """Draw ``n`` rows as one table, sharded across the pool.
+    def sample(
+        self, n, *, seed: SeedLike = None, sampling_mode: Optional[str] = None
+    ) -> Table:
+        """Draw rows as one table, sharded across the pool.
 
-        Byte-identical to
+        Accepts either a row count (with keyword ``seed``/``sampling_mode``,
+        defaulting to the bit-reproducible ``"exact"`` mode) or a
+        :class:`~repro.serve.api.RequestSpec`, which carries its own seed
+        and mode (tenant/priority/deadline are serving-layer concerns and
+        are ignored here).  Byte-identical to
         ``Table.concat(list(model.sample_batches(n, chunk_size, seed=seed,
         sampling_mode=sampling_mode)))`` for every worker count — and, by
         the fault-tolerance contract above, for every recovered fault.
         """
+        if isinstance(n, RequestSpec):
+            if seed is not None or sampling_mode is not None:
+                raise TypeError("pass either a RequestSpec or bare arguments, not both")
+            n, seed, sampling_mode = n.n, n.seed, n.sampling_mode
+        elif sampling_mode is None:
+            sampling_mode = "exact"
         return self.assemble(
             self.sample_batches(n, seed=seed, sampling_mode=sampling_mode),
             seed=seed,

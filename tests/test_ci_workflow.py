@@ -105,6 +105,28 @@ class TestWorkflowDocument:
         assert str(env.get("REPRO_WORKERS")) == "2"
         assert env.get("PYTHONPATH") == "src"
 
+    def test_test_job_runs_front_door_smoke_with_forced_workers(self, workflow):
+        # The async front door runs end to end as its own named step: the
+        # HTTP endpoint over a live service, 200 mixed-tenant requests
+        # replayed through POST /sample, every remote fingerprint asserted
+        # byte-identical to the in-process table (the CLI exits nonzero on
+        # a mismatch).  REPRO_WORKERS=2 forces the real pool underneath.
+        steps = workflow["jobs"]["tests"]["steps"]
+        smoke_steps = [
+            step
+            for step in steps
+            if "repro.experiments.cli serve" in step.get("run", "")
+            and "--http" in step.get("run", "")
+        ]
+        assert smoke_steps, "no named step runs the HTTP front-door smoke"
+        step = smoke_steps[0]
+        assert step.get("name"), "the front-door smoke step must be named"
+        assert "--requests 200" in step["run"]
+        assert "--json" in step["run"]
+        env = step.get("env") or {}
+        assert str(env.get("REPRO_WORKERS")) == "2"
+        assert env.get("PYTHONPATH") == "src"
+
     def test_perf_gate_required_kernels_cover_the_serving_stack(self):
         # The committed baseline must keep measuring the serving kernels: a
         # refactor that silently drops them should fail the perf gate, not
@@ -120,6 +142,7 @@ class TestWorkflowDocument:
             "serve_sharded_tvae",
             "serve_sharded_tabddpm",
             "serve_sharded_tvae_faulty",
+            "serve_front_door",
         } <= module.REQUIRED_KERNELS
         import json
 

@@ -207,6 +207,76 @@ class TestTrafficModel:
             TrafficModel(seed=1, ticks=2, min_rows=0)
 
 
+#: The front-door proving ground at CI scale: prod + canary stages serving
+#: concurrently behind the broker-routed FrontDoor, priorities/deadlines on.
+MULTI_TENANT_SLO_SMALL = get_scenario("multi-tenant-slo").scaled(
+    ticks=4,
+    requests_per_tick=4,
+    window_rows=256,
+    train_rows=1024,
+)
+
+
+class TestMultiTenantSLOFrontDoor:
+    @pytest.fixture(scope="class")
+    def slo_reports(self):
+        """The scaled multi-tenant-slo run twice at 2 workers and once at 1."""
+        def run(workers):
+            return ScenarioEngine(MULTI_TENANT_SLO_SMALL, seed=7, workers=workers).run()
+
+        return run(2), run(2), run(1)
+
+    def test_core_invariant_across_reruns_and_worker_counts(self, slo_reports):
+        two_a, two_b, one = slo_reports
+        assert two_a.deterministic_dict() == two_b.deterministic_dict()
+        assert two_a.output_fingerprint
+        # Worker count is recorded but must not leak into anything else:
+        # autoscaling/routing may change wall clock, never bytes.
+        core_two, core_one = two_a.deterministic_dict(), one.deterministic_dict()
+        assert (core_two.pop("workers"), core_one.pop("workers")) == (2, 1)
+        assert core_two == core_one
+
+    def test_both_stages_serve_and_admission_rejects_nothing(self, slo_reports):
+        report = slo_reports[0]
+        assert set(report.requests_by_stage) == {"canary", "prod"}
+        assert report.requests_by_stage["canary"] >= 1
+        assert sum(report.requests_by_stage.values()) == report.requests_served
+        assert report.requests_rejected == 0
+        assert report.request_errors == 0
+        assert report.requests_served == report.requests_submitted
+        assert report.rows_served == report.rows_requested
+
+    def test_front_door_stats_ride_along(self, slo_reports):
+        report = slo_reports[0]
+        assert set(report.service_stats["models"]) == {"prod", "canary"}
+        assert "router" in report.service_stats
+        # Every tenant that sent traffic has its wait percentiles recorded.
+        assert set(report.tenant_waits) == set(report.requests_by_tenant)
+        assert sum(w["requests"] for w in report.tenant_waits.values()) == (
+            report.requests_served
+        )
+
+
+class TestMultiTenantBurstFairness:
+    def test_no_tenant_p95_wait_exceeds_its_weight_fair_share(self):
+        spec = get_scenario("multi-tenant-burst").scaled(
+            ticks=6, window_rows=256, train_rows=1024
+        )
+        report = ScenarioEngine(spec, seed=13, workers=2).run()
+        assert report.requests_rejected == 0
+        assert report.tenant_waits
+        # All burst tenants ride the same (normal) class, so the weight-fair
+        # share of each is the aggregate p95; 3x that (with a 50 ms floor
+        # against timer granularity) is the starvation bound the weighted
+        # fair queue must hold even while request sizes whipsaw.
+        bound = 3.0 * max(report.p95_latency, 0.05)
+        for tenant, waits in sorted(report.tenant_waits.items()):
+            assert waits["p95_wait_s"] <= bound, (
+                f"{tenant} p95 wait {waits['p95_wait_s']:.3f}s exceeds "
+                f"the fair-share bound {bound:.3f}s"
+            )
+
+
 class TestSteadyScenarioStaysQuiet:
     def test_no_drift_no_faults_no_events(self):
         spec = get_scenario("steady-diurnal").scaled(
