@@ -3,8 +3,10 @@
 
 Each kernel — GBDT fit, association matrix, filtering-pipeline funnel, grid
 simulator, the three deep-model training stacks (TVAE, CTABGAN+, TabDDPM),
-the broker dispatch path, the per-column Gaussian-mixture fit and the two
+the broker dispatch path, the per-column Gaussian-mixture fit, the two
 deep-model sampling chains (TabDDPM reverse diffusion, CTABGAN+ generation)
+and the two columnar data-plane kernels (dictionary-coded label encoding,
+the shared-memory chunk transport)
 — is timed at two problem sizes in both the seed implementation
 (``seed_baselines.py``) and the optimized one shipped in ``src/repro``, and
 the results (plus per-kernel speedups) are written to
@@ -74,6 +76,9 @@ from repro.serve import (  # noqa: E402
     SamplingService,
     ShardedSampler,
 )
+from repro.models.smote import SMOTESurrogate  # noqa: E402
+from repro.serve import shm as shm_transport  # noqa: E402
+from repro.tabular.encoding import LabelEncoder  # noqa: E402
 from repro.tabular.schema import TableSchema  # noqa: E402
 from repro.tabular.table import Table  # noqa: E402
 from repro.utils.profiling import BenchmarkRegistry  # noqa: E402
@@ -617,6 +622,102 @@ def bench_front_door(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
             door.close()
 
 
+def bench_encode_categorical(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    """Label-encoding a wide categorical table: codes path vs string path.
+
+    Both variants run the same :class:`LabelEncoder` fit + transform over
+    every categorical column of the serving-shaped table.  The ``"seed"``
+    variant feeds decoded string arrays (the only representation the
+    pre-columnar data plane had), paying ``np.unique`` over unicode data per
+    column; the ``"optimized"`` variant feeds the table's
+    :class:`~repro.tabular.table.CategoricalColumn` objects, where fit is a
+    bincount over the stored dictionary codes and transform a vocabulary-
+    sized remap.  Outputs are bit-identical either way
+    (``tests/test_tabular_encoding.py`` proves it); this kernel times the
+    data-plane contract that no hot path re-uniques strings.
+    """
+    for n_rows in sizes:
+        table = serving_mixed_table(n_rows)
+        names = list(table.schema.categorical)
+        strings = {name: np.asarray(table[name]) for name in names}
+        size = f"n={n_rows}"
+
+        def run_strings():
+            for name in names:
+                enc = LabelEncoder().fit(strings[name])
+                enc.transform(strings[name])
+
+        def run_codes():
+            for name in names:
+                column = table.categorical_column(name)
+                enc = LabelEncoder().fit(column)
+                enc.transform(column)
+
+        registry.measure("encode_categorical_codes", "seed", size, run_strings)
+        registry.measure(
+            "encode_categorical_codes", "optimized", size, run_codes, repeats=repeats
+        )
+
+
+def bench_serve_shm(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    """The chunk transport itself: shm envelopes vs pickled chunk tables.
+
+    Both variants serve the identical request (same chunk plan, same warm
+    4-worker pool, relaxed ``"fast"`` mode) through a cheap SMOTE surrogate
+    on the wide-categorical serving table — a model whose per-chunk sampling
+    cost is small enough that moving the chunk dominates, which is exactly
+    what this kernel guards.  The ``"seed"`` variant forces the
+    ``transport="pickle"`` path (each chunk table pickled through the pool
+    pipe); the ``"optimized"`` variant is the shared-memory transport (codes
+    written to a named segment, only a tiny envelope pickled).  Output bytes
+    are transport-invariant (``tests/test_serve_shm.py`` proves it).
+
+    Each record carries ``extra["ipc_bytes_per_chunk"]`` — the pickled size
+    of what actually crosses the pool pipe for one full chunk — so the
+    committed baseline also documents the transport's data-movement
+    contract: the envelope must stay well under the pickled table
+    (``tests/test_ci_workflow.py`` asserts the >=5x reduction).
+    """
+    repeats = max(repeats, 2)
+    table = serving_mixed_table(2000)
+    model = SMOTESurrogate(k_neighbors=3).fit(table)
+    shm_ok = shm_transport.shm_available()
+
+    # What one chunk costs on the pipe, per transport.
+    import pickle
+
+    chunk = model.sample(SERVE_CHUNK, seed=1, sampling_mode="fast")
+    table_bytes = float(len(pickle.dumps(chunk)))
+    envelope_bytes = table_bytes
+    if shm_ok:
+        session = shm_transport.ShmSession(model)
+        encoder = shm_transport.ChunkEncoder(session.config, model)
+        envelope = encoder.encode(chunk)
+        envelope_bytes = float(len(pickle.dumps(envelope)))
+        session.decoder.discard(envelope)
+        session.close()
+
+    cases = [
+        ("seed", "pickle", table_bytes),
+        ("optimized", "shm" if shm_ok else "pickle", envelope_bytes),
+    ]
+    for n_rows in sizes:
+        size = f"n={n_rows}"
+        for variant, transport, ipc_bytes in cases:
+            with ShardedSampler(
+                model, workers=SERVE_WORKERS, chunk_size=SERVE_CHUNK, transport=transport
+            ) as sampler:
+                sampler.sample(n_rows, seed=1, sampling_mode="fast")  # warm pool
+                registry.measure(
+                    "serve_sharded_shm",
+                    variant,
+                    size,
+                    lambda: sampler.sample(n_rows, seed=1, sampling_mode="fast"),
+                    repeats=repeats,
+                    extra={"ipc_bytes_per_chunk": ipc_bytes},
+                )
+
+
 def _broker_jobs(n_jobs: int = 3000) -> list:
     rng = np.random.default_rng(7)
     arrivals = np.sort(rng.uniform(0.0, 2.0, n_jobs))
@@ -678,7 +779,12 @@ def run_benchmarks(
     # The front-door kernel serves a stream of one-chunk mixed-tenant
     # requests at one stream length (the ratio is the contract, not a sweep).
     front_door_sizes = [48]
+    encode_sizes = [20_000, 100_000]
+    # The transport kernel serves one serving-scale request; its contract is
+    # the per-chunk IPC-bytes reduction plus wall-clock parity, not a sweep.
+    serve_shm_sizes = [100_000]
     if quick:
+        encode_sizes = encode_sizes[:1]
         (gbdt_sizes, table_sizes, pipe_sizes, sim_sizes, train_sizes, broker_sizes,
          gmm_sizes, ddpm_sample_sizes, gan_sample_sizes,
          ddpm_fast_sizes, gan_fast_sizes, tvae_fast_sizes) = (
@@ -731,6 +837,14 @@ def run_benchmarks(
             ("serve_front_door",),
             lambda: bench_front_door(registry, front_door_sizes, repeats),
         ),
+        (
+            ("encode_categorical_codes",),
+            lambda: bench_encode_categorical(registry, encode_sizes, repeats),
+        ),
+        (
+            ("serve_sharded_shm",),
+            lambda: bench_serve_shm(registry, serve_shm_sizes, repeats),
+        ),
     ]
     if kernels is not None:
         selected = set(kernels)
@@ -769,7 +883,10 @@ def main(argv=None) -> int:
         measured = {rec.kernel for rec in registry.records}
         for rec in BenchmarkRegistry.from_json(args.output).records:
             if rec.kernel not in measured:
-                registry.record(rec.kernel, rec.variant, rec.size, rec.seconds, repeats=rec.repeats)
+                registry.record(
+                    rec.kernel, rec.variant, rec.size, rec.seconds,
+                    repeats=rec.repeats, extra=rec.extra,
+                )
     registry.write_json(args.output)
 
     print(f"wrote {args.output}")

@@ -66,6 +66,12 @@ REQUIRED_KERNELS = frozenset(
         # client loop (see bench_hotpaths.bench_front_door) — guards the
         # per-request plumbing the multi-tenant front door adds.
         "serve_front_door",
+        # Columnar data-plane kernels: dictionary-coded label encoding vs the
+        # string path, and the shm chunk transport vs pickled chunk tables
+        # (the latter also records per-chunk IPC bytes in its baseline; see
+        # bench_hotpaths.bench_encode_categorical / bench_serve_shm).
+        "encode_categorical_codes",
+        "serve_sharded_shm",
     }
 )
 

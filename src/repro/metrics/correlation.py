@@ -157,9 +157,17 @@ def association_matrix(
     n_cats: Dict[int, int] = {}
     entropy_of: Dict[int, float] = {}
     for i in cat_pos:
-        _cats, inverse = np.unique(np.asarray(table[cols[i]]).astype(str), return_inverse=True)
+        # Remap the stored dictionary codes to the lexicographic rank of the
+        # *present* categories — exactly what ``np.unique(..., return_inverse)``
+        # yields on the decoded strings, without materialising any of them.
+        column = table.categorical_column(cols[i])
+        present = np.unique(column.codes)
+        present_cats = column.vocab_array()[present]
+        rank = np.empty(len(column.vocab) or 1, dtype=np.intp)
+        rank[present[np.argsort(present_cats, kind="stable")]] = np.arange(present.size)
+        inverse = rank[column.codes]
         codes[i] = inverse
-        n_cats[i] = int(_cats.size)
+        n_cats[i] = int(present.size)
         entropy_of[i] = _entropy(np.bincount(inverse).astype(np.float64) / n) if n else 0.0
 
     # -- categorical-categorical: one contingency table per unordered pair --

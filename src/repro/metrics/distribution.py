@@ -20,7 +20,41 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.tabular.table import Table
+from repro.tabular.table import CategoricalColumn, Table
+
+#: Values accepted by the categorical statistics: raw string arrays or a
+#: dictionary-encoded column (the codes fast path — no string decode).
+CategoricalValues = Sequence
+
+
+def _category_counts(values: CategoricalValues) -> Tuple[np.ndarray, np.ndarray, int]:
+    """``(sorted_present_categories, counts, n_rows)`` for either value form.
+
+    The :class:`CategoricalColumn` branch counts via ``np.bincount`` on the
+    codes and sorts the vocabulary once; it produces exactly what
+    ``np.unique(decoded, return_counts=True)`` would, without materialising
+    any per-row strings.
+    """
+    if isinstance(values, CategoricalColumn):
+        vocab = values.vocab_array()
+        counts = np.bincount(values.codes, minlength=vocab.size)
+        order = np.argsort(vocab, kind="stable")
+        vocab, counts = vocab[order], counts[order]
+        present = counts > 0
+        return vocab[present], counts[present], len(values)
+    arr = np.asarray(values).astype(str)
+    if arr.size == 0:
+        return np.empty(0, dtype="<U1"), np.empty(0, dtype=np.int64), 0
+    cats, counts = np.unique(arr, return_counts=True)
+    return cats, counts, int(arr.size)
+
+
+def _categorical_values(table: Table, name: str) -> CategoricalValues:
+    """Prefer the dictionary-encoded column; fall back to the decoded view."""
+    try:
+        return table.categorical_column(name)
+    except ValueError:
+        return table[name]
 
 
 def wasserstein_1d(real: np.ndarray, synthetic: np.ndarray, *, normalize: bool = True) -> float:
@@ -51,24 +85,31 @@ def wasserstein_1d(real: np.ndarray, synthetic: np.ndarray, *, normalize: bool =
 
 
 def categorical_frequencies(
-    values: np.ndarray, categories: Optional[Sequence[str]] = None
+    values: CategoricalValues, categories: Optional[Sequence[str]] = None
 ) -> Dict[str, float]:
     """Normalised frequency of each category (optionally on a fixed support)."""
-    arr = np.asarray(values).astype(str)
-    if arr.size == 0:
+    cats, counts, size = _category_counts(values)
+    if size == 0:
         raise ValueError("values must be non-empty")
-    cats, counts = np.unique(arr, return_counts=True)
-    freq = {str(c): float(n) / arr.size for c, n in zip(cats, counts)}
+    freq = {str(c): float(n) / size for c, n in zip(cats, counts)}
     if categories is not None:
         freq = {str(c): freq.get(str(c), 0.0) for c in categories}
     return freq
 
 
-def jensen_shannon_divergence(real: np.ndarray, synthetic: np.ndarray) -> float:
+def jensen_shannon_divergence(
+    real: CategoricalValues, synthetic: CategoricalValues
+) -> float:
     """JSD (base 2, in [0, 1]) between the category distributions of two samples."""
-    support = sorted(set(np.asarray(real).astype(str)) | set(np.asarray(synthetic).astype(str)))
-    p = np.array([categorical_frequencies(real, support)[c] for c in support])
-    q = np.array([categorical_frequencies(synthetic, support)[c] for c in support])
+    cats_a, counts_a, n_a = _category_counts(real)
+    cats_b, counts_b, n_b = _category_counts(synthetic)
+    if n_a == 0 or n_b == 0:
+        raise ValueError("values must be non-empty")
+    support = np.union1d(cats_a, cats_b)
+    p = np.zeros(support.size, dtype=np.float64)
+    q = np.zeros(support.size, dtype=np.float64)
+    p[np.searchsorted(support, cats_a)] = counts_a / float(n_a)
+    q[np.searchsorted(support, cats_b)] = counts_b / float(n_b)
     m = 0.5 * (p + q)
 
     def _kl(a: np.ndarray, b: np.ndarray) -> float:
@@ -93,7 +134,12 @@ def mean_jsd(
 ) -> Tuple[float, Dict[str, float]]:
     """Mean (and per-column) JSD over categorical columns."""
     cols = list(columns) if columns is not None else real.schema.categorical
-    per_column = {c: jensen_shannon_divergence(real[c], synthetic[c]) for c in cols}
+    per_column = {
+        c: jensen_shannon_divergence(
+            _categorical_values(real, c), _categorical_values(synthetic, c)
+        )
+        for c in cols
+    }
     mean = float(np.mean(list(per_column.values()))) if per_column else 0.0
     return mean, per_column
 
@@ -102,8 +148,8 @@ def top_k_frequencies(
     real: Table, synthetic: Table, column: str, k: int = 5
 ) -> List[Dict[str, object]]:
     """Top-``k`` real categories with real vs synthetic frequencies (Fig. 4b)."""
-    real_freq = categorical_frequencies(real[column])
-    synth_freq = categorical_frequencies(synthetic[column])
+    real_freq = categorical_frequencies(_categorical_values(real, column))
+    synth_freq = categorical_frequencies(_categorical_values(synthetic, column))
     top = sorted(real_freq.items(), key=lambda kv: -kv[1])[:k]
     return [
         {
@@ -133,8 +179,8 @@ def ks_statistic(real: np.ndarray, synthetic: np.ndarray) -> float:
 
 
 def chi_squared_statistic(
-    real: np.ndarray,
-    synthetic: np.ndarray,
+    real: CategoricalValues,
+    synthetic: CategoricalValues,
     *,
     normalized: bool = False,
 ) -> float:
@@ -146,14 +192,15 @@ def chi_squared_statistic(
     giving a [0, 1] value comparable across window sizes and supports —
     that is the form :class:`DriftMonitor` thresholds.
     """
-    a = np.asarray(real).astype(str)
-    b = np.asarray(synthetic).astype(str)
-    if a.size == 0 or b.size == 0:
+    cats_a, raw_a, n_a = _category_counts(real)
+    cats_b, raw_b, n_b = _category_counts(synthetic)
+    if n_a == 0 or n_b == 0:
         raise ValueError("both samples must be non-empty")
-    support = np.unique(np.concatenate([a, b]))
-    counts_a = np.array([np.sum(a == c) for c in support], dtype=np.float64)
-    counts_b = np.array([np.sum(b == c) for c in support], dtype=np.float64)
-    n_a, n_b = a.size, b.size
+    support = np.union1d(cats_a, cats_b)
+    counts_a = np.zeros(support.size, dtype=np.float64)
+    counts_b = np.zeros(support.size, dtype=np.float64)
+    counts_a[np.searchsorted(support, cats_a)] = raw_a
+    counts_b[np.searchsorted(support, cats_b)] = raw_b
     pooled = (counts_a + counts_b) / (n_a + n_b)
     expected_a = pooled * n_a
     expected_b = pooled * n_b
@@ -246,7 +293,12 @@ class _ColumnDetector:
         else:
             self.statistic = config.categorical_stat
             self.threshold = config.categorical_threshold
-            self._reference = np.asarray(reference).astype(str)
+            # Keep the dictionary-encoded form when given one: every window
+            # score then runs on codes without decoding the reference.
+            if isinstance(reference, CategoricalColumn):
+                self._reference = reference
+            else:
+                self._reference = np.asarray(reference).astype(str)
         self.streak = 0
         self.fired = False
         self.last_value = 0.0
@@ -323,7 +375,7 @@ class DriftMonitor:
         for name in schema.categorical:
             if selected is None or name in selected:
                 self._detectors[name] = _ColumnDetector(
-                    name, "categorical", reference[name], self.config
+                    name, "categorical", reference.categorical_column(name), self.config
                 )
                 self._columns.append(name)
         if not self._detectors:
@@ -355,7 +407,12 @@ class DriftMonitor:
         self._window_index += 1
         events = []
         for name in self._columns:
-            event = self._detectors[name].update(window[name], index)
+            detector = self._detectors[name]
+            if detector.kind == "categorical":
+                values = _categorical_values(window, name)
+            else:
+                values = window[name]
+            event = detector.update(values, index)
             if event is not None:
                 events.append(event)
         return events

@@ -372,7 +372,7 @@ class _ModeSpecificEncoder:
                 width = 1 + gmm.n_active_components
             else:
                 enc = OneHotEncoder()
-                enc.fit(table[col.name])
+                enc.fit(table.categorical_column(col.name))
                 self.categorical_encoders[col.name] = enc
                 width = enc.n_categories
             self.layout.append((col.name, col.kind.value, cursor, width))
@@ -433,7 +433,9 @@ class _ModeSpecificEncoder:
             out[rows[:, None], comp_base[None, :] + comps] = 1.0
         for name, kind, start, _width in self.layout:
             if kind == ColumnKind.CATEGORICAL.value:
-                codes = self.categorical_encoders[name].transform_codes(table[name])
+                codes = self.categorical_encoders[name].transform_codes(
+                    table.categorical_column(name)
+                )
                 out[rows, start + codes] = 1.0
         return out
 
@@ -457,7 +459,7 @@ class _ModeSpecificEncoder:
             codes = _argmax_codes(matrix, [(start, start + width) for _n, start, width in cat_blocks])
             for i, (name, _start, _width) in enumerate(cat_blocks):
                 encoder = self.categorical_encoders[name]
-                data[name] = encoder.label_encoder.inverse_transform(codes[:, i])
+                data[name] = encoder.label_encoder.decode_column(codes[:, i])
         return Table(data, schema)
 
     def decode_sampled(self, alphas: np.ndarray, codes: np.ndarray, schema) -> Table:
@@ -486,7 +488,7 @@ class _ModeSpecificEncoder:
                 numeric_i += 1
             else:
                 encoder = self.categorical_encoders[name]
-                data[name] = encoder.label_encoder.inverse_transform(codes[:, i])
+                data[name] = encoder.label_encoder.decode_column(codes[:, i])
         return Table(data, schema)
 
     @property
@@ -538,7 +540,7 @@ class _ConditionSampler:
             self.offsets, [width for _, _, width in layout]
         ).astype(np.int64) if layout else np.empty(0, dtype=np.int64)
         for (name, _start, width) in layout:
-            codes = encoders[name].transform_codes(table[name])
+            codes = encoders[name].transform_codes(table.categorical_column(name))
             counts = np.bincount(codes, minlength=width).astype(np.float64)
             logfreq = np.log1p(counts)
             probs = logfreq / logfreq.sum() if logfreq.sum() > 0 else np.full(width, 1.0 / width)

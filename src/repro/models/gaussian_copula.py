@@ -75,7 +75,7 @@ class GaussianCopulaSurrogate(Surrogate):
                 self._numerical_transforms[col.name] = tf
             else:
                 enc = LabelEncoder()
-                codes = enc.fit_transform(table[col.name])
+                codes = enc.fit_transform(table.categorical_column(col.name))
                 freqs = enc.counts_ / enc.counts_.sum()
                 cdf = np.cumsum(freqs)
                 self._label_encoders[col.name] = enc
@@ -126,5 +126,5 @@ class GaussianCopulaSurrogate(Surrogate):
             else:
                 cdf = self._category_cdfs[name]
                 codes = self._latent_to_categorical(col_latent, cdf)
-                data[name] = self._label_encoders[name].inverse_transform(codes)
+                data[name] = self._label_encoders[name].decode_column(codes)
         return Table(data, self.schema_)

@@ -64,6 +64,25 @@ not by statistics:
   latches; ``repro-experiments serve --fault-plan "kill@1,delay@3:0.2"``
   replays a chaos run end to end.
 
+The chunk transport (the serving data plane)
+--------------------------------------------
+Chunks cross the worker pool as **codes, not pickles**: under the
+shared-memory transport (:mod:`repro.serve.shm`, the default where
+``multiprocessing.shared_memory`` works) a worker writes each chunk's
+column buffers — ``float64`` numericals, ``int32`` dictionary codes —
+into a named segment and sends back only a tiny
+:class:`~repro.serve.shm.ChunkEnvelope`; the parent reassembles the table
+as zero-copy views over the mapping (vocabularies travel once with the
+model snapshot, never per chunk).  Segment lifecycle is owned end to end:
+decode unlinks, abandoned attempts (timeouts, hedge losers, cancels) are
+reaped, and a spool-directory sweep collects anything a crashed worker
+left behind — ``tests/test_serve_shm.py`` proves zero segments survive
+fault-injected runs.  ``REPRO_SHM=shm|pickle|auto`` (or
+``ShardedSampler(transport=...)``) selects the transport; bytes are
+transport-invariant by the sharding contract, and
+``benchmarks/BENCH_hotpaths.json`` records the per-chunk IPC-bytes
+reduction under the ``serve_sharded_shm`` kernel.
+
 Quickstart::
 
     from repro.serve import ModelRegistry, SamplingService

@@ -55,6 +55,23 @@ levels:
 Deterministic chaos tests drive all of these paths through the
 :mod:`repro.serve.faults` plan installed via ``fault_plan=``; see
 ``tests/test_serve_faults.py`` for the byte-equality proofs.
+
+The chunk transport
+-------------------
+How a finished chunk travels back to the parent is pluggable
+(``transport=`` / the ``REPRO_SHM`` environment toggle):
+
+* ``"shm"`` (the default where available): workers write the chunk's
+  column buffers — ``float64`` numericals, ``int32`` categorical codes,
+  vocabularies travel once with the snapshot — into a named
+  :mod:`multiprocessing.shared_memory` segment and return only a tiny
+  :class:`~repro.serve.shm.ChunkEnvelope`; the parent reassembles
+  zero-copy views and unlinks the segment.  Segment lifecycle (normal
+  consumption, timed-out attempts, hedge losers, worker crashes, pool
+  close) is owned by :mod:`repro.serve.shm`.
+* ``"pickle"``: the pre-transport behaviour — the chunk table itself is
+  the task result.  Output bytes are identical either way; only the IPC
+  cost differs.
 """
 
 from __future__ import annotations
@@ -70,8 +87,10 @@ import numpy as np
 
 from repro.models.base import SAMPLING_MODES, Surrogate
 from repro.serve import faults as fault_injection
+from repro.serve import shm as shm_transport
 from repro.serve.api import RequestSpec
 from repro.serve.faults import FaultPlan
+from repro.serve.shm import ChunkEnvelope, ShmTransportConfig
 from repro.tabular.table import Table
 from repro.utils.parallel import (
     SupervisedFuture,
@@ -86,9 +105,15 @@ __all__ = ["ChunkError", "ChunkFaultStats", "ChunkPolicy", "ShardedSampler"]
 #: The worker-process model snapshot, set once by :func:`_init_worker`.
 _WORKER_MODEL: Optional[Surrogate] = None
 
+#: The worker-side shm encoder (None under the pickle transport).
+_WORKER_ENCODER: Optional[shm_transport.ChunkEncoder] = None
+
 
 def _init_worker(
-    snapshot: bytes, chunk_rows: int, fault_plan: Optional[FaultPlan] = None
+    snapshot: bytes,
+    chunk_rows: int,
+    fault_plan: Optional[FaultPlan] = None,
+    shm_config: Optional[ShmTransportConfig] = None,
 ) -> None:
     """One-time worker setup: deserialize the model, warm its serving caches.
 
@@ -96,28 +121,42 @@ def _init_worker(
     workers are exactly as warm as freshly started ones.  When a fault plan
     is provided (chaos tests, ``--fault-plan`` runs) it is installed here —
     the plan's exactly-once token latch lives on disk, so a rebuilt worker
-    does not re-inject already-claimed faults.
+    does not re-inject already-claimed faults.  With an shm transport
+    config, the worker derives the chunk wire layout (schema + categorical
+    vocabularies) from its own snapshot — the parent derives the identical
+    layout from its copy, so no per-chunk metadata ever ships.
     """
-    global _WORKER_MODEL
+    global _WORKER_MODEL, _WORKER_ENCODER
     model = Surrogate.from_snapshot(snapshot)
     model.warm_serving_caches(chunk_rows)
     _WORKER_MODEL = model
+    _WORKER_ENCODER = (
+        shm_transport.ChunkEncoder(shm_config, model) if shm_config is not None else None
+    )
     fault_injection.install(fault_plan)
 
 
-def _sample_chunk(size: int, child: np.random.SeedSequence, sampling_mode: str) -> Table:
+def _sample_chunk(size: int, child: np.random.SeedSequence, sampling_mode: str):
     """Generate one chunk in the worker — the same call the parent would make.
 
     The chunk's index is recoverable from the seed contract itself (it is
     the last element of the child's spawn key), which is what lets the fault
     harness target "chunk i" without widening the task descriptor.
+
+    Under the shm transport the return value is a
+    :class:`~repro.serve.shm.ChunkEnvelope` (the table's buffers having been
+    written to a shared segment); under the pickle transport it is the chunk
+    :class:`~repro.tabular.table.Table` itself.
     """
     assert _WORKER_MODEL is not None, "worker used before initialization"
     spawn_key = getattr(child, "spawn_key", ())
     fault_injection.maybe_inject(int(spawn_key[-1]) if spawn_key else 0)
-    return _WORKER_MODEL.sample(
+    table = _WORKER_MODEL.sample(
         size, seed=np.random.default_rng(child), sampling_mode=sampling_mode
     )
+    if _WORKER_ENCODER is not None:
+        return _WORKER_ENCODER.encode(table)
+    return table
 
 
 class ChunkError(RuntimeError):
@@ -265,11 +304,16 @@ class _ChunkHandle:
         pool = self._run.sampler._require_pool()
         return pool.submit(_sample_chunk, self.size, self._child, self._mode)
 
+    def _decode(self, result) -> Table:
+        return self._run.sampler.decode_chunk(result)
+
     def cancel(self) -> None:
         self._consumed = True
         self._primary.cancel()
+        self._run.sampler._abandon(self._primary)
         if self._hedge is not None:
             self._hedge.cancel()
+            self._run.sampler._abandon(self._hedge)
 
     # -- the resolution loop -----------------------------------------------------
     def result(self) -> Table:
@@ -286,7 +330,7 @@ class _ChunkHandle:
             if simple:
                 # No deadline, no hedging: block straight on the attempt.
                 try:
-                    table = self._primary.result()
+                    table = self._decode(self._primary.result())
                 except Exception as exc:
                     self._handle_failure(exc)
                     continue
@@ -316,18 +360,20 @@ class _ChunkHandle:
 
         # First-success-wins (and byte-equality assertion when both landed).
         if primary_done and primary_error is None:
-            table = self._primary.result(0)
+            table = self._decode(self._primary.result(0))
             if hedge_done and hedge_error is None and self._hedge is not None:
-                assert self._hedge.result(0) == table, (
+                assert self._decode(self._hedge.result(0)) == table, (
                     f"hedged chunk {self.index} diverged from its primary — "
                     "the seed contract was violated"
                 )
             if self._hedge is not None:
                 self._hedge.cancel()
+                self._run.sampler._abandon(self._hedge)
             return self._finish(table, self._primary_started, hedged_win=False)
         if hedge_done and hedge_error is None and self._hedge is not None:
-            table = self._hedge.result(0)
+            table = self._decode(self._hedge.result(0))
             self._primary.cancel()
+            self._run.sampler._abandon(self._primary)
             return self._finish(table, self._hedge_started, hedged_win=True)
 
         # A failed hedge is simply dropped; a failed primary is promoted or
@@ -350,11 +396,13 @@ class _ChunkHandle:
             if self._hedge is not None:
                 # The younger duplicate inherits the attempt.
                 self._primary.cancel()
+                self._run.sampler._abandon(self._primary)
                 self._primary, self._hedge = self._hedge, None
                 self._primary_started = self._hedge_started
                 return None
             self._run.sampler._count(timeouts=1)
             self._primary.cancel()
+            self._run.sampler._abandon(self._primary)
             self._handle_failure(
                 TimeoutError(f"attempt exceeded the {policy.timeout}s chunk deadline")
             )
@@ -396,6 +444,7 @@ class _ChunkHandle:
         self._run.record_latency(time.monotonic() - started_at)
         if hedged_win:
             self._run.sampler._count(hedge_wins=1)
+        self._run.sampler._reap()
         return table
 
 
@@ -424,6 +473,12 @@ class ShardedSampler:
     max_pool_restarts:
         Supervised executor rebuilds tolerated before the pool declares
         itself broken (:class:`~repro.utils.parallel.WorkerPoolBroken`).
+    transport:
+        Chunk transport: ``"shm"`` (codes-only shared-memory segments),
+        ``"pickle"`` (the chunk table as the task result), or ``None`` /
+        ``"auto"`` — resolve from the ``REPRO_SHM`` environment variable,
+        defaulting to shm where the platform supports it.  Output bytes are
+        transport-invariant.
 
     The sampler is a context manager; :meth:`close` shuts the pool down.
     """
@@ -439,6 +494,7 @@ class ShardedSampler:
         chunk_policy: Optional[ChunkPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         max_pool_restarts: int = 5,
+        transport: Optional[str] = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
@@ -452,9 +508,15 @@ class ShardedSampler:
         self.chunk_policy = chunk_policy if chunk_policy is not None else ChunkPolicy()
         self.fault_plan = fault_plan
         self.max_pool_restarts = int(max_pool_restarts)
+        self.transport = shm_transport.resolve_transport(transport)
+        self._shm_session: Optional[shm_transport.ShmSession] = None
         self._pool: Optional[WorkerPool] = None
         self._counter_lock = threading.Lock()
         self._counters = {"retries": 0, "timeouts": 0, "hedges": 0, "hedge_wins": 0}
+        #: Futures cancelled or discarded while possibly carrying an
+        #: unconsumed shm envelope; reaped once they resolve.
+        self._abandoned: List[SupervisedFuture] = []
+        self._abandoned_lock = threading.Lock()
         #: Restarts of pools already torn down (restart / hot swap) — keeps
         #: the cumulative fault counters monotonic across pool generations.
         self._retired_restarts = 0
@@ -482,10 +544,14 @@ class ShardedSampler:
         """
         if self.workers > 1 and self._pool is None:
             snapshot = self._model.serving_snapshot()
+            shm_config = None
+            if self.transport == "shm":
+                self._shm_session = shm_transport.ShmSession(self._model)
+                shm_config = self._shm_session.config
             self._pool = WorkerPool(
                 self.workers,
                 initializer=_init_worker,
-                initargs=(snapshot, self.chunk_size, self.fault_plan),
+                initargs=(snapshot, self.chunk_size, self.fault_plan, shm_config),
                 max_restarts=self.max_pool_restarts,
             ).start()
         return self
@@ -537,13 +603,60 @@ class ShardedSampler:
         pool, self._pool = self._pool, None
         if pool is not None:
             self._retired_restarts += pool.restarts
-            pool.close()
+            pool.close()  # waits for running tasks — segments are all spooled after
+        self._reap(final=True)
+        session, self._shm_session = self._shm_session, None
+        if session is not None:
+            session.close()  # sweep crash leftovers + remove the spool dir
 
     def __enter__(self) -> "ShardedSampler":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- transport ---------------------------------------------------------------
+    def decode_chunk(self, result) -> Table:
+        """Materialise a worker result: envelopes decode, tables pass through."""
+        if isinstance(result, ChunkEnvelope):
+            assert self._shm_session is not None, "envelope received without a session"
+            return self._shm_session.decoder.decode(result)
+        return result
+
+    def _abandon(self, future: Optional[SupervisedFuture]) -> None:
+        """Track a future whose (possible) envelope will never be decoded."""
+        if future is None or self._shm_session is None:
+            return
+        with self._abandoned_lock:
+            self._abandoned.append(future)
+
+    def _reap(self, *, final: bool = False) -> None:
+        """Discard segments of abandoned futures that have since resolved.
+
+        Called opportunistically on every chunk completion and exhaustively
+        at :meth:`close` (``final=True`` — by then the pool has drained, so
+        every abandoned future is resolved one way or the other).
+        """
+        with self._abandoned_lock:
+            pending, self._abandoned = self._abandoned, []
+        if not pending:
+            return
+        session = self._shm_session
+        still_pending: List[SupervisedFuture] = []
+        for future in pending:
+            if not future.done():
+                if not final:
+                    still_pending.append(future)
+                continue
+            try:
+                result = future.result(0)
+            except BaseException:
+                continue  # failed or cancelled: no envelope to release
+            if session is not None and isinstance(result, ChunkEnvelope):
+                session.decoder.discard(result)
+        if still_pending:
+            with self._abandoned_lock:
+                self._abandoned.extend(still_pending)
 
     # -- fault accounting --------------------------------------------------------
     def _count(self, **deltas: int) -> None:
@@ -691,7 +804,10 @@ class ShardedSampler:
         """Submit one raw chunk to the worker pool; returns its future.
 
         Bypasses the per-chunk resilience policy (the future is still
-        supervised against worker death).  Prefer :meth:`chunk_run`.
+        supervised against worker death).  Prefer :meth:`chunk_run`.  Under
+        the shm transport the future resolves to a
+        :class:`~repro.serve.shm.ChunkEnvelope`; pass it through
+        :meth:`decode_chunk` to materialise (and release) the chunk.
         """
         if self.workers == 1:
             raise RuntimeError("submit_chunk needs a worker pool (workers > 1)")

@@ -4,15 +4,41 @@ Categorical PanDA columns (computing site, project, …) are heavily imbalanced,
 so every encoder keeps the category order sorted by descending training-set
 frequency.  That makes "top-k category" reports (paper Fig. 4b) and
 training-by-sampling in CTABGAN+ straightforward.
+
+All encoders accept either raw string sequences or a dictionary-encoded
+:class:`~repro.tabular.table.CategoricalColumn`.  The column form takes a
+codes fast path — counting via ``np.bincount`` on the codes and remapping
+through a vocabulary-sized lookup instead of re-uniquing every row's string
+— and is bit-identical to the string path: the fitted ``categories_`` /
+``counts_`` ordering and every transform output match exactly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tabular.table import CODES_DTYPE, CategoricalColumn
 from repro.utils.validation import check_fitted
+
+Values = Union[Sequence[str], np.ndarray, CategoricalColumn]
+
+
+def _column_category_counts(
+    column: CategoricalColumn,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lexicographically sorted present categories and their counts.
+
+    Equivalent to ``np.unique(column.decode(), return_counts=True)`` without
+    materialising any strings beyond the vocabulary.
+    """
+    vocab = column.vocab_array()
+    counts = np.bincount(column.codes, minlength=vocab.size)
+    order = np.argsort(vocab, kind="stable")
+    vocab, counts = vocab[order], counts[order]
+    present = counts > 0
+    return vocab[present], counts[present]
 
 
 class LabelEncoder:
@@ -37,19 +63,26 @@ class LabelEncoder:
         check_fitted(self, ["categories_"])
         return int(self.categories_.size)
 
-    def fit(self, values: Sequence[str]) -> "LabelEncoder":
-        arr = np.asarray(values).astype(str)
-        if arr.size == 0:
-            raise ValueError("cannot fit LabelEncoder on an empty column")
-        cats, counts = np.unique(arr, return_counts=True)
+    def fit(self, values: Values) -> "LabelEncoder":
+        if isinstance(values, CategoricalColumn):
+            if len(values) == 0:
+                raise ValueError("cannot fit LabelEncoder on an empty column")
+            cats, counts = _column_category_counts(values)
+        else:
+            arr = np.asarray(values).astype(str)
+            if arr.size == 0:
+                raise ValueError("cannot fit LabelEncoder on an empty column")
+            cats, counts = np.unique(arr, return_counts=True)
         order = np.lexsort((cats, -counts))
         self.categories_ = cats[order]
         self.counts_ = counts[order]
         self._code_of = {c: i for i, c in enumerate(self.categories_)}
         return self
 
-    def transform(self, values: Sequence[str]) -> np.ndarray:
+    def transform(self, values: Values) -> np.ndarray:
         check_fitted(self, ["categories_"])
+        if isinstance(values, CategoricalColumn):
+            return self._transform_column(values)
         arr = np.asarray(values).astype(str)
         codes = np.empty(arr.shape[0], dtype=np.int64)
         # Vectorised lookup via sorted search on the category table.
@@ -66,7 +99,26 @@ class LabelEncoder:
             codes[~known] = 0
         return codes
 
-    def fit_transform(self, values: Sequence[str]) -> np.ndarray:
+    def _transform_column(self, column: CategoricalColumn) -> np.ndarray:
+        """Codes fast path: one vocabulary-sized lookup instead of per-row search."""
+        vocab = column.vocab_array()
+        sorter = np.argsort(self.categories_)
+        pos = np.searchsorted(self.categories_, vocab, sorter=sorter)
+        pos = np.clip(pos, 0, self.categories_.size - 1)
+        candidate = sorter[pos]
+        known = self.categories_[candidate] == vocab
+        remap = np.where(known, candidate, 0).astype(np.int64)
+        codes = remap[column.codes]
+        if not known.all() and column.codes.size:
+            # Only vocabulary entries actually used by a row count as unknown.
+            used_unknown = ~known[column.codes]
+            if used_unknown.any() and self.handle_unknown == "error":
+                used = np.unique(column.codes[used_unknown])
+                unknown = sorted(set(vocab[used].tolist()))
+                raise ValueError(f"unknown categories: {unknown[:5]}")
+        return codes
+
+    def fit_transform(self, values: Values) -> np.ndarray:
         return self.fit(values).transform(values)
 
     def inverse_transform(self, codes: Sequence[int]) -> np.ndarray:
@@ -75,6 +127,17 @@ class LabelEncoder:
         if idx.size and (idx.min() < 0 or idx.max() >= self.categories_.size):
             raise ValueError("codes out of range for fitted categories")
         return self.categories_[idx]
+
+    def decode_column(self, codes: Sequence[int]) -> CategoricalColumn:
+        """Decode codes into a :class:`CategoricalColumn` without materialising
+        strings — the fitted categories become the column vocabulary."""
+        check_fitted(self, ["categories_"])
+        idx = np.asarray(codes, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.categories_.size):
+            raise ValueError("codes out of range for fitted categories")
+        return CategoricalColumn(
+            idx.astype(CODES_DTYPE), tuple(self.categories_.tolist())
+        )
 
 
 class OneHotEncoder:
@@ -96,20 +159,20 @@ class OneHotEncoder:
     def n_categories(self) -> int:
         return self.label_encoder.n_categories
 
-    def fit(self, values: Sequence[str]) -> "OneHotEncoder":
+    def fit(self, values: Values) -> "OneHotEncoder":
         self.label_encoder.fit(values)
         return self
 
-    def transform(self, values: Sequence[str]) -> np.ndarray:
+    def transform(self, values: Values) -> np.ndarray:
         codes = self.label_encoder.transform(values)
         out = np.zeros((codes.shape[0], self.n_categories), dtype=np.float64)
         out[np.arange(codes.shape[0]), codes] = 1.0
         return out
 
-    def fit_transform(self, values: Sequence[str]) -> np.ndarray:
+    def fit_transform(self, values: Values) -> np.ndarray:
         return self.fit(values).transform(values)
 
-    def transform_codes(self, values: Sequence[str]) -> np.ndarray:
+    def transform_codes(self, values: Values) -> np.ndarray:
         """Return integer codes (delegates to the underlying label encoder)."""
         return self.label_encoder.transform(values)
 
@@ -123,6 +186,17 @@ class OneHotEncoder:
             )
         codes = np.argmax(mat, axis=1)
         return self.label_encoder.inverse_transform(codes)
+
+    def inverse_transform_column(self, matrix: np.ndarray) -> CategoricalColumn:
+        """Like :meth:`inverse_transform` but keeps the result dictionary-encoded."""
+        check_fitted(self.label_encoder, ["categories_"])
+        mat = np.asarray(matrix, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[1] != self.n_categories:
+            raise ValueError(
+                f"expected matrix of shape (n, {self.n_categories}), got {mat.shape}"
+            )
+        codes = np.argmax(mat, axis=1)
+        return self.label_encoder.decode_column(codes)
 
 
 class FrequencyTable:

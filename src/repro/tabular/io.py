@@ -15,12 +15,17 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.tabular.schema import TableSchema
-from repro.tabular.table import Table
+from repro.tabular.table import CategoricalColumn, Table
 
 PathLike = Union[str, Path]
 
 #: Key used to store the JSON-encoded schema inside NPZ archives / CSV headers.
 _SCHEMA_KEY = "__schema__"
+
+#: Suffix of the companion vocabulary array stored per categorical column in
+#: NPZ archives written by this module.  Archives without these keys are the
+#: legacy unicode-array layout and are still readable.
+_VOCAB_SUFFIX = "::vocab"
 
 
 def write_csv(table: Table, path: PathLike) -> None:
@@ -72,19 +77,46 @@ def read_csv(path: PathLike, schema: Optional[TableSchema] = None) -> Table:
 
 
 def write_npz(table: Table, path: PathLike) -> None:
-    """Write a table to a compressed NPZ archive (schema embedded)."""
+    """Write a table to a compressed NPZ archive (schema embedded).
+
+    Categorical columns are stored dictionary-encoded — an ``int32`` codes
+    array under the column name plus the vocabulary under
+    ``<name>::vocab`` — which is both smaller and cheaper to load than the
+    legacy per-row unicode arrays.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {name: table[name] for name in table.columns}
+    payload: Dict[str, np.ndarray] = {}
+    for name in table.columns:
+        if name in table.schema.categorical:
+            column = table.categorical_column(name)
+            payload[name] = column.codes
+            payload[name + _VOCAB_SUFFIX] = column.vocab_array()
+        else:
+            payload[name] = table[name]
     payload[_SCHEMA_KEY] = np.asarray(json.dumps(table.schema.to_dict()))
     np.savez_compressed(path, **payload)
 
 
 def read_npz(path: PathLike) -> Table:
-    """Read a table previously written with :func:`write_npz`."""
+    """Read a table previously written with :func:`write_npz`.
+
+    Understands both the dictionary-encoded layout (codes + ``::vocab``
+    companion arrays) and legacy archives that stored categoricals as
+    unicode arrays.
+    """
     with np.load(Path(path), allow_pickle=False) as archive:
         if _SCHEMA_KEY not in archive:
             raise ValueError(f"{path} does not contain an embedded table schema")
         schema = TableSchema.from_dict(json.loads(str(archive[_SCHEMA_KEY])))
-        data = {name: archive[name] for name in schema.names}
+        keys = set(archive.files)
+        data: Dict[str, object] = {}
+        for name in schema.names:
+            vocab_key = name + _VOCAB_SUFFIX
+            if vocab_key in keys:
+                data[name] = CategoricalColumn(
+                    archive[name], tuple(archive[vocab_key].tolist())
+                )
+            else:
+                data[name] = archive[name]
     return Table(data, schema)

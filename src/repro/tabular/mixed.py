@@ -117,7 +117,7 @@ class MixedEncoder:
                 cursor += 1
             else:
                 enc = OneHotEncoder()
-                enc.fit(table[col.name])
+                enc.fit(table.categorical_column(col.name))
                 self.onehot_encoders_[col.name] = enc
                 blocks.append(ColumnBlock(col.name, col.kind, cursor, enc.n_categories))
                 cursor += enc.n_categories
@@ -150,7 +150,7 @@ class MixedEncoder:
                 parts.append(tf.transform(table[col.name])[:, None])
             else:
                 enc = self.onehot_encoders_[col.name]
-                parts.append(enc.transform(table[col.name]))
+                parts.append(enc.transform(table.categorical_column(col.name)))
         values = (
             np.concatenate(parts, axis=1)
             if parts
@@ -170,7 +170,7 @@ class MixedEncoder:
             raise ValueError(
                 f"expected matrix with {self.n_features} features, got shape {mat.shape}"
             )
-        data: Dict[str, np.ndarray] = {}
+        data: Dict[str, object] = {}
         for block in self.blocks_:
             chunk = mat[:, block.slice]
             if block.kind is ColumnKind.NUMERICAL:
@@ -178,7 +178,7 @@ class MixedEncoder:
                 data[block.name] = tf.inverse_transform(chunk[:, 0])
             else:
                 enc = self.onehot_encoders_[block.name]
-                data[block.name] = enc.inverse_transform(chunk)
+                data[block.name] = enc.inverse_transform_column(chunk)
         return Table(data, self.schema_)
 
     # -- label-coded view (for SMOTE / boosting) -----------------------------
@@ -200,7 +200,9 @@ class MixedEncoder:
                 num_parts.append(tf.transform(table[col.name])[:, None])
             else:
                 enc = self.onehot_encoders_[col.name]
-                cat_parts.append(enc.transform_codes(table[col.name])[:, None])
+                cat_parts.append(
+                    enc.transform_codes(table.categorical_column(col.name))[:, None]
+                )
         num = (
             np.concatenate(num_parts, axis=1)
             if num_parts
@@ -220,7 +222,7 @@ class MixedEncoder:
         check_fitted(self, ["schema_"])
         num = np.asarray(numerical, dtype=np.float64)
         cat = np.asarray(categorical_codes)
-        data: Dict[str, np.ndarray] = {}
+        data: Dict[str, object] = {}
         num_i = 0
         cat_i = 0
         for col in self.schema_:
@@ -232,6 +234,6 @@ class MixedEncoder:
                 enc = self.onehot_encoders_[col.name]
                 codes = np.rint(cat[:, cat_i]).astype(np.int64)
                 codes = np.clip(codes, 0, enc.n_categories - 1)
-                data[col.name] = enc.label_encoder.inverse_transform(codes)
+                data[col.name] = enc.label_encoder.decode_column(codes)
                 cat_i += 1
         return Table(data, self.schema_)

@@ -48,22 +48,32 @@ def timer(label: str = "") -> Iterator[TimerResult]:
 
 @dataclass
 class BenchmarkRecord:
-    """One timed measurement of a kernel variant at a problem size."""
+    """One timed measurement of a kernel variant at a problem size.
+
+    ``extra`` carries optional side metrics that the kernel measures along
+    with wall clock (e.g. the serving transport benchmark records the bytes
+    each chunk moves over the pool pipe); they round-trip through the JSON
+    baseline so gates can assert on them.
+    """
 
     kernel: str
     variant: str  # "seed" or "optimized" (free-form otherwise)
     size: str  # human-readable problem size, e.g. "n=20000"
     seconds: float
     repeats: int = 1
+    extra: Optional[Dict[str, float]] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "kernel": self.kernel,
             "variant": self.variant,
             "size": self.size,
             "seconds": self.seconds,
             "repeats": self.repeats,
         }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
 
 
 class BenchmarkRegistry:
@@ -78,9 +88,18 @@ class BenchmarkRegistry:
         self.records: List[BenchmarkRecord] = []
 
     def record(
-        self, kernel: str, variant: str, size: str, seconds: float, *, repeats: int = 1
+        self,
+        kernel: str,
+        variant: str,
+        size: str,
+        seconds: float,
+        *,
+        repeats: int = 1,
+        extra: Optional[Dict[str, float]] = None,
     ) -> BenchmarkRecord:
-        rec = BenchmarkRecord(kernel, variant, size, float(seconds), repeats=int(repeats))
+        rec = BenchmarkRecord(
+            kernel, variant, size, float(seconds), repeats=int(repeats), extra=extra
+        )
         self.records.append(rec)
         return rec
 
@@ -92,6 +111,7 @@ class BenchmarkRegistry:
         fn: Callable[[], object],
         *,
         repeats: int = 1,
+        extra: Optional[Dict[str, float]] = None,
     ) -> BenchmarkRecord:
         """Run ``fn`` ``repeats`` times and record the best wall-clock time."""
         if repeats < 1:
@@ -101,7 +121,7 @@ class BenchmarkRegistry:
             with timer() as t:
                 fn()
             best = min(best, t.seconds)
-        return self.record(kernel, variant, size, best, repeats=repeats)
+        return self.record(kernel, variant, size, best, repeats=repeats, extra=extra)
 
     # -- queries -----------------------------------------------------------
     def seconds_of(self, kernel: str, variant: str, size: str) -> Optional[float]:
@@ -150,5 +170,6 @@ class BenchmarkRegistry:
                 rec["size"],
                 rec["seconds"],
                 repeats=rec.get("repeats", 1),
+                extra=rec.get("extra"),
             )
         return registry

@@ -1,5 +1,7 @@
 """Tests for repro.tabular.splits and repro.tabular.io."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -95,6 +97,33 @@ class TestIO:
         assert loaded.schema == tiny_table.schema
         np.testing.assert_allclose(loaded["y"], tiny_table["y"])
         np.testing.assert_array_equal(loaded["status"], tiny_table["status"])
+
+    def test_npz_stores_codes_and_vocab(self, tiny_table, tmp_path):
+        # The archive layout is dictionary-encoded: int32 codes under the
+        # column name plus a ::vocab companion array, no unicode row data.
+        path = tmp_path / "codes.npz"
+        write_npz(tiny_table, path)
+        with np.load(path, allow_pickle=False) as archive:
+            assert archive["color"].dtype == np.int32
+            assert "color::vocab" in archive.files
+            vocab = archive["color::vocab"]
+            np.testing.assert_array_equal(
+                vocab[archive["color"]], tiny_table["color"]
+            )
+        assert read_npz(path) == tiny_table
+
+    def test_npz_reads_legacy_unicode_archives(self, tiny_table, tmp_path):
+        # Archives written before the columnar data plane stored categoricals
+        # as per-row unicode arrays; they must still load byte-identically.
+        path = tmp_path / "legacy.npz"
+        payload = {name: np.asarray(tiny_table[name]) for name in tiny_table.columns}
+        payload["__schema__"] = np.asarray(
+            json.dumps(tiny_table.schema.to_dict())
+        )
+        np.savez_compressed(path, **payload)
+        loaded = read_npz(path)
+        assert loaded == tiny_table
+        assert loaded.vocab("color") == tiny_table.vocab("color")
 
     def test_npz_missing_schema_rejected(self, tmp_path):
         path = tmp_path / "plain.npz"

@@ -149,6 +149,31 @@ class TestMatricesAndSummaries:
     def test_categorical_matrix(self, table):
         assert table.categorical_matrix().shape == (4, 1)
 
+    def test_codes_matrix(self, table):
+        codes = table.codes_matrix()
+        assert codes.shape == (4, 1)
+        assert codes.dtype == np.int32
+        # Codes index the column's vocab and decode to the original strings.
+        vocab = table.vocab("c")
+        assert [vocab[i] for i in codes[:, 0]] == ["x", "y", "x", "z"]
+
+    def test_codes_matrix_rejects_numerical(self, table):
+        with pytest.raises(ValueError):
+            table.codes_matrix(["a"])
+
+    def test_codes_matrix_empty_selection(self, table):
+        empty = table.codes_matrix([])
+        assert empty.shape == (4, 0)
+        assert empty.dtype == np.int32
+
+    def test_categorical_accessors(self, table):
+        column = table.categorical_column("c")
+        np.testing.assert_array_equal(column.codes, table.codes("c"))
+        assert column.vocab == table.vocab("c")
+        np.testing.assert_array_equal(column.decode(), table["c"])
+        with pytest.raises(ValueError):
+            table.categorical_column("a")
+
     def test_value_counts_sorted(self, table):
         counts = table.value_counts("c")
         assert list(counts)[0] == "x"
@@ -157,6 +182,15 @@ class TestMatricesAndSummaries:
     def test_value_counts_normalized(self, table):
         freqs = table.value_counts("c", normalize=True)
         assert abs(sum(freqs.values()) - 1.0) < 1e-12
+
+    def test_value_counts_types(self, table):
+        # Raw counts are true ints, frequencies true floats — the annotation
+        # promised Dict[str, float] for both, which was wrong for counts.
+        counts = table.value_counts("c")
+        assert all(type(v) is int for v in counts.values())
+        assert counts == {"x": 2, "y": 1, "z": 1}
+        freqs = table.value_counts("c", normalize=True)
+        assert all(type(v) is float for v in freqs.values())
 
     def test_value_counts_on_numeric_raises(self, table):
         with pytest.raises(ValueError):
