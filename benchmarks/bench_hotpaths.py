@@ -77,6 +77,7 @@ from repro.serve import (  # noqa: E402
     ShardedSampler,
 )
 from repro.models.smote import SMOTESurrogate  # noqa: E402
+from repro.obs.tracing import Tracer  # noqa: E402
 from repro.serve import shm as shm_transport  # noqa: E402
 from repro.tabular.encoding import LabelEncoder  # noqa: E402
 from repro.tabular.schema import TableSchema  # noqa: E402
@@ -718,6 +719,59 @@ def bench_serve_shm(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
                 )
 
 
+def bench_serve_traced(registry: BenchmarkRegistry, sizes, repeats: int) -> None:
+    """Tracing overhead: the traced serving path vs the identical untraced one.
+
+    Both variants serve the same request (same model, chunk plan, warm
+    4-worker pool, relaxed ``"fast"`` mode); the only difference is a
+    :class:`~repro.obs.tracing.Tracer` installed on the ``"optimized"``
+    variant's sampler, which turns on the full span taxonomy — worker-side
+    ``worker_compute``/``shm_encode`` spans shipped back with every chunk,
+    parent-side ``shm_decode``/``attempt``/``chunk`` spans recorded per
+    attempt.  The recorded "speedup" is therefore the *inverse* of tracing
+    overhead and the committed baseline is the observability plane's cost
+    contract: ``tests/test_ci_workflow.py`` asserts the traced run stays
+    within 5% of the untraced one (``seed * 1.05 >= optimized``).  Bytes are
+    tracing-invariant by construction (spans ride alongside chunk payloads,
+    never inside them); ``tests/test_obs_serving.py`` proves it, this kernel
+    only prices it.
+    """
+    repeats = max(repeats, 3)  # a ratio-near-1 gate needs low-noise minima
+    table = serving_mixed_table(2000)
+    model = TVAESurrogate(
+        TVAEConfig(latent_dim=16, hidden_dims=(64,), epochs=1, batch_size=256), seed=0
+    )
+    model.fit(table)
+    tracer = Tracer()
+    with ShardedSampler(
+        model, workers=SERVE_WORKERS, chunk_size=SERVE_CHUNK
+    ) as plain, ShardedSampler(
+        model, workers=SERVE_WORKERS, chunk_size=SERVE_CHUNK, tracer=tracer
+    ) as traced:
+        for n_rows in sizes:
+            size = f"n={n_rows}"
+
+            def run_untraced():
+                return plain.sample(n_rows, seed=1, sampling_mode="fast")
+
+            def run_traced():
+                tracer.clear()  # each run records (and pays for) its own spans
+                return traced.sample(n_rows, seed=1, sampling_mode="fast")
+
+            run_untraced()  # warm both pools before timing
+            run_traced()
+            spans_per_request = float(len(tracer))
+            registry.measure("serve_traced", "seed", size, run_untraced, repeats=repeats)
+            registry.measure(
+                "serve_traced",
+                "optimized",
+                size,
+                run_traced,
+                repeats=repeats,
+                extra={"spans_per_request": spans_per_request},
+            )
+
+
 def _broker_jobs(n_jobs: int = 3000) -> list:
     rng = np.random.default_rng(7)
     arrivals = np.sort(rng.uniform(0.0, 2.0, n_jobs))
@@ -783,6 +837,9 @@ def run_benchmarks(
     # The transport kernel serves one serving-scale request; its contract is
     # the per-chunk IPC-bytes reduction plus wall-clock parity, not a sweep.
     serve_shm_sizes = [100_000]
+    # The tracing kernel prices the span taxonomy on one serving-scale
+    # request; its contract is the <=5% overhead ratio, not a sweep.
+    serve_traced_sizes = [100_000]
     if quick:
         encode_sizes = encode_sizes[:1]
         (gbdt_sizes, table_sizes, pipe_sizes, sim_sizes, train_sizes, broker_sizes,
@@ -844,6 +901,10 @@ def run_benchmarks(
         (
             ("serve_sharded_shm",),
             lambda: bench_serve_shm(registry, serve_shm_sizes, repeats),
+        ),
+        (
+            ("serve_traced",),
+            lambda: bench_serve_traced(registry, serve_traced_sizes, repeats),
         ),
     ]
     if kernels is not None:

@@ -72,6 +72,11 @@ REQUIRED_KERNELS = frozenset(
         # bench_hotpaths.bench_encode_categorical / bench_serve_shm).
         "encode_categorical_codes",
         "serve_sharded_shm",
+        # Observability kernel: the traced serving path vs the identical
+        # untraced one (see bench_hotpaths.bench_serve_traced) — its committed
+        # baseline is the <=5% tracing-overhead contract asserted by
+        # tests/test_ci_workflow.py.
+        "serve_traced",
     }
 )
 

@@ -153,6 +153,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--hedge-multiplier", type=float, default=None,
         help="hedge a chunk once it is this multiple of the median chunk latency",
     )
+    obs_group = parser.add_argument_group(
+        "observability", "tracing / metrics surfaces (shared by 'serve' and 'scenario')"
+    )
+    obs_group.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record request-scoped spans and export them after the run: "
+        "Chrome trace_event JSON (Perfetto-loadable) for *.json paths, "
+        "JSONL otherwise.  Tracing never changes served bytes",
+    )
+    obs_group.add_argument(
+        "--check-metrics", action="store_true",
+        help="serve --http only: scrape GET /metrics off the live front "
+        "door, validate the Prometheus text format and the required "
+        "repro_serve_* series; exits non-zero on any problem",
+    )
     scenario_group = parser.add_argument_group(
         "scenario", "options for the 'scenario' experiment (replay + drift/canary loop)"
     )
@@ -279,11 +294,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         import urllib.request
 
         from repro.experiments.table1 import build_model
+        from repro.obs.metrics import REQUIRED_SERVE_SERIES, validate_prometheus_text
+        from repro.obs.tracing import Tracer
         from repro.serve import ChunkPolicy, FaultPlan, ModelRegistry, SamplingService
         from repro.serve.api import RequestSpec, table_fingerprint
         from repro.serve.http import FrontDoor
         from repro.utils.rng import derive_seed
 
+        if args.check_metrics and not args.http:
+            parser.error("--check-metrics needs --http (it scrapes the live front door)")
+        tracer = Tracer() if args.trace_out else None
         sampling_mode = args.sampling_mode or "fast"
         name = config.models[0] if args.models else "tvae"
         data = build_dataset(config)
@@ -323,6 +343,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 chunk_size=args.chunk_size,
                 chunk_policy=chunk_policy,
                 fault_plan=fault_plan,
+                tracer=tracer,
             ) as service:
                 specs = [request_spec(i, per_request) for i in range(n_requests)]
                 requests = [service.submit(spec) for spec in specs]
@@ -336,6 +357,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     url = f"http://{host}:{port}/sample"
                     digest = hashlib.sha256()
                     mismatches = 0
+                    metrics_report = None
                     try:
                         for spec in specs:
                             body = dict(spec.to_dict())
@@ -352,6 +374,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             if remote != local:
                                 mismatches += 1
                             digest.update(remote.encode("ascii"))
+                        if args.check_metrics:
+                            # Scrape the live /metrics page and validate the
+                            # exposition format + required series.
+                            response = urllib.request.urlopen(
+                                f"http://{host}:{port}/metrics"
+                            )
+                            text = response.read().decode("utf-8")
+                            problems = validate_prometheus_text(
+                                text, required=REQUIRED_SERVE_SERIES
+                            )
+                            content_type = response.headers.get("Content-Type", "")
+                            if not content_type.startswith("text/plain"):
+                                problems.append(
+                                    f"unexpected Content-Type {content_type!r}"
+                                )
+                            metrics_report = {
+                                "series_required": list(REQUIRED_SERVE_SERIES),
+                                "problems": problems,
+                                "ok": not problems,
+                            }
                     finally:
                         front_door.stop_http()
                     http_report = {
@@ -360,6 +402,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "mismatches": mismatches,
                         "verified": mismatches == 0,
                     }
+                    if metrics_report is not None:
+                        http_report["metrics"] = metrics_report
                 stats = service.stats()
                 payload = {
                     "model": name,
@@ -387,6 +431,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     payload["http"] = http_report
             if fault_plan is not None:
                 fault_plan.cleanup()
+        if tracer is not None:
+            exported = tracer.export(args.trace_out)
+            payload["trace"] = {"path": args.trace_out, "spans": exported}
         if args.json:
             print(json.dumps(payload, indent=2))
         else:
@@ -415,12 +462,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"fingerprint {http_report['fingerprint'][:16]}…, "
                     f"{'verified' if http_report['verified'] else 'MISMATCH'}"
                 )
+                if "metrics" in http_report:
+                    metrics_ok = http_report["metrics"]["ok"]
+                    print(
+                        f"  /metrics scrape: "
+                        f"{'valid' if metrics_ok else 'INVALID'} "
+                        f"({len(http_report['metrics']['series_required'])} required series)"
+                    )
+            if tracer is not None:
+                print(
+                    f"  trace: {payload['trace']['spans']} spans -> {args.trace_out}"
+                )
         if http_report is not None and not http_report["verified"]:
             print(
                 f"error: {http_report['mismatches']} HTTP fingerprint(s) diverged "
                 "from the in-process service",
                 file=sys.stderr,
             )
+            return 1
+        if http_report is not None and "metrics" in http_report and not http_report["metrics"]["ok"]:
+            for problem in http_report["metrics"]["problems"]:
+                print(f"error: /metrics: {problem}", file=sys.stderr)
             return 1
         return 0
 
@@ -461,13 +523,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             overrides["request_deadline"] = args.deadline
         if overrides:
             spec = spec.scaled(**overrides)
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer() if args.trace_out else None
         engine = ScenarioEngine(
             spec,
             seed=args.seed if args.seed is not None else 7,
             workers=args.workers,
             registry_root=args.registry,
+            tracer=tracer,
         )
         report = engine.run()
+        exported_spans = tracer.export(args.trace_out) if tracer is not None else None
         if args.report:
             with open(args.report, "w", encoding="utf-8") as fh:
                 fh.write(report.to_json() + "\n")
@@ -477,6 +544,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(report.summary())
             if args.report:
                 print(f"  report written to {args.report}")
+            if exported_spans is not None:
+                print(f"  trace: {exported_spans} spans -> {args.trace_out}")
         return 0
 
     if args.experiment == "ablations":

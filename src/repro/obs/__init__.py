@@ -1,0 +1,65 @@
+"""repro.obs — the observability plane: metrics, tracing, exposition.
+
+Dependency-free (stdlib + numpy) instrumentation for the serving stack:
+
+:mod:`repro.obs.metrics`
+    A Prometheus-style process-local registry of counters, gauges and
+    fixed-log-bucket histograms.  Each :class:`~repro.serve.service.
+    SamplingService` owns one :class:`MetricsRegistry`; the front door
+    renders them all at ``GET /metrics`` (text exposition format) and
+    scenario reports embed :meth:`MetricsRegistry.snapshot`.
+
+:mod:`repro.obs.tracing`
+    Request-scoped spans whose trace/span IDs derive deterministically
+    from the request seed and each chunk's ``SeedSequence.spawn_key`` —
+    the same identity trick the fault harness uses — so worker-side spans
+    stitch into the parent trace without any context propagation bytes.
+    Export as JSONL or Chrome ``trace_event`` (Perfetto-loadable) via
+    ``repro-experiments serve/scenario --trace-out FILE``.
+
+Tracing is byte-invisible (scenario fingerprints are identical with it
+on or off) and its overhead is itself gated by the ``serve_traced``
+benchmark kernel.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    REQUIRED_SERVE_SERIES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus_multi,
+    validate_prometheus_text,
+)
+from repro.obs.tracing import (
+    Span,
+    TracedChunk,
+    Tracer,
+    chunk_span_id,
+    request_span_id,
+    span_id,
+    trace_id_from_child,
+    trace_id_from_seed,
+    wall_clock,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "REQUIRED_SERVE_SERIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TracedChunk",
+    "Tracer",
+    "chunk_span_id",
+    "render_prometheus_multi",
+    "request_span_id",
+    "span_id",
+    "trace_id_from_child",
+    "trace_id_from_seed",
+    "validate_prometheus_text",
+    "wall_clock",
+]

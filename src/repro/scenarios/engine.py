@@ -44,6 +44,7 @@ from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.metrics.distribution import DriftMonitor
 from repro.metrics.distribution import mean_jsd, mean_wasserstein
+from repro.obs.tracing import Tracer
 from repro.models import Surrogate, create_surrogate
 from repro.panda.generator import GeneratorConfig
 from repro.scenarios.catalog import ScenarioSpec, get_scenario
@@ -86,6 +87,11 @@ class ScenarioEngine:
     registry_root:
         Directory for the :class:`ModelRegistry`.  ``None`` uses a run-local
         temporary directory (removed afterwards).
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer` installed in every
+        backend service — the whole run's spans land in one buffer (the
+        CLI's ``--trace-out``).  Tracing never touches served bytes: the
+        report's deterministic core is identical with or without it.
     """
 
     def __init__(
@@ -95,11 +101,13 @@ class ScenarioEngine:
         seed: int = 7,
         workers: Optional[int] = None,
         registry_root: Optional[Union[str, Path]] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.spec = get_scenario(spec) if isinstance(spec, str) else spec
         self.seed = int(seed)
         self.workers = workers
         self.registry_root = registry_root
+        self.tracer = tracer
 
     # -- pieces -------------------------------------------------------------------
     def _generator_config(self) -> GeneratorConfig:
@@ -226,6 +234,7 @@ class ScenarioEngine:
                 max_pool_restarts=spec.max_pool_restarts,
                 admission=admission,
                 microbatch_rows=spec.microbatch_rows,
+                tracer=self.tracer,
             )
         }
         front_door: Optional[FrontDoor] = None
@@ -237,6 +246,7 @@ class ScenarioEngine:
                 max_pool_restarts=spec.max_pool_restarts,
                 admission=admission,
                 microbatch_rows=spec.microbatch_rows,
+                tracer=self.tracer,
             )
             canary_version = registry.register(model_name, model, stage="canary")
             report.registry_versions.append(canary_version)
@@ -376,6 +386,9 @@ class ScenarioEngine:
                         name: stats.to_dict() for name, stats in all_stats.items()
                     }
                 }
+            report.obs = {
+                name: svc.metrics.snapshot() for name, svc in services.items()
+            }
         finally:
             if front_door is not None:
                 front_door.close()
@@ -480,8 +493,9 @@ def run_scenario(
     seed: int = 7,
     workers: Optional[int] = None,
     registry_root: Optional[Union[str, Path]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ScenarioReport:
     """Convenience wrapper: build a :class:`ScenarioEngine` and run it."""
     return ScenarioEngine(
-        name, seed=seed, workers=workers, registry_root=registry_root
+        name, seed=seed, workers=workers, registry_root=registry_root, tracer=tracer
     ).run()

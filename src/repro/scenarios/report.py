@@ -82,6 +82,11 @@ class ScenarioReport:
     #: The serving stats tree (:meth:`ServiceStats.to_dict` per backend), the
     #: same shape the CLI ``--json`` payloads and HTTP ``/stats`` report.
     service_stats: Dict[str, object] = field(default_factory=dict)
+    #: Per-backend metrics-registry snapshots
+    #: (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`) — counts are
+    #: deterministic but histogram sums/percentiles are wall-clock, so the
+    #: block lives in the timing layer.
+    obs: Dict[str, object] = field(default_factory=dict)
 
     _TIMING_FIELDS = (
         "wall_seconds",
@@ -90,6 +95,7 @@ class ScenarioReport:
         "p95_latency",
         "tenant_waits",
         "service_stats",
+        "obs",
     )
 
     def as_dict(self) -> Dict[str, object]:
@@ -105,6 +111,7 @@ class ScenarioReport:
                 for tenant, waits in sorted(self.tenant_waits.items())
             },
             "service": dict(self.service_stats),
+            "obs": dict(self.obs),
         }
         return out
 

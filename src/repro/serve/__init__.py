@@ -138,6 +138,54 @@ queue / latency / workers / faults / admission / tenants) is what the CLI
 ``--json`` payloads, HTTP ``GET /stats`` and ``ScenarioReport`` timing
 layers all embed.
 
+Observability (the ``repro.obs`` plane)
+---------------------------------------
+Every layer above writes into one
+:class:`~repro.obs.metrics.MetricsRegistry` per service (pass
+``SamplingService(metrics=...)`` to share one), and the stats tree is a
+*view* of that registry — the numbers on ``/stats`` and ``/metrics`` are
+the same by construction.  The serving metric names:
+
+* requests/rows — ``repro_serve_requests_total{tenant}``,
+  ``repro_serve_request_errors_total``, ``repro_serve_rows_total{tenant}``,
+  ``repro_serve_batches_total``;
+* flow latency — ``repro_serve_request_latency_seconds{tenant,priority}``
+  and ``repro_serve_queue_wait_seconds{tenant,priority}`` (histograms over
+  the log-spaced :data:`~repro.obs.metrics.DEFAULT_LATENCY_BUCKETS`);
+* levels — ``repro_serve_queue_depth``, ``repro_serve_inflight_rows``,
+  ``repro_serve_workers``, ``repro_serve_degraded``,
+  ``repro_serve_pool_pending_tasks``, ``repro_serve_pool_restarts``;
+* faults — ``repro_serve_chunk_{retries,timeouts,hedges,hedge_wins}_total``,
+  ``repro_serve_degraded_passes_total``,
+  ``repro_serve_cancelled_requests_total``;
+* transport — ``repro_serve_shm_{chunks,bytes,discarded,sweeps,swept_segments}_total``;
+* control — ``repro_serve_admission_{admitted,rejected}_total`` (rejects by
+  ``reason``), ``repro_serve_scale_{ups,downs}_total``,
+  ``repro_serve_model_swaps_total``.
+
+``GET /metrics`` on the front door serves the Prometheus text page over
+every backend (series tagged ``backend="<name>"``)::
+
+    curl -s http://127.0.0.1:8080/metrics | grep repro_serve_requests_total
+
+Tracing is request-scoped and seed-derived: install a
+:class:`~repro.obs.tracing.Tracer` (``SamplingService(tracer=...)``) and
+each request records the span taxonomy ``request`` → ``admission`` /
+``queue_wait`` / ``dispatch`` / ``chunk[i]`` → ``attempt[j]`` /
+``worker_compute`` / ``shm_encode`` / ``shm_decode`` / ``assemble`` /
+``deliver``.  Trace and span IDs hash the request seed's
+``SeedSequence`` identity (the same trick the fault plane uses), so
+worker-side spans stitch under the parent trace with no context header —
+and tracing never touches served bytes (scenario fingerprints are
+asserted identical with it on or off).  Export from the CLI::
+
+    repro-experiments serve --trace-out trace.json      # Perfetto-loadable
+    repro-experiments scenario chaos-drift --trace-out spans.jsonl
+
+Enabled-tracing overhead is gated at ≤5% by the ``serve_traced`` kernel in
+``benchmarks/BENCH_hotpaths.json``; ``examples/tracing_demo.py`` is the
+narrated walkthrough.
+
 ``repro-experiments serve`` (see :mod:`repro.experiments.cli`) drives the
 whole stack end to end (``--http`` adds a loopback front-door round-trip),
 and ``examples/serving_throughput.py`` is the narrated version.

@@ -38,6 +38,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.api import RequestSpec
 
 __all__ = [
@@ -112,16 +113,19 @@ class AdmissionController:
     micro-batch so the deadline estimator tracks the real service rate.
     """
 
-    def __init__(self, policy: AdmissionPolicy) -> None:
+    def __init__(self, policy: AdmissionPolicy, metrics: Optional[MetricsRegistry] = None) -> None:
         self.policy = policy
         self._lock = threading.Lock()
         self._rate: Optional[float] = None  # EMA rows/s; None until observed
-        self._admitted = 0
-        self._rejected: Dict[str, int] = {
-            "queue_depth": 0,
-            "backlog_rows": 0,
-            "deadline": 0,
-        }
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._m_admitted = registry.counter(
+            "repro_serve_admission_admitted_total", "Requests admitted to the queue."
+        )
+        self._m_rejected = registry.counter(
+            "repro_serve_admission_rejected_total",
+            "Requests rejected at admission, by reason.",
+            labels=("reason",),
+        )
 
     # -- the decision ------------------------------------------------------------
     def check(self, spec: RequestSpec, *, pending_requests: int, backlog_rows: int) -> None:
@@ -160,12 +164,10 @@ class AdmissionController:
                     f"{spec.deadline:.2f}s deadline",
                     retry_after=wait,
                 )
-        with self._lock:
-            self._admitted += 1
+        self._m_admitted.inc()
 
     def _reject(self, reason: str, message: str, *, retry_after: float) -> None:
-        with self._lock:
-            self._rejected[reason] += 1
+        self._m_rejected.inc(reason=reason)
         raise AdmissionRejected(
             message, reason=reason, retry_after=max(0.1, round(retry_after, 3))
         )
@@ -194,15 +196,19 @@ class AdmissionController:
 
     # -- reporting ---------------------------------------------------------------
     def snapshot(self) -> Dict[str, int]:
-        """Point-in-time admission counters (stable field names)."""
-        with self._lock:
-            return {
-                "admitted": self._admitted,
-                "rejected": sum(self._rejected.values()),
-                "rejected_queue_depth": self._rejected["queue_depth"],
-                "rejected_backlog_rows": self._rejected["backlog_rows"],
-                "rejected_deadline": self._rejected["deadline"],
-            }
+        """Point-in-time admission counters (stable field names).
+
+        Reads the metrics registry — these numbers and the
+        ``repro_serve_admission_*`` series on ``/metrics`` are the same by
+        construction.
+        """
+        return {
+            "admitted": int(self._m_admitted.total()),
+            "rejected": int(self._m_rejected.total()),
+            "rejected_queue_depth": int(self._m_rejected.value(reason="queue_depth")),
+            "rejected_backlog_rows": int(self._m_rejected.value(reason="backlog_rows")),
+            "rejected_deadline": int(self._m_rejected.value(reason="deadline")),
+        }
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,11 @@ connection, JSON in, JSON out.  Routes:
     per-backend in-flight load.
 ``GET /models``
     The routable backends and their worker/degraded state.
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) over every backend's
+    :class:`~repro.obs.metrics.MetricsRegistry`, each series tagged
+    ``backend="<name>"`` — the scrape surface behind the same numbers
+    ``/stats`` reports (see :func:`~repro.obs.metrics.render_prometheus_multi`).
 ``GET /healthz``
     Liveness: ``{"status": "ok"}`` while the server accepts connections.
 """
@@ -48,6 +53,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.metrics import render_prometheus_multi
 from repro.scheduler.broker import BackendRouter, Broker
 from repro.serve.admission import AdmissionRejected, ServiceOverloaded
 from repro.serve.api import RequestSpec, table_fingerprint
@@ -304,10 +310,17 @@ class FrontDoor:
             pass  # fall through to the 500 defaults
         finally:
             with contextlib.suppress(Exception):
-                data = json.dumps(payload).encode("utf-8")
+                # str payloads ship raw (the Prometheus text page); anything
+                # else is JSON.
+                if isinstance(payload, str):
+                    data = payload.encode("utf-8")
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                else:
+                    data = json.dumps(payload).encode("utf-8")
+                    content_type = "application/json"
                 head = (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(data)}\r\n"
                     "Connection: close\r\n"
                 )
@@ -321,7 +334,7 @@ class FrontDoor:
 
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+    ) -> Tuple[int, Union[Dict[str, object], str], Dict[str, str]]:
         if path == "/sample":
             if method != "POST":
                 return 405, {"error": "POST only"}, {"Allow": "POST"}
@@ -336,6 +349,10 @@ class FrontDoor:
             loop = asyncio.get_running_loop()
             stats = await loop.run_in_executor(None, self.stats)
             return 200, stats, {}
+        if path == "/metrics":
+            loop = asyncio.get_running_loop()
+            text = await loop.run_in_executor(None, self._metrics_page)
+            return 200, text, {}
         if path == "/models":
             return (
                 200,
@@ -353,6 +370,19 @@ class FrontDoor:
         if path == "/healthz":
             return 200, {"status": "ok", "models": self.models}, {}
         return 404, {"error": f"no route for {path}"}, {}
+
+    def _metrics_page(self) -> str:
+        """The Prometheus text page over every backend's registry.
+
+        Refreshing each service's stats first folds the point-in-time
+        gauges (queue depth, workers, pool restarts) into the registries
+        before rendering.
+        """
+        for service in self._services.values():
+            service.stats()
+        return render_prometheus_multi(
+            {name: service.metrics for name, service in self._services.items()}
+        )
 
     def _sample_response(self, body: bytes) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         """The blocking half of ``POST /sample`` (runs on executor threads)."""

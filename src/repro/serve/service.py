@@ -62,6 +62,15 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.models.base import Surrogate
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    Tracer,
+    request_span_id,
+    span_id,
+    trace_id_from_child,
+    trace_id_from_seed,
+    wall_clock,
+)
 from repro.serve.admission import (
     AdmissionController,
     AdmissionPolicy,
@@ -107,6 +116,9 @@ class SampleRequest:
         # Weighted-fair-queue bookkeeping (owned by the service's queue).
         self._queued = False
         self._wfq_start = 0.0
+        # Observability stashes (owned by the service; unset when untraced).
+        self._obs_admitted_at: Optional[float] = None
+        self._obs_trace_id: Optional[str] = None
 
     # Legacy attribute views (the pre-RequestSpec handle surface).
     @property
@@ -378,6 +390,19 @@ class SamplingService:
         Upper bound on rows coalesced per dispatch tick.  ``None`` (default)
         drains the whole queue each tick; a bound makes the weighted fair
         ordering effective across ticks under sustained backlog.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` shared by every layer
+        of this service's stack (sampler fault counters, shm transport,
+        admission, the request/latency instruments here).  ``None`` creates
+        a private registry, exposed as :attr:`metrics`; the front door
+        renders it on ``GET /metrics``.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  When set, each
+        request records its span taxonomy (``request`` → ``admission`` /
+        ``queue_wait`` / ``dispatch`` / ``chunk[i]``–``attempt[j]`` /
+        ``worker_compute`` / ``shm_encode`` / ``shm_decode`` /
+        ``assemble`` / ``deliver``); ``None`` is a strict no-op — served
+        bytes are identical either way.
 
     The service starts its pool and dispatcher on construction and is a
     context manager; :meth:`close` drains the queue and shuts down.
@@ -397,6 +422,8 @@ class SamplingService:
         admission: Optional[AdmissionPolicy] = None,
         autoscale: Optional[AutoscalePolicy] = None,
         microbatch_rows: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_inflight_rows < 1:
             raise ValueError(f"max_inflight_rows must be positive, got {max_inflight_rows}")
@@ -404,6 +431,8 @@ class SamplingService:
             raise ValueError(f"microbatch_rows must be positive or None, got {microbatch_rows}")
         if workers is None and autoscale is not None:
             workers = autoscale.min_workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer
         self._sampler = ShardedSampler(
             model,
             workers=workers,
@@ -411,9 +440,15 @@ class SamplingService:
             chunk_policy=chunk_policy,
             fault_plan=fault_plan,
             max_pool_restarts=max_pool_restarts,
+            metrics=self.metrics,
+            tracer=tracer,
         )
         self.max_inflight_rows = int(max_inflight_rows)
-        self._admission = AdmissionController(admission) if admission is not None else None
+        self._admission = (
+            AdmissionController(admission, metrics=self.metrics)
+            if admission is not None
+            else None
+        )
         self._autoscale = autoscale
         self._microbatch_rows = microbatch_rows
         self._lock = threading.Condition()
@@ -428,25 +463,83 @@ class SamplingService:
         self._ticket_counter = 0
         self._admission_waiters: Deque[int] = deque()
         self._pending_swaps: Deque[_SwapTicket] = deque()
-        self._model_swaps = 0
         self._closing = False
         self._latency_window = int(latency_window)
+        # Exact-percentile sliding windows.  The registry histograms trade
+        # exactness for O(1) memory; :meth:`stats` keeps its historical
+        # exact-window p50/p95 semantics from these deques.
         self._latencies: Deque[float] = deque(maxlen=self._latency_window)
-        self._total_requests = 0
-        self._total_rows = 0
-        self._degraded_passes = 0
-        self._cancelled_requests = 0
-        self._scale_ups = 0
-        self._scale_downs = 0
-        self._shrink_streak = 0
-        self._tenant_requests: Dict[str, int] = {}
-        self._tenant_rows: Dict[str, int] = {}
         self._tenant_latencies: Dict[str, Deque[float]] = {}
+        self._shrink_streak = 0
+        registry = self.metrics
+        self._m_requests = registry.counter(
+            "repro_serve_requests_total",
+            "Requests delivered without error, by tenant.",
+            labels=("tenant",),
+        )
+        self._m_request_errors = registry.counter(
+            "repro_serve_request_errors_total", "Requests that resolved with an error."
+        )
+        self._m_rows = registry.counter(
+            "repro_serve_rows_total", "Rows delivered, by tenant.", labels=("tenant",)
+        )
+        self._m_batches = registry.counter(
+            "repro_serve_batches_total", "Micro-batches dispatched."
+        )
+        self._m_degraded_passes = registry.counter(
+            "repro_serve_degraded_passes_total",
+            "Requests served in-process after pool collapse.",
+        )
+        self._m_cancelled = registry.counter(
+            "repro_serve_cancelled_requests_total", "Requests abandoned via cancel()."
+        )
+        self._m_scale_ups = registry.counter(
+            "repro_serve_scale_ups_total", "Autoscale pool expansions."
+        )
+        self._m_scale_downs = registry.counter(
+            "repro_serve_scale_downs_total", "Autoscale pool shrinks."
+        )
+        self._m_model_swaps = registry.counter(
+            "repro_serve_model_swaps_total", "Hot model swaps applied."
+        )
+        self._m_latency = registry.histogram(
+            "repro_serve_request_latency_seconds",
+            "End-to-end request latency (submit to deliver), by flow.",
+            labels=("tenant", "priority"),
+        )
+        self._m_queue_wait = registry.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Admission-to-dispatch queue wait, by flow.",
+            labels=("tenant", "priority"),
+        )
+        self._g_queue_depth = registry.gauge(
+            "repro_serve_queue_depth", "Requests waiting for the dispatcher."
+        )
+        self._g_inflight_rows = registry.gauge(
+            "repro_serve_inflight_rows", "Rows admitted but not yet delivered."
+        )
+        self._g_workers = registry.gauge(
+            "repro_serve_workers", "Current worker count."
+        )
+        self._g_degraded = registry.gauge(
+            "repro_serve_degraded", "1 once the pool collapsed to in-process serving."
+        )
+        self._g_pool_pending = registry.gauge(
+            "repro_serve_pool_pending_tasks",
+            "Chunk tasks submitted to the pool and not yet resolved.",
+        )
         self._started_at = time.perf_counter()
         # Spawn the worker pool *before* the dispatcher thread exists: the
         # pool forks at start on platforms where fork is the default, and
         # forking a multi-threaded process is where the trouble lives.
         self._sampler.start()
+        # Seed the level gauges so every required series renders on a
+        # ``/metrics`` scrape that lands before the first request.
+        self._g_queue_depth.set(0)
+        self._g_inflight_rows.set(0)
+        self._g_workers.set(self._sampler.workers)
+        self._g_degraded.set(0)
+        self._g_pool_pending.set(0)
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatcher", daemon=True
         )
@@ -474,7 +567,12 @@ class SamplingService:
     @property
     def model_swaps(self) -> int:
         """Hot model swaps applied since the service started."""
-        return self._model_swaps
+        return int(self._m_model_swaps.total())
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The installed span collector (``None`` when tracing is off)."""
+        return self._tracer
 
     def swap_model(
         self, model: Surrogate, *, wait: bool = True, timeout: Optional[float] = None
@@ -621,6 +719,8 @@ class SamplingService:
                 self._in_flight_rows += n
                 self._pending_requests += 1
                 self._queue.push(handle)
+                handle._obs_admitted_at = time.perf_counter()
+                self._set_queue_gauges_locked()
             finally:
                 # The ticket leaves the line whether we admitted, refused or
                 # were closed; whoever is behind may now reach the front.
@@ -645,31 +745,43 @@ class SamplingService:
         return self.submit(spec).result()
 
     def stats(self) -> ServiceStats:
+        """A :class:`ServiceStats` snapshot, read from the metrics registry.
+
+        The counters here and the ``repro_serve_*`` series on ``/metrics``
+        are the same numbers by construction — :meth:`stats` is a *view* of
+        the registry (plus the exact-window latency percentiles), not a
+        second set of books.
+        """
         with self._lock:
             latencies = sorted(self._latencies)
             queue_depth = len(self._queue)
             in_flight = self._in_flight_rows
-            total_requests = self._total_requests
-            total_rows = self._total_rows
-            degraded_passes = self._degraded_passes
-            cancelled = self._cancelled_requests
-            scale_ups = self._scale_ups
-            scale_downs = self._scale_downs
-            tenants = {
-                tenant: {
-                    "requests": self._tenant_requests[tenant],
-                    "rows": self._tenant_rows[tenant],
-                    "p50_wait_s": self._percentile(
-                        sorted(self._tenant_latencies[tenant]), 0.50
-                    ),
-                    "p95_wait_s": self._percentile(
-                        sorted(self._tenant_latencies[tenant]), 0.95
-                    ),
-                }
-                for tenant in self._tenant_requests
+            tenant_waits = {
+                tenant: sorted(window)
+                for tenant, window in self._tenant_latencies.items()
             }
+        tenant_requests = self._m_requests.series()
+        tenant_rows = self._m_rows.series()
+        total_rows = int(self._m_rows.total())
+        total_requests = int(
+            self._m_requests.total() + self._m_request_errors.total()
+        )
+        tenants = {
+            tenant: {
+                "requests": int(tenant_requests.get((tenant,), 0)),
+                "rows": int(tenant_rows.get((tenant,), 0)),
+                "p50_wait_s": self._percentile(waits, 0.50),
+                "p95_wait_s": self._percentile(waits, 0.95),
+            }
+            for tenant, waits in tenant_waits.items()
+        }
         faults = self._sampler.fault_stats()
         uptime = time.perf_counter() - self._started_at
+        self._g_queue_depth.set(queue_depth)
+        self._g_inflight_rows.set(in_flight)
+        self._g_workers.set(self._sampler.workers)
+        self._g_degraded.set(1 if self._sampler.pool_broken else 0)
+        self._g_pool_pending.set(self._sampler.pool_pending_tasks)
         return ServiceStats(
             rows_per_second=total_rows / uptime if uptime > 0 else 0.0,
             queue_depth=queue_depth,
@@ -684,11 +796,11 @@ class SamplingService:
             chunk_timeouts=faults.chunk_timeouts,
             hedges=faults.hedges,
             hedge_wins=faults.hedge_wins,
-            degraded_passes=degraded_passes,
-            cancelled_requests=cancelled,
+            degraded_passes=int(self._m_degraded_passes.total()),
+            cancelled_requests=int(self._m_cancelled.total()),
             workers=self._sampler.workers,
-            scale_ups=scale_ups,
-            scale_downs=scale_downs,
+            scale_ups=int(self._m_scale_ups.total()),
+            scale_downs=int(self._m_scale_downs.total()),
             degraded=self._sampler.pool_broken,
             admission=self._admission.snapshot() if self._admission is not None else {},
             tenants=tenants,
@@ -720,9 +832,15 @@ class SamplingService:
             resolved = request._resolve(None, CancelledError("request cancelled"))
             if resolved:
                 self._release_budget_locked(request)
-                self._cancelled_requests += 1
+                self._m_cancelled.inc()
+            self._set_queue_gauges_locked()
             self._lock.notify_all()  # budget freed: wake blocked submitters
             return resolved
+
+    def _set_queue_gauges_locked(self) -> None:
+        """Refresh the queue-level gauges (caller holds the service lock)."""
+        self._g_queue_depth.set(len(self._queue))
+        self._g_inflight_rows.set(self._in_flight_rows)
 
     def _release_budget_locked(self, request: SampleRequest) -> None:
         """Release the request's admitted rows exactly once (cancel + finish
@@ -752,6 +870,7 @@ class SamplingService:
                 # queued, unless microbatch_rows bounds the tick).
                 batch = self._queue.pop_batch(self._microbatch_rows)
                 backlog_rows = self._queue.rows
+                self._set_queue_gauges_locked()
             if swaps:
                 self._apply_swaps(swaps)
             batch_rows = sum(request.spec.n for request in batch)
@@ -782,15 +901,13 @@ class SamplingService:
         if target > current:
             self._shrink_streak = 0
             if self._try_resize(target):
-                with self._lock:
-                    self._scale_ups += 1
+                self._m_scale_ups.inc()
         elif target < current:
             self._shrink_streak += 1
             if self._shrink_streak >= policy.shrink_patience:
                 self._shrink_streak = 0
                 if self._try_resize(target):
-                    with self._lock:
-                        self._scale_downs += 1
+                    self._m_scale_downs.inc()
         else:
             self._shrink_streak = 0
 
@@ -798,6 +915,7 @@ class SamplingService:
         """Resize the sampler; a failed resize must not kill the dispatcher."""
         try:
             self._sampler.resize(workers)
+            self._g_workers.set(self._sampler.workers)
             return True
         except Exception:
             return False  # keep serving at the current size
@@ -813,8 +931,7 @@ class SamplingService:
         error: Optional[BaseException] = None
         try:
             self._sampler.swap_model(swaps[-1].model)
-            with self._lock:
-                self._model_swaps += 1
+            self._m_model_swaps.inc()
         except BaseException as exc:  # noqa: BLE001 - forwarded to the waiters
             error = exc
         for ticket in swaps:
@@ -834,21 +951,59 @@ class SamplingService:
         """
         pooled = self._sampler.workers > 1 and not self._sampler.pool_broken
         run = self._sampler.chunk_run() if pooled else None
+        tracer = self._tracer
+        popped_at = time.perf_counter()
+        self._m_batches.inc()
         # One plan per request: [request, sizes, children, handles, error].
         # ``handles`` is None on the pool-free path, else the submitted
         # chunk handles so far (shorter than ``sizes`` = submission died).
         plans: List[list] = []
         for request in batch:
+            spec = request.spec
+            admitted_at = (
+                request._obs_admitted_at
+                if request._obs_admitted_at is not None
+                else request.submitted_at
+            )
+            self._m_queue_wait.observe(
+                max(popped_at - admitted_at, 0.0),
+                tenant=spec.tenant,
+                priority=spec.priority,
+            )
             sizes, children = [], []
             error: Optional[BaseException] = None
             try:
-                sizes, children = self._sampler.chunk_plan(
-                    request.spec.n, request.spec.seed
-                )
+                sizes, children = self._sampler.chunk_plan(spec.n, spec.seed)
             except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
                 error = exc
+            if tracer is not None:
+                trace_id = (
+                    trace_id_from_child(children[0])
+                    if children
+                    else trace_id_from_seed(spec.seed)
+                )
+                request._obs_trace_id = trace_id
+                root = request_span_id(trace_id)
+                tracer.record_span(
+                    "admission",
+                    trace_id,
+                    span_id=span_id(trace_id, "admission"),
+                    parent_id=root,
+                    start=wall_clock(request.submitted_at),
+                    duration=admitted_at - request.submitted_at,
+                    attrs={"tenant": spec.tenant, "priority": spec.priority},
+                )
+                tracer.record_span(
+                    "queue_wait",
+                    trace_id,
+                    span_id=span_id(trace_id, "queue_wait"),
+                    parent_id=root,
+                    start=wall_clock(admitted_at),
+                    duration=popped_at - admitted_at,
+                )
             plans.append([request, sizes, children, [] if run is not None else None, error])
 
+        dispatch_started = time.perf_counter()
         if run is not None:
             # Round-robin chunk submission across the batch's requests.
             submitting = True
@@ -878,6 +1033,25 @@ class SamplingService:
                         for handle in handles:
                             handle.cancel()
 
+        if tracer is not None:
+            # One dispatch span per micro-batch, attributed to the first
+            # traced request (the batch is the unit of dispatch, not the
+            # request).
+            first_trace = next(
+                (plan[0]._obs_trace_id for plan in plans if plan[0]._obs_trace_id),
+                None,
+            )
+            if first_trace is not None:
+                tracer.record_span(
+                    "dispatch",
+                    first_trace,
+                    span_id=span_id(first_trace, "dispatch"),
+                    parent_id=request_span_id(first_trace),
+                    start=wall_clock(dispatch_started),
+                    duration=time.perf_counter() - dispatch_started,
+                    attrs={"batch_requests": len(plans), "pooled": run is not None},
+                )
+
         for request, sizes, children, handles, error in plans:
             if error is not None:
                 self._finish(request, None, error)
@@ -899,9 +1073,20 @@ class SamplingService:
                         self._sampler.sample_chunk_local(size, child, mode)
                         for size, child in zip(sizes, children)
                     ]
+                assemble_started = time.perf_counter()
                 table = self._sampler.assemble(
                     chunks, seed=request.spec.seed, sampling_mode=mode
                 )
+                if tracer is not None and request._obs_trace_id is not None:
+                    tracer.record_span(
+                        "assemble",
+                        request._obs_trace_id,
+                        span_id=span_id(request._obs_trace_id, "assemble"),
+                        parent_id=request_span_id(request._obs_trace_id),
+                        start=wall_clock(assemble_started),
+                        duration=time.perf_counter() - assemble_started,
+                        attrs={"chunks": len(chunks), "rows": request.spec.n},
+                    )
             except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
                 self._finish(request, None, exc)
                 continue
@@ -926,8 +1111,8 @@ class SamplingService:
         Byte-identical to the pooled pass by the seed contract — the chunks
         draw from the same child streams regardless of where they run.
         """
-        with self._lock:
-            self._degraded_passes += 1
+        self._m_degraded_passes.inc()
+        self._g_degraded.set(1)
         return [
             self._sampler.sample_chunk_local(size, child, request.spec.sampling_mode)
             for size, child in zip(sizes, children)
@@ -936,21 +1121,56 @@ class SamplingService:
     def _finish(
         self, request: SampleRequest, table: Optional[Table], error: Optional[BaseException]
     ) -> None:
+        deliver_started = time.perf_counter()
+        spec = request.spec
         with self._lock:
             delivered = request._resolve(table, error)
             self._release_budget_locked(request)
             if delivered:
-                self._total_requests += 1
+                if error is not None:
+                    self._m_request_errors.inc()
                 if table is not None:
-                    self._total_rows += request.spec.n
+                    self._m_rows.inc(spec.n, tenant=spec.tenant)
                 if request.latency is not None and error is None:
                     self._latencies.append(request.latency)
-                    tenant = request.spec.tenant
-                    self._tenant_requests[tenant] = self._tenant_requests.get(tenant, 0) + 1
-                    self._tenant_rows[tenant] = self._tenant_rows.get(tenant, 0) + request.spec.n
-                    if tenant not in self._tenant_latencies:
-                        self._tenant_latencies[tenant] = deque(maxlen=self._latency_window)
-                    self._tenant_latencies[tenant].append(request.latency)
+                    self._m_requests.inc(tenant=spec.tenant)
+                    if spec.tenant not in self._tenant_latencies:
+                        self._tenant_latencies[spec.tenant] = deque(
+                            maxlen=self._latency_window
+                        )
+                    self._tenant_latencies[spec.tenant].append(request.latency)
+            self._set_queue_gauges_locked()
+        if delivered and request.latency is not None and error is None:
+            self._m_latency.observe(
+                request.latency, tenant=spec.tenant, priority=spec.priority
+            )
+        tracer = self._tracer
+        if tracer is not None and delivered and request._obs_trace_id is not None:
+            trace_id = request._obs_trace_id
+            root = request_span_id(trace_id)
+            tracer.record_span(
+                "deliver",
+                trace_id,
+                span_id=span_id(trace_id, "deliver"),
+                parent_id=root,
+                start=wall_clock(deliver_started),
+                duration=time.perf_counter() - deliver_started,
+                attrs={"error": type(error).__name__} if error is not None else None,
+            )
+            tracer.record_span(
+                "request",
+                trace_id,
+                span_id=root,
+                parent_id=None,
+                start=wall_clock(request.submitted_at),
+                duration=request.latency if request.latency is not None else 0.0,
+                attrs={
+                    "tenant": spec.tenant,
+                    "priority": spec.priority,
+                    "rows": spec.n,
+                    "mode": spec.sampling_mode,
+                },
+            )
 
     @staticmethod
     def _percentile(sorted_values: List[float], q: float) -> float:

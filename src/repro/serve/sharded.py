@@ -86,12 +86,23 @@ from typing import Iterator, List, Optional
 import numpy as np
 
 from repro.models.base import SAMPLING_MODES, Surrogate
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    TracedChunk,
+    Tracer,
+    chunk_span_id,
+    make_span,
+    request_span_id,
+    span_id,
+    trace_id_from_child,
+)
 from repro.serve import faults as fault_injection
 from repro.serve import shm as shm_transport
 from repro.serve.api import RequestSpec
 from repro.serve.faults import FaultPlan
 from repro.serve.shm import ChunkEnvelope, ShmTransportConfig
 from repro.tabular.table import Table
+from repro.utils.logging import get_logger
 from repro.utils.parallel import (
     SupervisedFuture,
     WorkerPool,
@@ -102,11 +113,17 @@ from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 __all__ = ["ChunkError", "ChunkFaultStats", "ChunkPolicy", "ShardedSampler"]
 
+_LOG = get_logger(__name__)
+
 #: The worker-process model snapshot, set once by :func:`_init_worker`.
 _WORKER_MODEL: Optional[Surrogate] = None
 
 #: The worker-side shm encoder (None under the pickle transport).
 _WORKER_ENCODER: Optional[shm_transport.ChunkEncoder] = None
+
+#: Whether workers should record ``worker_compute``/``shm_encode`` spans and
+#: piggyback them on the task return path (see :mod:`repro.obs.tracing`).
+_WORKER_TRACING: bool = False
 
 
 def _init_worker(
@@ -114,6 +131,7 @@ def _init_worker(
     chunk_rows: int,
     fault_plan: Optional[FaultPlan] = None,
     shm_config: Optional[ShmTransportConfig] = None,
+    tracing: bool = False,
 ) -> None:
     """One-time worker setup: deserialize the model, warm its serving caches.
 
@@ -124,15 +142,19 @@ def _init_worker(
     does not re-inject already-claimed faults.  With an shm transport
     config, the worker derives the chunk wire layout (schema + categorical
     vocabularies) from its own snapshot — the parent derives the identical
-    layout from its copy, so no per-chunk metadata ever ships.
+    layout from its copy, so no per-chunk metadata ever ships.  With
+    ``tracing`` enabled the worker wraps each task result in a
+    :class:`~repro.obs.tracing.TracedChunk` carrying its compute/encode
+    spans home.
     """
-    global _WORKER_MODEL, _WORKER_ENCODER
+    global _WORKER_MODEL, _WORKER_ENCODER, _WORKER_TRACING
     model = Surrogate.from_snapshot(snapshot)
     model.warm_serving_caches(chunk_rows)
     _WORKER_MODEL = model
     _WORKER_ENCODER = (
         shm_transport.ChunkEncoder(shm_config, model) if shm_config is not None else None
     )
+    _WORKER_TRACING = bool(tracing)
     fault_injection.install(fault_plan)
 
 
@@ -141,22 +163,64 @@ def _sample_chunk(size: int, child: np.random.SeedSequence, sampling_mode: str):
 
     The chunk's index is recoverable from the seed contract itself (it is
     the last element of the child's spawn key), which is what lets the fault
-    harness target "chunk i" without widening the task descriptor.
+    harness target "chunk i" — and the tracing layer derive the parent's
+    trace/span IDs — without widening the task descriptor.
 
     Under the shm transport the return value is a
     :class:`~repro.serve.shm.ChunkEnvelope` (the table's buffers having been
     written to a shared segment); under the pickle transport it is the chunk
-    :class:`~repro.tabular.table.Table` itself.
+    :class:`~repro.tabular.table.Table` itself.  With tracing enabled either
+    payload travels wrapped in a :class:`~repro.obs.tracing.TracedChunk`;
+    the payload bytes are identical.
     """
     assert _WORKER_MODEL is not None, "worker used before initialization"
     spawn_key = getattr(child, "spawn_key", ())
-    fault_injection.maybe_inject(int(spawn_key[-1]) if spawn_key else 0)
+    index = int(spawn_key[-1]) if spawn_key else 0
+    fault_injection.maybe_inject(index)
+    if not _WORKER_TRACING:
+        table = _WORKER_MODEL.sample(
+            size, seed=np.random.default_rng(child), sampling_mode=sampling_mode
+        )
+        if _WORKER_ENCODER is not None:
+            return _WORKER_ENCODER.encode(table)
+        return table
+
+    trace_id = trace_id_from_child(child)
+    parent = chunk_span_id(trace_id, index)
+    spans = []
+    start_wall = time.time()
+    start = time.perf_counter()
     table = _WORKER_MODEL.sample(
         size, seed=np.random.default_rng(child), sampling_mode=sampling_mode
     )
+    spans.append(
+        make_span(
+            "worker_compute",
+            trace_id,
+            span_id=span_id(trace_id, "worker_compute", index),
+            parent_id=parent,
+            start=start_wall,
+            duration=time.perf_counter() - start,
+            attrs={"chunk": index, "rows": size},
+        )
+    )
+    payload: object = table
     if _WORKER_ENCODER is not None:
-        return _WORKER_ENCODER.encode(table)
-    return table
+        start_wall = time.time()
+        start = time.perf_counter()
+        payload = _WORKER_ENCODER.encode(table)
+        spans.append(
+            make_span(
+                "shm_encode",
+                trace_id,
+                span_id=span_id(trace_id, "shm_encode", index),
+                parent_id=parent,
+                start=start_wall,
+                duration=time.perf_counter() - start,
+                attrs={"chunk": index, "nbytes": int(getattr(payload, "nbytes", 0))},
+            )
+        )
+    return TracedChunk(payload, spans)
 
 
 class ChunkError(RuntimeError):
@@ -294,10 +358,17 @@ class _ChunkHandle:
         self._child = child
         self._mode = sampling_mode
         self._attempts = 0  # failures + timeouts charged against max_retries
+        self._tracer = run.sampler.tracer
+        if self._tracer is not None:
+            self._trace_id = trace_id_from_child(child)
+            self._chunk_span = chunk_span_id(self._trace_id, index)
+            self._created_wall = time.time()
         self._primary: SupervisedFuture = self._submit()
         self._primary_started = time.monotonic()
+        self._primary_started_wall = time.time()
         self._hedge: Optional[SupervisedFuture] = None
         self._hedge_started = 0.0
+        self._hedge_started_wall = 0.0
         self._consumed = False
 
     def _submit(self) -> SupervisedFuture:
@@ -387,6 +458,7 @@ class _ChunkHandle:
                 # The duplicate is already racing: make it the attempt.
                 self._primary, self._hedge = self._hedge, None
                 self._primary_started = self._hedge_started
+                self._primary_started_wall = self._hedge_started_wall
             else:
                 self._handle_failure(exc)
             return None
@@ -399,8 +471,13 @@ class _ChunkHandle:
                 self._run.sampler._abandon(self._primary)
                 self._primary, self._hedge = self._hedge, None
                 self._primary_started = self._hedge_started
+                self._primary_started_wall = self._hedge_started_wall
                 return None
             self._run.sampler._count(timeouts=1)
+            _LOG.warning(
+                "chunk %d (%d rows) attempt %d timed out after %.3fs deadline; abandoning",
+                self.index, self.size, self._attempts + 1, policy.timeout,
+            )
             self._primary.cancel()
             self._run.sampler._abandon(self._primary)
             self._handle_failure(
@@ -416,10 +493,33 @@ class _ChunkHandle:
                 if now - self._primary_started > trigger:
                     self._hedge = self._submit()
                     self._hedge_started = time.monotonic()
+                    self._hedge_started_wall = time.time()
                     self._run.sampler._count(hedges=1)
+                    _LOG.info(
+                        "chunk %d (%d rows) straggling %.3fs > %.3fs trigger; hedging",
+                        self.index, self.size, now - self._primary_started, trigger,
+                    )
 
         time.sleep(policy.poll)
         return None
+
+    def _record_attempt_span(
+        self, started_wall: float, started_at: float, *, error: Optional[str] = None
+    ) -> None:
+        if self._tracer is None:
+            return
+        attrs = {"chunk": self.index, "rows": self.size}
+        if error is not None:
+            attrs["error"] = error
+        self._tracer.record_span(
+            f"attempt[{self._attempts}]",
+            self._trace_id,
+            span_id=span_id(self._trace_id, "attempt", self.index, self._attempts),
+            parent_id=self._chunk_span,
+            start=started_wall,
+            duration=time.monotonic() - started_at,
+            attrs=attrs,
+        )
 
     def _handle_failure(self, exc: BaseException) -> None:
         """Charge a failure against the retry budget and resubmit (or raise)."""
@@ -427,23 +527,55 @@ class _ChunkHandle:
             raise exc  # pool-level: not retryable at chunk granularity
         policy = self._run.policy
         self._attempts += 1
+        self._record_attempt_span(
+            self._primary_started_wall, self._primary_started, error=str(exc)
+        )
         if self._attempts > policy.max_retries:
+            _LOG.error(
+                "chunk %d (%d rows) exhausted its retry budget after attempt %d: %s",
+                self.index, self.size, self._attempts, exc,
+            )
             raise ChunkError(
                 self.index, self.size,
                 f"failed after {policy.max_retries} retr"
                 f"{'y' if policy.max_retries == 1 else 'ies'}: {exc}",
             ) from exc
         self._run.sampler._count(retries=1)
+        _LOG.warning(
+            "chunk %d (%d rows) attempt %d failed: %s; retrying (%d/%d)",
+            self.index, self.size, self._attempts, exc,
+            self._attempts, policy.max_retries,
+        )
         if policy.backoff > 0:
             time.sleep(policy.backoff * (2 ** (self._attempts - 1)))
         self._primary = self._submit()
         self._primary_started = time.monotonic()
+        self._primary_started_wall = time.time()
 
     def _finish(self, table: Table, started_at: float, *, hedged_win: bool) -> Table:
         self._consumed = True
         self._run.record_latency(time.monotonic() - started_at)
         if hedged_win:
             self._run.sampler._count(hedge_wins=1)
+        if self._tracer is not None:
+            self._attempts += 1  # the successful attempt, for span naming
+            started_wall = self._hedge_started_wall if hedged_win else self._primary_started_wall
+            self._record_attempt_span(started_wall, started_at)
+            self._attempts -= 1
+            self._tracer.record_span(
+                f"chunk[{self.index}]",
+                self._trace_id,
+                span_id=self._chunk_span,
+                parent_id=request_span_id(self._trace_id),
+                start=self._created_wall,
+                duration=time.time() - self._created_wall,
+                attrs={
+                    "chunk": self.index,
+                    "rows": self.size,
+                    "retries": self._attempts,
+                    "hedged_win": hedged_win,
+                },
+            )
         self._run.sampler._reap()
         return table
 
@@ -479,6 +611,18 @@ class ShardedSampler:
         ``"auto"`` — resolve from the ``REPRO_SHM`` environment variable,
         defaulting to shm where the platform supports it.  Output bytes are
         transport-invariant.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the sampler's fault
+        counters and transport gauges are registered in.  The owning
+        service passes its registry down so the whole stack shares one;
+        standalone samplers create their own.
+    tracer:
+        An optional :class:`~repro.obs.tracing.Tracer`.  When set, chunk
+        handles record ``chunk[i]``/``attempt[j]`` spans, workers are
+        started with tracing enabled (their ``worker_compute`` /
+        ``shm_encode`` spans ride home on the task results), and the
+        decode path records ``shm_decode`` spans.  ``None`` (the default)
+        is a strict no-op on every path — bytes are identical either way.
 
     The sampler is a context manager; :meth:`close` shuts the pool down.
     """
@@ -495,6 +639,8 @@ class ShardedSampler:
         fault_plan: Optional[FaultPlan] = None,
         max_pool_restarts: int = 5,
         transport: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
@@ -509,10 +655,32 @@ class ShardedSampler:
         self.fault_plan = fault_plan
         self.max_pool_restarts = int(max_pool_restarts)
         self.transport = shm_transport.resolve_transport(transport)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         self._shm_session: Optional[shm_transport.ShmSession] = None
         self._pool: Optional[WorkerPool] = None
-        self._counter_lock = threading.Lock()
-        self._counters = {"retries": 0, "timeouts": 0, "hedges": 0, "hedge_wins": 0}
+        counter = self.metrics.counter
+        self._fault_counters = {
+            "retries": counter(
+                "repro_serve_chunk_retries_total",
+                "Chunk resubmissions after task failures.",
+            ),
+            "timeouts": counter(
+                "repro_serve_chunk_timeouts_total",
+                "Chunk attempts abandoned at their per-attempt deadline.",
+            ),
+            "hedges": counter(
+                "repro_serve_chunk_hedges_total",
+                "Hedged duplicates submitted for straggler chunks.",
+            ),
+            "hedge_wins": counter(
+                "repro_serve_chunk_hedge_wins_total",
+                "Hedged duplicates that finished before their primary.",
+            ),
+        }
+        self._pool_restarts_gauge = self.metrics.gauge(
+            "repro_serve_pool_restarts", "Supervised executor rebuilds, all pool generations."
+        )
         #: Futures cancelled or discarded while possibly carrying an
         #: unconsumed shm envelope; reaped once they resolve.
         self._abandoned: List[SupervisedFuture] = []
@@ -536,6 +704,11 @@ class ShardedSampler:
         """True when pool supervision gave up (the degraded-mode signal)."""
         return self._pool is not None and self._pool.is_broken
 
+    @property
+    def pool_pending_tasks(self) -> int:
+        """Tasks submitted to the pool and not yet resolved (0 pool-free)."""
+        return self._pool.pending_tasks if self._pool is not None else 0
+
     def start(self) -> "ShardedSampler":
         """Snapshot the model and spawn + warm the worker pool (idempotent).
 
@@ -546,12 +719,18 @@ class ShardedSampler:
             snapshot = self._model.serving_snapshot()
             shm_config = None
             if self.transport == "shm":
-                self._shm_session = shm_transport.ShmSession(self._model)
+                self._shm_session = shm_transport.ShmSession(self._model, metrics=self.metrics)
                 shm_config = self._shm_session.config
             self._pool = WorkerPool(
                 self.workers,
                 initializer=_init_worker,
-                initargs=(snapshot, self.chunk_size, self.fault_plan, shm_config),
+                initargs=(
+                    snapshot,
+                    self.chunk_size,
+                    self.fault_plan,
+                    shm_config,
+                    self.tracer is not None,
+                ),
                 max_restarts=self.max_pool_restarts,
             ).start()
         return self
@@ -617,9 +796,37 @@ class ShardedSampler:
 
     # -- transport ---------------------------------------------------------------
     def decode_chunk(self, result) -> Table:
-        """Materialise a worker result: envelopes decode, tables pass through."""
+        """Materialise a worker result: envelopes decode, tables pass through.
+
+        Traced results (:class:`~repro.obs.tracing.TracedChunk`) are
+        unwrapped first: their worker-side spans fold into the parent
+        tracer and the payload proceeds exactly as if tracing were off —
+        which is why enabling tracing cannot change served bytes.
+        """
+        spans = None
+        if isinstance(result, TracedChunk):
+            spans = result.spans
+            result = result.payload
+        tracer = self.tracer
+        if tracer is not None and spans:
+            tracer.extend(spans)
         if isinstance(result, ChunkEnvelope):
             assert self._shm_session is not None, "envelope received without a session"
+            if tracer is not None and spans:
+                first = spans[0]
+                start_wall = time.time()
+                start = time.perf_counter()
+                table = self._shm_session.decoder.decode(result)
+                tracer.record_span(
+                    "shm_decode",
+                    first.trace_id,
+                    span_id=span_id(first.trace_id, "shm_decode", first.attrs.get("chunk", 0)),
+                    parent_id=first.parent_id,
+                    start=start_wall,
+                    duration=time.perf_counter() - start,
+                    attrs={"nbytes": int(result.nbytes), "rows": int(result.n_rows)},
+                )
+                return table
             return self._shm_session.decoder.decode(result)
         return result
 
@@ -652,6 +859,8 @@ class ShardedSampler:
                 result = future.result(0)
             except BaseException:
                 continue  # failed or cancelled: no envelope to release
+            if isinstance(result, TracedChunk):
+                result = result.payload  # abandoned attempt: spans are dropped
             if session is not None and isinstance(result, ChunkEnvelope):
                 session.decoder.discard(result)
         if still_pending:
@@ -660,21 +869,26 @@ class ShardedSampler:
 
     # -- fault accounting --------------------------------------------------------
     def _count(self, **deltas: int) -> None:
-        with self._counter_lock:
-            for key, delta in deltas.items():
-                self._counters[key] += delta
+        for key, delta in deltas.items():
+            self._fault_counters[key].inc(delta)
 
     def fault_stats(self) -> ChunkFaultStats:
-        """Point-in-time fault counters (pool restarts + chunk resilience)."""
-        with self._counter_lock:
-            counters = dict(self._counters)
+        """Point-in-time fault counters (pool restarts + chunk resilience).
+
+        Reads the sampler's metrics registry — the counters here and the
+        ``repro_serve_chunk_*`` series on ``/metrics`` are the same
+        numbers by construction.
+        """
+        restarts = self._retired_restarts + (
+            self._pool.restarts if self._pool is not None else 0
+        )
+        self._pool_restarts_gauge.set(restarts)
         return ChunkFaultStats(
-            pool_restarts=self._retired_restarts
-            + (self._pool.restarts if self._pool is not None else 0),
-            chunk_retries=counters["retries"],
-            chunk_timeouts=counters["timeouts"],
-            hedges=counters["hedges"],
-            hedge_wins=counters["hedge_wins"],
+            pool_restarts=restarts,
+            chunk_retries=int(self._fault_counters["retries"].total()),
+            chunk_timeouts=int(self._fault_counters["timeouts"].total()),
+            hedges=int(self._fault_counters["hedges"].total()),
+            hedge_wins=int(self._fault_counters["hedge_wins"].total()),
         )
 
     # -- the chunk plan (the single source of the sharding arithmetic) -----------
@@ -758,9 +972,30 @@ class ShardedSampler:
 
         if self.workers == 1 or len(sizes) <= 1:
             def _generate_serial() -> Iterator[Table]:
+                tracer = self.tracer
                 for index, (size, child) in enumerate(zip(sizes, children)):
                     try:
-                        yield self.sample_chunk_local(size, child, sampling_mode)
+                        if tracer is None:
+                            yield self.sample_chunk_local(size, child, sampling_mode)
+                            continue
+                        trace_id = trace_id_from_child(child)
+                        chunk_span = chunk_span_id(trace_id, index)
+                        with tracer.span(
+                            f"chunk[{index}]",
+                            trace_id,
+                            span_id=chunk_span,
+                            parent_id=request_span_id(trace_id),
+                            attrs={"chunk": index, "rows": size, "local": True},
+                        ):
+                            with tracer.span(
+                                "worker_compute",
+                                trace_id,
+                                span_id=span_id(trace_id, "worker_compute", index),
+                                parent_id=chunk_span,
+                                attrs={"chunk": index, "rows": size, "local": True},
+                            ):
+                                table = self.sample_chunk_local(size, child, sampling_mode)
+                        yield table
                     except Exception as exc:
                         raise ChunkError(index, size, f"failed: {exc}") from exc
 

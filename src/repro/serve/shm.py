@@ -59,8 +59,10 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.models.base import Surrogate
+from repro.obs.metrics import MetricsRegistry
 from repro.tabular.schema import TableSchema
 from repro.tabular.table import CODES_DTYPE, CategoricalColumn, Table
+from repro.utils.logging import get_logger
 
 try:  # pragma: no cover - import always succeeds on supported platforms
     from multiprocessing import resource_tracker, shared_memory
@@ -79,6 +81,8 @@ __all__ = [
     "resolve_transport",
     "shm_available",
 ]
+
+_LOG = get_logger(__name__)
 
 #: Environment toggle: ``shm``/``1`` forces the shared-memory transport,
 #: ``pickle``/``0`` disables it, unset/``auto`` uses shm where available.
@@ -231,6 +235,10 @@ class ChunkEncoder:
         a pickled table instead of corrupting the wire format.
         """
         if not self.layout.matches(table):
+            _LOG.warning(
+                "chunk layout diverged from the snapshot-derived wire layout "
+                "(%d rows); shipping inline as a pickled table", len(table),
+            )
             return ChunkEnvelope(segment=None, n_rows=len(table), inline=table)
         n = len(table)
         total = self.layout.chunk_nbytes(n)
@@ -268,11 +276,37 @@ class ChunkEncoder:
 
 
 class ChunkDecoder:
-    """Parent-side: reassemble tables from segments and own their lifecycle."""
+    """Parent-side: reassemble tables from segments and own their lifecycle.
 
-    def __init__(self, layout: ChunkLayout, spool_dir: str) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, the
+    decoder accounts the transport on ``repro_serve_shm_*`` series:
+    chunks/bytes decoded, envelopes discarded, sweep passes and swept
+    segments.
+    """
+
+    def __init__(
+        self, layout: ChunkLayout, spool_dir: str, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.layout = layout
         self.spool_dir = spool_dir
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._m_chunks = registry.counter(
+            "repro_serve_shm_chunks_total", "Chunk envelopes decoded from shared memory."
+        )
+        self._m_bytes = registry.counter(
+            "repro_serve_shm_bytes_total", "Segment bytes decoded from shared memory."
+        )
+        self._m_discarded = registry.counter(
+            "repro_serve_shm_discarded_total",
+            "Never-decoded envelopes released (timeouts, hedge losers, cancels).",
+        )
+        self._m_sweeps = registry.counter(
+            "repro_serve_shm_sweeps_total", "Spool-directory sweep passes."
+        )
+        self._m_swept = registry.counter(
+            "repro_serve_shm_swept_segments_total",
+            "Leaked segments collected by spool sweeps (crash leftovers).",
+        )
 
     def decode(self, envelope: ChunkEnvelope) -> Table:
         """Zero-copy reassembly: column views straight over the mapping.
@@ -284,6 +318,8 @@ class ChunkDecoder:
         if envelope.segment is None:
             assert envelope.inline is not None
             return envelope.inline
+        self._m_chunks.inc()
+        self._m_bytes.inc(envelope.nbytes)
         segment = shared_memory.SharedMemory(name=envelope.segment)
         try:
             segment.unlink()  # also balances the attach-side tracker registration
@@ -313,12 +349,18 @@ class ChunkDecoder:
         if envelope is None or envelope.segment is None or envelope.consumed:
             return
         envelope.consumed = True
+        self._m_discarded.inc()
+        _LOG.debug(
+            "discarding never-decoded envelope (segment %s, %d rows)",
+            envelope.segment, envelope.n_rows,
+        )
         self._unlink_segment(envelope.segment)
         self._remove_token(envelope.segment)
 
     def sweep(self) -> int:
         """Unlink every segment still spooled (crash leftovers); returns count."""
         removed = 0
+        self._m_sweeps.inc()
         try:
             tokens = os.listdir(self.spool_dir)
         except FileNotFoundError:
@@ -327,6 +369,12 @@ class ChunkDecoder:
             if self._unlink_segment(name):
                 removed += 1
             self._remove_token(name)
+        if removed:
+            self._m_swept.inc(removed)
+            _LOG.warning(
+                "spool sweep of %s collected %d leaked segment(s) (worker crash leftovers)",
+                self.spool_dir, removed,
+            )
         return removed
 
     def close(self) -> int:
@@ -397,10 +445,12 @@ class ShmSession:
     removes the spool.
     """
 
-    def __init__(self, model: Surrogate) -> None:
+    def __init__(self, model: Surrogate, metrics: Optional[MetricsRegistry] = None) -> None:
         self.spool_dir = tempfile.mkdtemp(prefix="repro-shm-")
         self.config = ShmTransportConfig(spool_dir=self.spool_dir)
-        self.decoder = ChunkDecoder(ChunkLayout.from_model(model), self.spool_dir)
+        self.decoder = ChunkDecoder(
+            ChunkLayout.from_model(model), self.spool_dir, metrics=metrics
+        )
 
     def close(self) -> int:
         return self.decoder.close()

@@ -34,9 +34,12 @@ def get_logger(name: str, level: Optional[int] = None) -> logging.Logger:
     name:
         Module name; usually ``__name__``.
     level:
-        Optional level override for the whole ``repro`` hierarchy.
+        Optional level override for the whole ``repro`` hierarchy.  When
+        omitted, the current level is left alone — a plain ``get_logger``
+        call must not undo an earlier ``set_verbosity(True)``.
     """
-    _configure_root(level if level is not None else logging.WARNING)
+    if level is not None or not _configured:
+        _configure_root(level if level is not None else logging.WARNING)
     if not name.startswith("repro"):
         name = f"repro.{name}"
     return logging.getLogger(name)

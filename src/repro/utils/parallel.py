@@ -62,6 +62,10 @@ from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.utils.logging import get_logger
+
+_LOG = get_logger(__name__)
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -335,6 +339,16 @@ class WorkerPool:
         return self._restarts
 
     @property
+    def pending_tasks(self) -> int:
+        """Supervised tasks submitted but not yet consumed (queue + in flight).
+
+        The observability layer reports this as the pool-queue gauge; it is
+        an instantaneous count, safe to read from any thread.
+        """
+        with self._lock:
+            return len(self._registry)
+
+    @property
     def is_broken(self) -> bool:
         """True once supervision gave up; :meth:`close` resets the state."""
         return self._broken is not None
@@ -448,6 +462,11 @@ class WorkerPool:
                     "worker pool could not be rebuilt after a crash"
                 ) from exc
             self._restarts += 1
+            _LOG.warning(
+                "worker pool rebuilt after a crash (restart %d/%d, generation %d); "
+                "resubmitting %d unresolved task(s)",
+                self._restarts, self.max_restarts, self._generation, len(self._registry),
+            )
             # Resubmit everything the crash invalidated; tasks that already
             # resolved (real result or real task exception) keep their
             # outcome, and consumed tasks were deregistered long ago.

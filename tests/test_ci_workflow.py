@@ -146,6 +146,21 @@ class TestWorkflowDocument:
         assert str(env.get("REPRO_WORKERS")) == "2"
         assert env.get("PYTHONPATH") == "src"
 
+    def test_front_door_smoke_scrapes_metrics(self, workflow):
+        # The smoke also scrapes GET /metrics over the live endpoint and
+        # validates the Prometheus text page (the CLI exits nonzero when a
+        # required repro_serve_* series is missing or the content type is
+        # wrong), so the exposition surface is exercised on every push.
+        steps = workflow["jobs"]["tests"]["steps"]
+        smoke_steps = [
+            step
+            for step in steps
+            if "repro.experiments.cli serve" in step.get("run", "")
+            and "--http" in step.get("run", "")
+        ]
+        assert smoke_steps, "no named step runs the HTTP front-door smoke"
+        assert "--check-metrics" in smoke_steps[0]["run"]
+
     def test_perf_gate_required_kernels_cover_the_serving_stack(self):
         # The committed baseline must keep measuring the serving kernels: a
         # refactor that silently drops them should fail the perf gate, not
@@ -164,6 +179,7 @@ class TestWorkflowDocument:
             "serve_front_door",
             "encode_categorical_codes",
             "serve_sharded_shm",
+            "serve_traced",
         } <= module.REQUIRED_KERNELS
         import json
 
@@ -188,6 +204,28 @@ class TestWorkflowDocument:
                 by_variant.setdefault(rec["variant"], []).append(rec["extra"]["ipc_bytes_per_chunk"])
         assert by_variant.get("seed") and by_variant.get("optimized")
         assert max(by_variant["optimized"]) * 5 <= min(by_variant["seed"])
+
+    def test_perf_baseline_bounds_tracing_overhead(self):
+        # The committed baseline is the observability plane's cost contract:
+        # the serve_traced kernel times the identical serving request with
+        # and without a Tracer installed, and the traced path must stay
+        # within 5% of the untraced one.
+        import json
+
+        with open(os.path.join(REPO_ROOT, "benchmarks", "BENCH_hotpaths.json")) as fh:
+            baseline = json.load(fh)
+        by_variant = {}
+        for rec in baseline["records"]:
+            if rec["kernel"] == "serve_traced":
+                by_variant[rec["variant"]] = rec
+        assert by_variant.get("seed") and by_variant.get("optimized")
+        untraced = by_variant["seed"]["seconds"]
+        traced = by_variant["optimized"]["seconds"]
+        assert untraced * 1.05 >= traced, (
+            f"tracing overhead exceeds 5%: untraced {untraced:.4f}s vs traced {traced:.4f}s"
+        )
+        # The baseline also documents the span volume one request produces.
+        assert by_variant["optimized"]["extra"]["spans_per_request"] > 0
 
     def test_perf_gate_runs_benchmarks_ci_with_loose_factor(self, workflow):
         steps = workflow["jobs"]["perf-gate"]["steps"]
